@@ -1,0 +1,63 @@
+"""Shared fixtures for the figure/table benchmarks.
+
+The expensive artefact — the Figure 9 sweep (every suite × baseline +
+eleven optimization configurations) — is computed once per session and
+shared by the Figure 9, Figure 10, policy and recompilation benches.
+
+Set ``REPRO_BENCH_FAST=1`` to sweep a reduced configuration set (quick
+smoke run); the default regenerates the full paper table.
+"""
+
+import os
+
+import pytest
+
+from repro.engine.config import BASELINE, FULL_SPEC, OptConfig, PAPER_CONFIGS
+from repro.workloads import ALL_SUITES
+from repro.bench.harness import run_suite_sweep
+
+FAST = bool(int(os.environ.get("REPRO_BENCH_FAST", "0")))
+
+#: Configurations swept: the paper's eleven, or a fast subset.
+SWEEP_CONFIGS = (
+    [
+        OptConfig("PS", param_spec=True),
+        OptConfig("PS+CP", param_spec=True, constprop=True),
+        FULL_SPEC,
+    ]
+    if FAST
+    else PAPER_CONFIGS
+)
+
+_SWEEPS = {}
+
+
+def get_sweep(suite_name):
+    """Run (or fetch) the full sweep for one suite."""
+    sweep = _SWEEPS.get(suite_name)
+    if sweep is None:
+        sweep = run_suite_sweep(
+            suite_name, ALL_SUITES[suite_name], configs=SWEEP_CONFIGS
+        )
+        _SWEEPS[suite_name] = sweep
+    return sweep
+
+
+@pytest.fixture(scope="session")
+def sunspider_sweep():
+    return get_sweep("sunspider")
+
+
+@pytest.fixture(scope="session")
+def v8_sweep():
+    return get_sweep("v8")
+
+
+@pytest.fixture(scope="session")
+def kraken_sweep():
+    return get_sweep("kraken")
+
+
+@pytest.fixture(scope="session")
+def all_sweeps(sunspider_sweep, v8_sweep, kraken_sweep):
+    return [sunspider_sweep, v8_sweep, kraken_sweep]

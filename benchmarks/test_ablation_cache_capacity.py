@@ -1,0 +1,81 @@
+"""Ablation: specialization-cache capacity (paper §6).
+
+The paper caches one specialized binary per function and conjectures
+this is "the best tradeoff".  This ablation sweeps the capacity over
+workloads with different argument-set diversity:
+
+* monomorphic calls — capacity is irrelevant;
+* two alternating argument sets — capacity 2 keeps both binaries live
+  (no deoptimization), capacity 1 falls back to generic code;
+* high diversity (md5-style) — every capacity eventually deoptimizes,
+  so bigger caches only add compile time.
+"""
+
+import pytest
+
+from repro import FULL_SPEC, Engine
+
+WORKLOADS = {
+    "monomorphic": """
+        function f(a, b) { return (a * b) & 1023; }
+        var s = 0;
+        for (var i = 0; i < 4000; i++) s += f(12, 34);
+        print(s);
+    """,
+    "two-sets": """
+        function f(a, b) { return (a * b) & 1023; }
+        var s = 0;
+        for (var i = 0; i < 4000; i++) s += i % 2 ? f(12, 34) : f(56, 78);
+        print(s);
+    """,
+    "high-diversity": """
+        function f(a, b) { return (a * b) & 1023; }
+        var s = 0;
+        for (var i = 0; i < 4000; i++) s += f(i, i + 1);
+        print(s);
+    """,
+}
+
+CAPACITIES = [1, 2, 4]
+
+
+def run(source, capacity):
+    engine = Engine(config=FULL_SPEC, spec_cache_capacity=capacity, hot_call_threshold=5)
+    printed = engine.run_source(source)
+    return printed, engine.stats
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_cache_capacity_sweep(benchmark, workload):
+    source = WORKLOADS[workload]
+
+    def sweep():
+        rows = {}
+        baseline_output = None
+        for capacity in CAPACITIES:
+            printed, stats = run(source, capacity)
+            if baseline_output is None:
+                baseline_output = printed
+            assert printed == baseline_output
+            rows[capacity] = (
+                stats.total_cycles,
+                len(stats.deoptimized_functions),
+                stats.compiles,
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nAblation (cache capacity) — %s:" % workload)
+    print("  %-9s %12s %8s %9s" % ("capacity", "cycles", "deopts", "compiles"))
+    for capacity in CAPACITIES:
+        cycles, deopts, compiles = rows[capacity]
+        print("  %-9d %12d %8d %9d" % (capacity, cycles, deopts, compiles))
+
+    if workload == "two-sets":
+        # Capacity 2 retains both specializations: strictly fewer
+        # deoptimizations, and no slower than the paper's capacity 1.
+        assert rows[2][1] < rows[1][1]
+        assert rows[2][0] <= rows[1][0] * 1.02
+    if workload == "monomorphic":
+        # Capacity does not matter when one set suffices.
+        assert rows[1][1] == rows[2][1] == rows[4][1] == 0

@@ -1,0 +1,62 @@
+"""Figures 1 & 2: Alexa-top-100 call and argument-set histograms.
+
+Paper numbers this regenerates (via the seeded synthetic corpus whose
+parameters come from the paper itself — see DESIGN.md E1/E2):
+
+* 48.88% of functions are called exactly once; 11.12% twice.
+* 59.91% of functions are always called with the same argument set,
+  8.71% with two sets, 4.60% with three.
+"""
+
+from repro.bench.figures import web_histograms
+from repro.workloads.web import WebCorpusConfig
+
+
+def _corpus(benchmark):
+    return benchmark.pedantic(
+        lambda: web_histograms(WebCorpusConfig(num_functions=2300)),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_figure1_call_count_histogram(benchmark):
+    profiler = _corpus(benchmark)
+    histogram = profiler.call_count_histogram()
+    total = float(profiler.num_functions)
+
+    print("\nFigure 1 — fraction of functions called n times (head):")
+    for count in range(1, 11):
+        print("  %2d calls: %5.2f%%" % (count, 100.0 * histogram.get(count, 0) / total))
+    tail_max = max(histogram)
+    print("  most-called function: %d calls (paper: 1956)" % tail_max)
+
+    once = histogram.get(1, 0) / total
+    twice = histogram.get(2, 0) / total
+    assert abs(once - 0.4888) < 0.05, "paper: 48.88%% called once, got %.2f%%" % (100 * once)
+    assert abs(twice - 0.1112) < 0.05
+    assert tail_max > 100  # a power-law tail exists
+
+
+def test_figure2_argument_set_histogram(benchmark):
+    profiler = _corpus(benchmark)
+    histogram = profiler.argument_set_histogram()
+    total = float(profiler.num_functions)
+
+    print("\nFigure 2 — fraction of functions with n distinct argument sets (head):")
+    for count in range(1, 11):
+        print("  %2d sets: %5.2f%%" % (count, 100.0 * histogram.get(count, 0) / total))
+
+    single = profiler.fraction_single_argument_set()
+    assert abs(single - 0.5991) < 0.05, (
+        "paper: 59.91%% single argument set, got %.2f%%" % (100 * single)
+    )
+    # The cache-hit claim of Section 2: specialization would be a hit
+    # for ~60% of web functions.
+    assert single > 0.5
+
+
+def test_argument_sets_never_exceed_calls(benchmark):
+    profiler = _corpus(benchmark)
+    for profile in profiler.profiles.values():
+        assert profile.distinct_argument_sets <= profile.call_count

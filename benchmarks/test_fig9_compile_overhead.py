@@ -1,0 +1,61 @@
+"""Figure 9 (c, d): compilation overhead per optimization config.
+
+Compile cycles only (the time the engine "spends analyzing, optimizing
+and generating code").  Negative numbers mean the configuration spends
+*more* compile time than the baseline, positive numbers less.
+
+Shape checked against the paper: configurations with more passes pay
+more, but parameter specialization shrinks graphs (folded parameters,
+dead guards) so the net overhead stays small — the paper even observes
+compile-time *improvements* on SunSpider.
+"""
+
+from conftest import SWEEP_CONFIGS
+
+from repro.bench.harness import format_figure9, speedup_rows
+
+
+def test_figure9_compile_overhead(benchmark, all_sweeps):
+    table = benchmark.pedantic(
+        lambda: format_figure9(
+            all_sweeps, SWEEP_CONFIGS, "compile_cycles", "compilation overhead"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + table)
+
+    for sweep in all_sweeps:
+        rows = speedup_rows(sweep, SWEEP_CONFIGS, "compile_cycles")
+        for config_name, (arith, _geo, _detail) in rows.items():
+            # Bounded overhead: no configuration should multiply
+            # compile time (paper's worst case is ~+16% on Kraken;
+            # give the model head room).
+            assert arith > -300.0, (
+                "%s on %s has runaway compile overhead (%.1f%%)"
+                % (config_name, sweep.suite_name, arith)
+            )
+
+
+def test_specialized_compiles_do_less_work_per_binary(benchmark, sunspider_sweep):
+    """Per-binary compile work shrinks under specialization even
+    though deopt-driven recompiles add binaries (paper §4)."""
+
+    def per_binary():
+        base_total = spec_total = 0
+        base_bins = spec_bins = 0
+        for name in sunspider_sweep.benchmarks():
+            base = sunspider_sweep.run_for("baseline", name)
+            spec = sunspider_sweep.run_for("all", name)
+            base_total += base.compile_cycles
+            spec_total += spec.compile_cycles
+            base_bins += base.summary["compiles"]
+            spec_bins += spec.summary["compiles"]
+        return base_total / max(1, base_bins), spec_total / max(1, spec_bins)
+
+    base_avg, spec_avg = benchmark.pedantic(per_binary, rounds=1, iterations=1)
+    print("\nAverage compile cycles per binary: baseline=%.0f, specialized=%.0f"
+          % (base_avg, spec_avg))
+    # Specialized graphs run more passes, so allow some slack, but the
+    # per-binary work must stay in the same ballpark (not blow up).
+    assert spec_avg < base_avg * 3.0

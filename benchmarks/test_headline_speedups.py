@@ -1,0 +1,51 @@
+"""§4 headline results.
+
+The paper's abstract: "we have been able to speedup SunSpider by
+5.38%" (best configuration), 4.8% on V8, 1.2% on Kraken, and 49% on
+``bitops-bits-in-byte``.  Absolute numbers differ under the cycle
+model; the checked shape is:
+
+* the best configuration gives a clear positive mean on SunSpider;
+* every suite's best configuration is non-negative (specialization
+  pays for itself);
+* ``bitops-bits-in-byte`` shows a dramatic single-benchmark gain.
+"""
+
+from conftest import SWEEP_CONFIGS
+
+from repro.bench.harness import speedup_rows
+
+
+def _best(sweep):
+    rows = speedup_rows(sweep, SWEEP_CONFIGS)
+    name, (arith, geo, detail) = max(rows.items(), key=lambda kv: kv[1][0])
+    return name, arith, geo, dict(zip(sweep.benchmarks(), detail))
+
+
+def test_headline_suite_speedups(benchmark, all_sweeps):
+    results = benchmark.pedantic(
+        lambda: {s.suite_name: _best(s) for s in all_sweeps}, rounds=1, iterations=1
+    )
+    paper = {"sunspider": 5.38, "v8": 4.8, "kraken": 1.2}
+    print("\nHeadline: best configuration per suite (paper in parentheses):")
+    for suite_name, (config, arith, geo, _detail) in results.items():
+        print(
+            "  %-10s best=%-14s arith=%+6.2f%% geo=%+6.2f%%  (paper: +%.2f%%)"
+            % (suite_name, config, arith, geo, paper[suite_name])
+        )
+    assert results["sunspider"][1] > 1.0, "SunSpider should show a clear win"
+    for suite_name, (_config, arith, _geo, _detail) in results.items():
+        assert arith > -2.0, "%s best config should not lose" % suite_name
+
+
+def test_headline_bits_in_byte(benchmark, sunspider_sweep):
+    def best_gain():
+        rows = speedup_rows(sunspider_sweep, SWEEP_CONFIGS)
+        names = sunspider_sweep.benchmarks()
+        return max(
+            dict(zip(names, row[2]))["bitops-bits-in-byte"] for row in rows.values()
+        )
+
+    gain = benchmark.pedantic(best_gain, rounds=1, iterations=1)
+    print("\nbitops-bits-in-byte best-config speedup: %+.2f%% (paper: +49%%)" % gain)
+    assert gain > 10.0

@@ -1,0 +1,84 @@
+"""Regenerate the paper's Section 2 study: why specialize on values?
+
+Prints the Figure 1/2 histograms from the synthetic Alexa-top-100
+corpus, the Figure 3 histograms measured live on the benchmark suites,
+and the Figure 4 parameter-type comparison — the empirical case for
+parameter-based value specialization.
+
+Run it with::
+
+    python examples/web_profile.py
+"""
+
+from repro.bench.figures import parameter_types, suite_histograms, web_histograms
+from repro.telemetry.histograms import FIGURE4_CATEGORIES
+from repro.workloads import ALL_SUITES
+from repro.workloads.web import WebCorpusConfig
+
+
+def print_histogram(title, histogram, total, limit=15):
+    print("\n%s" % title)
+    for value in range(1, limit + 1):
+        fraction = histogram.get(value, 0) / total
+        bar = "#" * int(round(fraction * 60))
+        print("  %3d | %-60s %5.2f%%" % (value, bar, 100 * fraction))
+    tail = sum(count for value, count in histogram.items() if value > limit)
+    print("  >%2d | %5.2f%% (tail, max observed: %d)" % (
+        limit, 100 * tail / total, max(histogram)))
+
+
+def main():
+    print("Section 2 of the paper: a case for value specialization")
+
+    profiler = web_histograms(WebCorpusConfig(num_functions=2300))
+    total = float(profiler.num_functions)
+    print("\nSynthetic Alexa-top-100 corpus: %d functions" % profiler.num_functions)
+    print_histogram(
+        "Figure 1 - functions called n times", profiler.call_count_histogram(), total
+    )
+    print_histogram(
+        "Figure 2 - functions with n distinct argument sets",
+        profiler.argument_set_histogram(),
+        total,
+    )
+    print(
+        "\n  called once:          %5.2f%%  (paper: 48.88%%)"
+        % (100 * profiler.fraction_called_once())
+    )
+    print(
+        "  single argument set:  %5.2f%%  (paper: 59.91%%)"
+        % (100 * profiler.fraction_single_argument_set())
+    )
+
+    print("\nFigure 3 - live measurements of the benchmark suites:")
+    suite_profilers = {}
+    for name, suite in ALL_SUITES.items():
+        suite_profilers[name] = suite_histograms(suite)
+        p = suite_profilers[name]
+        print(
+            "  %-10s %4d functions, called-once %5.2f%%, single-args %5.2f%%"
+            % (
+                name,
+                p.num_functions,
+                100 * p.fraction_called_once(),
+                100 * p.fraction_single_argument_set(),
+            )
+        )
+
+    print("\nFigure 4 - parameter types of single-argument-set functions:")
+    print("  %-10s" % "population" + "".join("%11s" % c for c in FIGURE4_CATEGORIES))
+    rows = {"WEB": parameter_types(profiler)}
+    for name, p in suite_profilers.items():
+        rows[name] = parameter_types(p)
+    for name, dist in rows.items():
+        print("  %-10s" % name + "".join("%10.1f%%" % (100 * dist[c]) for c in FIGURE4_CATEGORIES))
+
+    print(
+        "\nTakeaway (paper, Section 2): most functions on the web always "
+        "receive the same arguments,\nso code specialized on those values "
+        "is reusable about 60% of the time."
+    )
+
+
+if __name__ == "__main__":
+    main()

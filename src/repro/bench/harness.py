@@ -1,0 +1,175 @@
+"""Figure 9 harness: run suites under optimization configurations.
+
+"Runtime" follows the paper: interpretation + compilation + native
+execution, here in deterministic model cycles.  Speedups are reported
+against the IonMonkey baseline (type specialization + GVN + LICM, none
+of §3), as both arithmetic and geometric means across each suite's
+benchmarks — the paper's Figure 9 (a,b).  Compilation overhead uses
+compile cycles only — Figure 9 (c,d).
+"""
+
+import math
+
+from repro.engine.config import BASELINE, PAPER_CONFIGS
+from repro.engine.runtime_engine import Engine
+
+
+class BenchmarkRun(object):
+    """Measurements from one benchmark under one configuration."""
+
+    __slots__ = (
+        "benchmark",
+        "config",
+        "total_cycles",
+        "compile_cycles",
+        "output",
+        "summary",
+        "code_sizes",
+        "function_names",
+        "compiles_per_function",
+        "specialized",
+        "successful",
+        "deoptimized",
+    )
+
+    def __init__(self, benchmark, config, engine, output):
+        stats = engine.stats
+        self.benchmark = benchmark.name
+        self.config = config.name
+        self.total_cycles = stats.total_cycles
+        self.compile_cycles = stats.compile_cycles
+        self.output = list(output)
+        self.summary = stats.summary()
+        self.code_sizes = dict(stats.code_sizes)
+        self.function_names = dict(stats.function_names)
+        self.compiles_per_function = dict(stats.compiles_per_function)
+        self.specialized = set(stats.specialized_functions)
+        self.successful = set(stats.successfully_specialized)
+        self.deoptimized = set(stats.deoptimized_functions)
+
+
+def run_benchmark(benchmark, config, engine_kwargs=None):
+    """Run one benchmark under one configuration; returns BenchmarkRun."""
+    engine = Engine(config=config, **(engine_kwargs or {}))
+    output = engine.run_source(benchmark.source)
+    return BenchmarkRun(benchmark, config, engine, output)
+
+
+class SweepResult(object):
+    """All runs of one suite across configurations."""
+
+    def __init__(self, suite_name):
+        self.suite_name = suite_name
+        #: {config name: {benchmark name: BenchmarkRun}}
+        self.runs = {}
+
+    def add(self, run):
+        self.runs.setdefault(run.config, {})[run.benchmark] = run
+
+    def benchmarks(self):
+        return sorted(self.runs.get("baseline", {}))
+
+    def run_for(self, config_name, benchmark_name):
+        return self.runs[config_name][benchmark_name]
+
+
+def run_suite_sweep(suite_name, suite, configs=None, engine_kwargs=None, verify=True):
+    """Run every benchmark under baseline + every configuration.
+
+    With ``verify``, every configuration's printed output must equal
+    the baseline's (the correctness oracle built into the harness).
+    """
+    configs = configs if configs is not None else PAPER_CONFIGS
+    sweep = SweepResult(suite_name)
+    baseline_runs = {}
+    for benchmark in suite:
+        run = run_benchmark(benchmark, BASELINE, engine_kwargs)
+        baseline_runs[benchmark.name] = run
+        sweep.add(run)
+    for config in configs:
+        for benchmark in suite:
+            run = run_benchmark(benchmark, config, engine_kwargs)
+            if verify and run.output != baseline_runs[benchmark.name].output:
+                raise AssertionError(
+                    "%s under %s printed %r, baseline printed %r"
+                    % (benchmark.name, config.name, run.output, baseline_runs[benchmark.name].output)
+                )
+            sweep.add(run)
+    return sweep
+
+
+# -- aggregation --------------------------------------------------------------
+
+
+def _percent_speedups(sweep, config_name, metric):
+    """Per-benchmark percent improvements of ``config`` vs baseline."""
+    speedups = []
+    for name in sweep.benchmarks():
+        base = getattr(sweep.run_for("baseline", name), metric)
+        this = getattr(sweep.run_for(config_name, name), metric)
+        if base <= 0:
+            continue
+        speedups.append(100.0 * (base - this) / base)
+    return speedups
+
+
+def arithmetic_mean(values):
+    """Plain average; 0.0 for an empty list."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def geometric_mean_percent(values):
+    """Geometric mean of improvement ratios, expressed as a percent.
+
+    Each percent p is a ratio base/new = 1/(1 - p/100); the geometric
+    mean of the ratios converts back to a percent.
+    """
+    if not values:
+        return 0.0
+    log_sum = 0.0
+    for percent in values:
+        ratio = 1.0 / max(1e-9, (1.0 - percent / 100.0))
+        log_sum += math.log(ratio)
+    mean_ratio = math.exp(log_sum / len(values))
+    return 100.0 * (1.0 - 1.0 / mean_ratio)
+
+
+def speedup_rows(sweep, configs=None, metric="total_cycles"):
+    """Figure 9 rows: {config name: (arith %, geo %, per-benchmark)}"""
+    configs = configs if configs is not None else PAPER_CONFIGS
+    rows = {}
+    for config in configs:
+        per_benchmark = _percent_speedups(sweep, config.name, metric)
+        rows[config.name] = (
+            arithmetic_mean(per_benchmark),
+            geometric_mean_percent(per_benchmark),
+            per_benchmark,
+        )
+    return rows
+
+
+def format_figure9(sweeps, configs=None, metric="total_cycles", title="runtime speedup"):
+    """Render the Figure 9 table: suites as rows, configs as columns."""
+    configs = configs if configs is not None else PAPER_CONFIGS
+    names = [config.name for config in configs]
+    lines = []
+    lines.append("-- Overall %s (%% arithmetic mean) --" % title)
+    header = "%-14s" % "suite" + "".join("%12s" % n for n in names)
+    lines.append(header)
+    all_rows = {}
+    for sweep in sweeps:
+        rows = speedup_rows(sweep, configs, metric)
+        all_rows[sweep.suite_name] = rows
+        lines.append(
+            "%-14s" % sweep.suite_name
+            + "".join("%12.2f" % rows[n][0] for n in names)
+        )
+    lines.append("-- Overall %s (%% geometric mean) --" % title)
+    lines.append(header)
+    for sweep in sweeps:
+        rows = all_rows[sweep.suite_name]
+        lines.append(
+            "%-14s" % sweep.suite_name
+            + "".join("%12.2f" % rows[n][1] for n in names)
+        )
+    return "\n".join(lines)

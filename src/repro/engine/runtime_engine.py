@@ -1,0 +1,380 @@
+"""The JIT engine: hotness policy, specialization cache, deoptimization.
+
+This module implements the paper's §4 "Specialization policy":
+
+* Every function the interpreter finds hot is compiled; with parameter
+  specialization enabled, the compiler bakes the current actual
+  arguments in as constants and the engine caches that argument set.
+* A later call with the *same* arguments reuses the specialized binary
+  (the cache hit the paper's Figure 2 shows happens ~60% of the time
+  on the web).
+* A call with *different* arguments discards the binary, recompiles
+  the function generically, and marks it never-specialize-again — one
+  cached binary per function, at most one specialization attempt.
+
+It also implements on-stack replacement (both entry points of Figure
+6), bailout handling (rebuilding the interpreter frame from guard
+snapshots and resuming at the recorded bytecode pc), bailout-driven
+type-feedback updates, and a repeated-bailout escape hatch that
+recompiles without type speculation.
+"""
+
+from repro.engine.config import BASELINE, CostModel
+from repro.engine.jit import compile_function
+from repro.engine.stats import EngineStats
+from repro.errors import NotCompilable
+from repro.jsvm.bytecompiler import compile_source
+from repro.jsvm.feedback import TypeFeedback
+from repro.jsvm.interpreter import Frame, Interpreter
+from repro.jsvm.values import arguments_key, value_key
+from repro.lir.executor import Bailout, NativeExecutor
+from repro.opts.loop_inversion import rotate_loops
+
+#: Compile a function once it has been called this many times...
+HOT_CALL_THRESHOLD = 10
+#: ...or once its loops have taken this many back edges.
+OSR_BACKEDGE_THRESHOLD = 100
+#: Give up on type speculation after this many bailouts.
+BAILOUT_LIMIT = 8
+
+
+class FunctionState(object):
+    """Per-code-object JIT state.
+
+    ``native`` is the currently active binary; ``spec_cache`` maps
+    argument-set keys to previously specialized binaries.  The paper
+    caches exactly one binary per function (capacity 1, the default);
+    the §6 extension makes the capacity configurable so the "best
+    tradeoff" hypothesis can be tested (see the cache-capacity
+    ablation bench).
+    """
+
+    __slots__ = (
+        "code",
+        "call_count",
+        "backedge_count",
+        "native",
+        "spec_key",
+        "osr_state_key",
+        "spec_cache",
+        "never_specialize",
+        "force_generic",
+        "not_compilable",
+        "bailout_count",
+    )
+
+    def __init__(self, code):
+        self.code = code
+        self.call_count = 0
+        self.backedge_count = 0
+        self.native = None
+        self.spec_key = None
+        self.osr_state_key = None
+        #: spec key -> (native, osr_state_key)
+        self.spec_cache = {}
+        self.never_specialize = False
+        self.force_generic = False
+        self.not_compilable = False
+        self.bailout_count = 0
+
+
+def _spec_key(this_value, args):
+    return (value_key(this_value), arguments_key(args))
+
+
+def _osr_key(args, locals_):
+    return tuple(value_key(v) for v in args) + tuple(value_key(v) for v in locals_)
+
+
+class Engine(object):
+    """The orchestrator the interpreter consults (Figure 5)."""
+
+    def __init__(
+        self,
+        config=BASELINE,
+        cost_model=None,
+        runtime=None,
+        profiler=None,
+        hot_call_threshold=HOT_CALL_THRESHOLD,
+        osr_backedge_threshold=OSR_BACKEDGE_THRESHOLD,
+        bailout_limit=BAILOUT_LIMIT,
+        spec_cache_capacity=1,
+    ):
+        self.config = config
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.stats = EngineStats(self.cost_model)
+        self.interpreter = Interpreter(runtime=runtime, engine=self, profiler=profiler)
+        self.executor = NativeExecutor(self.interpreter, self.cost_model)
+        self.states = {}
+        self.hot_call_threshold = hot_call_threshold
+        self.osr_backedge_threshold = osr_backedge_threshold
+        self.bailout_limit = bailout_limit
+        #: Specialized binaries cached per function.  1 is the paper's
+        #: policy; larger values implement its §6 "different
+        #: heuristics" follow-up (a function deoptimizes only after
+        #: exceeding the capacity in distinct argument sets).
+        self.spec_cache_capacity = spec_cache_capacity
+
+    # -- program entry -------------------------------------------------------
+
+    def run_source(self, source):
+        """Compile and run a whole script under this engine."""
+        code = compile_source(source)
+        return self.run_code(code)
+
+    def run_code(self, code):
+        if self.config.loop_inversion:
+            rotate_loops(code)
+        self.interpreter.run_code(code)
+        self.finish()
+        return self.interpreter.runtime.printed
+
+    def finish(self):
+        """Fold the live counters into the stats ledger."""
+        self.stats.interp_ops = self.interpreter.ops_executed
+        self.stats.native_cycles = self.executor.cycles
+        self.stats.native_instructions = self.executor.instructions_executed
+
+    # -- state -------------------------------------------------------------------
+
+    def _state(self, code):
+        state = self.states.get(code.code_id)
+        if state is None:
+            state = FunctionState(code)
+            self.states[code.code_id] = state
+        return state
+
+    # -- call-path hook (interpreter.call_function) ----------------------------------
+
+    def try_native_call(self, function, this_value, args):
+        """Count the call; maybe compile; maybe execute natively.
+
+        Returns ``(handled, result)``.
+        """
+        code = function.code
+        state = self._state(code)
+        state.call_count += 1
+        if state.not_compilable:
+            self.stats.interp_calls += 1
+            return False, None
+        if code.feedback is None:
+            code.feedback = TypeFeedback(code.num_params)
+        code.feedback.record_args(args, this_value)
+
+        native = state.native
+        if native is not None:
+            if native.meta["specialized"]:
+                key = _spec_key(this_value, args)
+                if key == state.spec_key:
+                    return True, self._run_call(state, function, this_value, args)
+                cached = state.spec_cache.get(key)
+                if cached is not None:
+                    # Cache hit on a previously specialized set (only
+                    # possible with capacity > 1, the §6 extension).
+                    state.native, state.osr_state_key = cached
+                    state.spec_key = key
+                    return True, self._run_call(state, function, this_value, args)
+                if len(state.spec_cache) < self.spec_cache_capacity:
+                    # Room for another specialized binary.
+                    if self._compile(state, function, this_value, args, osr_frame=None):
+                        return True, self._run_call(state, function, this_value, args)
+                # §4: one distinct argument set too many — discard,
+                # mark, recompile in IonMonkey's traditional mode.
+                self._discard_specialized(state)
+            else:
+                return True, self._run_call(state, function, this_value, args)
+
+        if state.native is None and state.call_count >= self.hot_call_threshold:
+            if self._compile(state, function, this_value, args, osr_frame=None):
+                return True, self._run_call(state, function, this_value, args)
+
+        self.stats.interp_calls += 1
+        return False, None
+
+    # -- back-edge hook (interpreter loops) ----------------------------------------------
+
+    def on_backedge(self, interpreter, frame, target_pc):
+        """Maybe OSR into native code at a hot loop's back edge.
+
+        Returns None (keep interpreting), ``("return", value)`` when
+        native code finished the frame, or ``("resume", (pc, stack))``
+        after a bailout.
+        """
+        code = frame.code
+        state = self._state(code)
+        if state.not_compilable:
+            return None
+        state.backedge_count += 1
+        if state.backedge_count < self.osr_backedge_threshold:
+            # A cached binary with a matching OSR entry can be re-entered
+            # cheaply even below the compile threshold.
+            if not self._can_reenter_osr(state, frame, target_pc):
+                return None
+        native = state.native
+        needs_osr_compile = (
+            native is None
+            or native.osr_index is None
+            or native.meta.get("osr_pc") != target_pc
+        )
+        if not needs_osr_compile and not self._can_reenter_osr(state, frame, target_pc):
+            # A specialized binary whose baked-in OSR state no longer
+            # matches this frame (e.g. we bailed out mid-loop and the
+            # locals moved on).  Per the §4 policy this is a different
+            # input: discard, mark, and recompile generically below.
+            self._discard_specialized(state)
+            native = None
+            needs_osr_compile = True
+        if needs_osr_compile:
+            if native is not None and native.meta["specialized"]:
+                # Keep the specialized call-entry binary; adding an OSR
+                # entry means recompiling with the same constants.
+                if _spec_key(frame.this_value, frame.args) != state.spec_key:
+                    return None
+            if code.feedback is None:
+                code.feedback = TypeFeedback(code.num_params)
+            if not self._compile(
+                state, frame.function, frame.this_value, frame.args, osr_frame=(target_pc, frame)
+            ):
+                return None
+        return self._run_osr(state, frame, target_pc)
+
+    def _can_reenter_osr(self, state, frame, target_pc):
+        native = state.native
+        if native is None or native.osr_index is None:
+            return False
+        if native.meta.get("osr_pc") != target_pc:
+            return False
+        if native.meta["specialized"]:
+            return state.osr_state_key == _osr_key(frame.args, frame.locals)
+        return True
+
+    # -- compilation -------------------------------------------------------------------------
+
+    def _compile(self, state, function, this_value, args, osr_frame):
+        code = state.code
+        specialize = (
+            self.config.param_spec
+            and not state.never_specialize
+            and not state.force_generic
+        )
+        osr_pc = None
+        osr_args = None
+        osr_locals = None
+        if osr_frame is not None:
+            osr_pc, frame = osr_frame
+            osr_args = list(frame.args)
+            osr_locals = list(frame.locals)
+        try:
+            result = compile_function(
+                code,
+                self.config,
+                feedback=code.feedback,
+                param_values=list(args) if specialize else None,
+                this_value=this_value if specialize else None,
+                osr_pc=osr_pc,
+                osr_args=osr_args,
+                osr_locals=osr_locals,
+                generic=state.force_generic,
+            )
+        except NotCompilable:
+            state.not_compilable = True
+            self.stats.not_compilable.add(code.code_id)
+            return False
+        state.native = result.native
+        self.stats.record_compile(
+            code, result.native, result.work.total_units, result.codegen_stats, osr_pc is not None
+        )
+        if result.native.meta["specialized"]:
+            self.stats.specialized_functions.add(code.code_id)
+            state.spec_key = _spec_key(this_value, args)
+            state.osr_state_key = (
+                _osr_key(osr_args, osr_locals) if osr_pc is not None else None
+            )
+            state.spec_cache[state.spec_key] = (state.native, state.osr_state_key)
+        else:
+            state.spec_key = None
+            state.osr_state_key = None
+        return True
+
+    def _discard_specialized(self, state):
+        state.native = None
+        state.spec_key = None
+        state.osr_state_key = None
+        state.spec_cache.clear()
+        state.never_specialize = True
+        self.stats.deoptimized_functions.add(state.code.code_id)
+        self.stats.record_invalidation()
+
+    # -- native execution -----------------------------------------------------------------------
+
+    def _run_call(self, state, function, this_value, args):
+        """Run the cached binary from its function entry point."""
+        interpreter = self.interpreter
+        interpreter.call_depth += 1
+        self.executor.cycles += self.cost_model.native_call_entry
+        try:
+            return self.executor.run(state.native, function, this_value, args)
+        except Bailout as bail:
+            return self._handle_call_bailout(state, function, this_value, args, bail)
+        finally:
+            interpreter.call_depth -= 1
+
+    def _handle_call_bailout(self, state, function, this_value, args, bail):
+        self._note_bailout(state, bail, this_value)
+        frame = Frame(state.code, function, this_value, list(bail.frame_args))
+        frame.locals[:] = bail.frame_locals
+        pc = bail.pc + 1 if bail.mode == "after" else bail.pc
+        return self.interpreter.execute(frame, pc, list(bail.frame_stack))
+
+    def _run_osr(self, state, frame, target_pc):
+        """Enter the cached binary at its OSR entry for ``frame``."""
+        interpreter = self.interpreter
+        self.executor.cycles += self.cost_model.native_call_entry
+        try:
+            value = self.executor.run(
+                state.native,
+                frame.function,
+                frame.this_value,
+                frame.args,
+                entry="osr",
+                osr_args=list(frame.args),
+                osr_locals=list(frame.locals),
+            )
+            return ("return", value)
+        except Bailout as bail:
+            self._note_bailout(state, bail, frame.this_value)
+            frame.args[:] = bail.frame_args
+            frame.locals[:] = bail.frame_locals
+            pc = bail.pc + 1 if bail.mode == "after" else bail.pc
+            return ("resume", (pc, list(bail.frame_stack)))
+
+    def _note_bailout(self, state, bail, this_value):
+        """Account a bailout and feed the observation back into typing."""
+        self.stats.record_bailout()
+        state.bailout_count += 1
+        feedback = state.code.feedback
+        if feedback is not None:
+            if bail.mode == "after":
+                feedback.record_site(bail.pc, bail.actual)
+            elif bail.pc == 0:
+                feedback.record_args(bail.frame_args, this_value)
+        if state.bailout_count > self.bailout_limit and state.native is not None:
+            # Too speculative for this function: drop to generic code.
+            state.native = None
+            state.force_generic = True
+            self.stats.record_invalidation()
+
+
+def run_program(source, config=BASELINE, cost_model=None, profiler=None, engine_kwargs=None):
+    """Convenience: run ``source`` under a fresh engine.
+
+    Returns ``(engine, printed_output)``.
+    """
+    engine = Engine(
+        config=config,
+        cost_model=cost_model,
+        profiler=profiler,
+        **(engine_kwargs or {})
+    )
+    printed = engine.run_source(source)
+    return engine, printed

@@ -1,0 +1,124 @@
+"""Engine telemetry: every number the paper's evaluation reports.
+
+The stats object is the single ledger for the deterministic cost
+model: interpreted bytecode ops, native cycles, compilation cycles,
+bailout/invalidation penalties.  ``total_cycles`` is the "runtime"
+of Figure 9 (interpretation + compilation + native execution, as the
+paper measures); ``compile_cycles`` alone is the Figure 9(c,d)
+compilation overhead; per-function native sizes feed Figure 10; the
+specialization counters feed the §4 policy paragraphs.
+"""
+
+
+class EngineStats(object):
+    """Counters for one engine run."""
+
+    def __init__(self, cost_model):
+        self.cost_model = cost_model
+
+        # -- time components (cycles) ------------------------------------
+        self.interp_ops = 0
+        self.interp_calls = 0
+        self.native_cycles = 0
+        self.native_instructions = 0
+        self.compile_cycles = 0
+        self.bailout_cycles = 0
+        self.invalidation_cycles = 0
+
+        # -- events --------------------------------------------------------
+        self.compiles = 0
+        self.osr_compiles = 0
+        self.bailouts = 0
+        self.invalidations = 0
+        #: code_id -> number of times that function was compiled.
+        self.compiles_per_function = {}
+
+        # -- specialization policy (§4) ---------------------------------------
+        #: code ids ever compiled with parameter specialization.
+        self.specialized_functions = set()
+        #: code ids whose specialized binary was discarded.
+        self.deoptimized_functions = set()
+
+        # -- code size (Figure 10) ----------------------------------------------
+        #: code_id -> smallest native size seen (any mode).
+        self.code_sizes = {}
+        #: code_id -> function name (for reports).
+        self.function_names = {}
+
+        # -- misc -------------------------------------------------------------------
+        self.not_compilable = set()
+
+    # -- recording -----------------------------------------------------------
+
+    def record_compile(self, code, native, work_units, codegen_stats, osr):
+        cost = self.cost_model
+        cycles = cost.compile_base
+        cycles += work_units * cost.compile_per_instruction_pass
+        cycles += codegen_stats["lir_instructions"] * cost.compile_per_lir
+        cycles += codegen_stats["intervals"] * cost.compile_per_interval
+        self.compile_cycles += cycles
+        self.compiles += 1
+        if osr:
+            self.osr_compiles += 1
+        self.compiles_per_function[code.code_id] = (
+            self.compiles_per_function.get(code.code_id, 0) + 1
+        )
+        size = native.size
+        previous = self.code_sizes.get(code.code_id)
+        if previous is None or size < previous:
+            self.code_sizes[code.code_id] = size
+        self.function_names[code.code_id] = code.name
+        return cycles
+
+    def record_bailout(self):
+        self.bailouts += 1
+        self.bailout_cycles += self.cost_model.bailout
+
+    def record_invalidation(self):
+        self.invalidations += 1
+        self.invalidation_cycles += self.cost_model.invalidation
+
+    # -- reporting --------------------------------------------------------------
+
+    @property
+    def interp_cycles(self):
+        return (
+            self.interp_ops * self.cost_model.interp_op
+            + self.interp_calls * self.cost_model.interp_call
+        )
+
+    @property
+    def total_cycles(self):
+        """The paper's 'time measured in each run': interpretation,
+        compilation and native execution (plus transition costs)."""
+        return (
+            self.interp_cycles
+            + self.native_cycles
+            + self.compile_cycles
+            + self.bailout_cycles
+            + self.invalidation_cycles
+        )
+
+    @property
+    def successfully_specialized(self):
+        return self.specialized_functions - self.deoptimized_functions
+
+    @property
+    def recompilations(self):
+        """Compilations beyond the first, summed over functions."""
+        return sum(max(0, count - 1) for count in self.compiles_per_function.values())
+
+    def summary(self):
+        return {
+            "total_cycles": self.total_cycles,
+            "interp_cycles": self.interp_cycles,
+            "native_cycles": self.native_cycles,
+            "compile_cycles": self.compile_cycles,
+            "bailout_cycles": self.bailout_cycles,
+            "compiles": self.compiles,
+            "recompilations": self.recompilations,
+            "bailouts": self.bailouts,
+            "specialized": len(self.specialized_functions),
+            "successful": len(self.successfully_specialized),
+            "deoptimized": len(self.deoptimized_functions),
+        }

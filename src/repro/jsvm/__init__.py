@@ -1,0 +1,53 @@
+"""The JavaScript-subset virtual machine (SpiderMonkey analogue).
+
+This subpackage contains everything needed to run guest programs
+without the JIT: lexer, parser, bytecode compiler, value model and a
+profiling stack interpreter.  The JIT in :mod:`repro.engine` plugs into
+the interpreter's profiling hooks.
+"""
+
+from repro.jsvm.values import (
+    JSUndefined,
+    JSNull,
+    UNDEFINED,
+    NULL,
+    JSFunction,
+    type_of,
+    type_tag,
+    to_boolean,
+    to_number,
+    to_js_string,
+    js_equals,
+    js_strict_equals,
+    value_key,
+)
+from repro.jsvm.objects import JSObject, JSArray
+from repro.jsvm.lexer import tokenize
+from repro.jsvm.parser import parse
+from repro.jsvm.bytecompiler import compile_program, compile_source
+from repro.jsvm.interpreter import Interpreter
+from repro.jsvm.runtime import Runtime
+
+__all__ = [
+    "JSUndefined",
+    "JSNull",
+    "UNDEFINED",
+    "NULL",
+    "JSFunction",
+    "JSObject",
+    "JSArray",
+    "type_of",
+    "type_tag",
+    "to_boolean",
+    "to_number",
+    "to_js_string",
+    "js_equals",
+    "js_strict_equals",
+    "value_key",
+    "tokenize",
+    "parse",
+    "compile_program",
+    "compile_source",
+    "Interpreter",
+    "Runtime",
+]

@@ -1,0 +1,390 @@
+"""AST node classes produced by the parser.
+
+Nodes are plain data holders; all behaviour lives in the bytecode
+compiler (:mod:`repro.jsvm.bytecompiler`).  Every node carries the
+source line for diagnostics.
+"""
+
+
+class Node(object):
+    """Base class for all AST nodes."""
+
+    __slots__ = ("line",)
+
+    def __init__(self, line=0):
+        self.line = line
+
+    def _fields(self):
+        seen = []
+        for cls in type(self).__mro__:
+            for name in getattr(cls, "__slots__", ()):
+                if name not in ("line", "scope") and name not in seen:
+                    seen.append(name)
+        return seen
+
+    def __repr__(self):
+        fields = ", ".join("%s=%r" % (f, getattr(self, f)) for f in self._fields())
+        return "%s(%s)" % (type(self).__name__, fields)
+
+    def __eq__(self, other):
+        if type(self) is not type(other):
+            return NotImplemented
+        return all(getattr(self, f) == getattr(other, f) for f in self._fields())
+
+    def __hash__(self):
+        return object.__hash__(self)
+
+
+# --------------------------------------------------------------------------
+# Top level
+# --------------------------------------------------------------------------
+
+
+class Program(Node):
+    """A whole script: a list of top-level statements."""
+
+    __slots__ = ("body",)
+
+    def __init__(self, body, line=0):
+        super().__init__(line)
+        self.body = body
+
+
+class FunctionDecl(Node):
+    """``function name(params) { body }`` as a statement.
+
+    ``scope`` is filled in by the bytecode compiler's scope analysis.
+    """
+
+    __slots__ = ("name", "params", "body", "scope")
+
+    def __init__(self, name, params, body, line=0):
+        super().__init__(line)
+        self.name = name
+        self.params = params
+        self.body = body
+        self.scope = None
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+class VarDecl(Node):
+    """``var x = init, y;`` — declarations is a list of (name, init|None)."""
+
+    __slots__ = ("declarations",)
+
+    def __init__(self, declarations, line=0):
+        super().__init__(line)
+        self.declarations = declarations
+
+
+class ExpressionStatement(Node):
+    """An expression evaluated for its effects."""
+
+    __slots__ = ("expression",)
+
+    def __init__(self, expression, line=0):
+        super().__init__(line)
+        self.expression = expression
+
+
+class Block(Node):
+    """``{ ... }`` — a statement list."""
+
+    __slots__ = ("body",)
+
+    def __init__(self, body, line=0):
+        super().__init__(line)
+        self.body = body
+
+
+class If(Node):
+    """``if (test) consequent [else alternate]``."""
+
+    __slots__ = ("test", "consequent", "alternate")
+
+    def __init__(self, test, consequent, alternate=None, line=0):
+        super().__init__(line)
+        self.test = test
+        self.consequent = consequent
+        self.alternate = alternate
+
+
+class While(Node):
+    """``while (test) body``."""
+
+    __slots__ = ("test", "body")
+
+    def __init__(self, test, body, line=0):
+        super().__init__(line)
+        self.test = test
+        self.body = body
+
+
+class DoWhile(Node):
+    """``do body while (test);``."""
+
+    __slots__ = ("body", "test")
+
+    def __init__(self, body, test, line=0):
+        super().__init__(line)
+        self.body = body
+        self.test = test
+
+
+class For(Node):
+    """``for (init; test; update) body`` — any clause may be None."""
+
+    __slots__ = ("init", "test", "update", "body")
+
+    def __init__(self, init, test, update, body, line=0):
+        super().__init__(line)
+        self.init = init
+        self.test = test
+        self.update = update
+        self.body = body
+
+
+class Return(Node):
+    """``return [argument];``."""
+
+    __slots__ = ("argument",)
+
+    def __init__(self, argument=None, line=0):
+        super().__init__(line)
+        self.argument = argument
+
+
+class Break(Node):
+    """``break;``."""
+
+    __slots__ = ()
+
+
+class Continue(Node):
+    """``continue;``."""
+
+    __slots__ = ()
+
+
+class Empty(Node):
+    """The empty statement ``;``."""
+
+    __slots__ = ()
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+class NumberLiteral(Node):
+    """A numeric literal (int32 or double)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value, line=0):
+        super().__init__(line)
+        self.value = value
+
+
+class StringLiteral(Node):
+    """A string literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value, line=0):
+        super().__init__(line)
+        self.value = value
+
+
+class BooleanLiteral(Node):
+    """``true`` or ``false``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value, line=0):
+        super().__init__(line)
+        self.value = value
+
+
+class NullLiteral(Node):
+    """``null``."""
+
+    __slots__ = ()
+
+
+class UndefinedLiteral(Node):
+    """``undefined``."""
+
+    __slots__ = ()
+
+
+class ThisExpression(Node):
+    """``this``."""
+
+    __slots__ = ()
+
+
+class Identifier(Node):
+    """A variable reference."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name, line=0):
+        super().__init__(line)
+        self.name = name
+
+
+class ArrayLiteral(Node):
+    """``[e1, e2, ...]``."""
+
+    __slots__ = ("elements",)
+
+    def __init__(self, elements, line=0):
+        super().__init__(line)
+        self.elements = elements
+
+
+class ObjectLiteral(Node):
+    """``{key: value, ...}`` — properties is a list of (name, expr)."""
+
+    __slots__ = ("properties",)
+
+    def __init__(self, properties, line=0):
+        super().__init__(line)
+        self.properties = properties
+
+
+class FunctionExpression(Node):
+    """``function [name](params) { body }`` as an expression.
+
+    ``scope`` is filled in by the bytecode compiler's scope analysis.
+    """
+
+    __slots__ = ("name", "params", "body", "scope")
+
+    def __init__(self, name, params, body, line=0):
+        super().__init__(line)
+        self.name = name
+        self.params = params
+        self.body = body
+        self.scope = None
+
+
+class Unary(Node):
+    """Prefix operator: ``-``, ``+``, ``!``, ``~``, ``typeof``, ``void``."""
+
+    __slots__ = ("operator", "operand")
+
+    def __init__(self, operator, operand, line=0):
+        super().__init__(line)
+        self.operator = operator
+        self.operand = operand
+
+
+class Binary(Node):
+    """A non-short-circuiting binary operator application."""
+
+    __slots__ = ("operator", "left", "right")
+
+    def __init__(self, operator, left, right, line=0):
+        super().__init__(line)
+        self.operator = operator
+        self.left = left
+        self.right = right
+
+
+class Logical(Node):
+    """Short-circuiting ``&&`` / ``||``."""
+
+    __slots__ = ("operator", "left", "right")
+
+    def __init__(self, operator, left, right, line=0):
+        super().__init__(line)
+        self.operator = operator
+        self.left = left
+        self.right = right
+
+
+class Conditional(Node):
+    """``test ? consequent : alternate``."""
+
+    __slots__ = ("test", "consequent", "alternate")
+
+    def __init__(self, test, consequent, alternate, line=0):
+        super().__init__(line)
+        self.test = test
+        self.consequent = consequent
+        self.alternate = alternate
+
+
+class Assignment(Node):
+    """``target op= value`` where op may be empty (plain assignment)."""
+
+    __slots__ = ("operator", "target", "value")
+
+    def __init__(self, operator, target, value, line=0):
+        super().__init__(line)
+        self.operator = operator
+        self.target = target
+        self.value = value
+
+
+class Update(Node):
+    """``++x``, ``x++``, ``--x``, ``x--``."""
+
+    __slots__ = ("operator", "target", "prefix")
+
+    def __init__(self, operator, target, prefix, line=0):
+        super().__init__(line)
+        self.operator = operator
+        self.target = target
+        self.prefix = prefix
+
+
+class Call(Node):
+    """``callee(arguments...)``."""
+
+    __slots__ = ("callee", "arguments")
+
+    def __init__(self, callee, arguments, line=0):
+        super().__init__(line)
+        self.callee = callee
+        self.arguments = arguments
+
+
+class New(Node):
+    """``new callee(arguments...)``."""
+
+    __slots__ = ("callee", "arguments")
+
+    def __init__(self, callee, arguments, line=0):
+        super().__init__(line)
+        self.callee = callee
+        self.arguments = arguments
+
+
+class Member(Node):
+    """``object.property`` (computed=False) or ``object[property]``."""
+
+    __slots__ = ("object", "property", "computed")
+
+    def __init__(self, object_, property_, computed, line=0):
+        super().__init__(line)
+        self.object = object_
+        self.property = property_
+        self.computed = computed
+
+
+class Sequence(Node):
+    """Comma expression ``a, b, c``."""
+
+    __slots__ = ("expressions",)
+
+    def __init__(self, expressions, line=0):
+        super().__init__(line)
+        self.expressions = expressions

@@ -1,0 +1,103 @@
+"""Type feedback: the profiling data the JIT speculates on.
+
+IonMonkey leans on SpiderMonkey's type inference [Hackett & Shu 2012]
+to know which unbox guards and type barriers to emit.  Our analogue is
+call-site recording done by the interpreter once the engine attaches a
+:class:`TypeFeedback` to a hot function's code object:
+
+* argument type tags per parameter slot,
+* result type tags per bytecode site (element/property/global loads
+  and calls),
+* ``this`` type tags.
+
+The MIR builder turns monomorphic observations into typed unbox guards;
+polymorphic sites stay boxed and generic.  Bailouts feed the observed
+type back in, so recompilation stops speculating at that site.
+"""
+
+from repro.jsvm.values import type_tag
+
+#: Sites never get more tags recorded than this; beyond it they are
+#: treated as "anything" (megamorphic).
+MAX_TAGS_PER_SITE = 4
+
+
+class TypeFeedback(object):
+    """Per-code-object profile of observed types."""
+
+    __slots__ = ("arg_tags", "this_tags", "site_tags", "recv_tags")
+
+    def __init__(self, num_params):
+        self.arg_tags = [set() for _ in range(num_params)]
+        self.this_tags = set()
+        self.site_tags = {}
+        #: Receiver types observed at element/property access sites.
+        self.recv_tags = {}
+
+    # -- recording (called from the interpreter's hot loop) -----------------
+
+    def record_args(self, args, this_value):
+        for index, slot in enumerate(self.arg_tags):
+            if len(slot) < MAX_TAGS_PER_SITE:
+                slot.add(type_tag(args[index]) if index < len(args) else "undefined")
+        if len(self.this_tags) < MAX_TAGS_PER_SITE:
+            self.this_tags.add(type_tag(this_value))
+
+    def record_site(self, pc, value):
+        tags = self.site_tags.get(pc)
+        if tags is None:
+            tags = set()
+            self.site_tags[pc] = tags
+        if len(tags) < MAX_TAGS_PER_SITE:
+            tags.add(type_tag(value))
+
+    def record_site_tag(self, pc, tag):
+        tags = self.site_tags.setdefault(pc, set())
+        if len(tags) < MAX_TAGS_PER_SITE:
+            tags.add(tag)
+
+    def record_recv(self, pc, value):
+        tags = self.recv_tags.get(pc)
+        if tags is None:
+            tags = set()
+            self.recv_tags[pc] = tags
+        if len(tags) < MAX_TAGS_PER_SITE:
+            tags.add(type_tag(value))
+
+    # -- queries (used by the MIR builder) ------------------------------------
+
+    @staticmethod
+    def _monomorphic(tags):
+        """Reduce a tag set to a single speculation target, or None.
+
+        ``{int}`` → int; ``{double}`` and ``{int, double}`` → double
+        (numbers widen); anything else mixed → None.
+        """
+        if len(tags) == 1:
+            tag = next(iter(tags))
+            if tag in ("undefined", "null"):
+                return None  # nothing useful to unbox
+            return tag
+        if tags and tags <= {"int", "double"}:
+            return "double"
+        return None
+
+    def arg_speculation(self, index):
+        if index >= len(self.arg_tags):
+            return None
+        return self._monomorphic(self.arg_tags[index])
+
+    def this_speculation(self):
+        return self._monomorphic(self.this_tags)
+
+    def site_speculation(self, pc):
+        tags = self.site_tags.get(pc)
+        if not tags:
+            return None
+        return self._monomorphic(tags)
+
+    def recv_speculation(self, pc):
+        tags = self.recv_tags.get(pc)
+        if not tags:
+            return None
+        return self._monomorphic(tags)

@@ -1,0 +1,401 @@
+"""The bytecode interpreter (SpiderMonkey analogue).
+
+The interpreter is the VM's first tier.  It exposes three hooks that
+the JIT engine (:mod:`repro.engine.runtime_engine`) plugs into,
+mirroring the interplay of Figure 5 in the paper:
+
+* ``engine.try_native_call(function, this, args)`` — consulted on every
+  guest call; the engine counts the call, may compile the function, may
+  execute cached native code, and may finish a bailed-out execution.
+* ``engine.on_backedge(frame, target_pc)`` — consulted on every loop
+  back edge; the engine may trigger on-stack replacement (OSR) and
+  either finish the function natively or hand back a resume state.
+* ``profiler.record_call(function, args)`` — telemetry for the paper's
+  Section 2 histograms.
+
+Bailouts work in the other direction: the native executor rebuilds the
+interpreter frame (arguments, locals, expression stack, pc) from the
+guard's resume point and the interpreter continues from there.
+"""
+
+import sys
+
+from repro.errors import CompilerError, JSRangeError, JSTypeError
+from repro.jsvm import operations
+from repro.jsvm.bytecode import Cell, Op
+from repro.jsvm.bytecompiler import compile_source
+from repro.jsvm.objects import JSArray, JSObject
+from repro.jsvm.runtime import Runtime
+from repro.jsvm.values import (
+    UNDEFINED,
+    JSFunction,
+    NativeFunction,
+    to_boolean,
+    to_js_string,
+)
+
+#: Guest recursion limit (the interpreter's ``checkoverrecursed``).
+MAX_CALL_DEPTH = 200
+
+# Each guest frame costs several Python frames (interpreter dispatch,
+# engine hooks, the native executor); make sure the *guest* limit is
+# the one that fires.
+if sys.getrecursionlimit() < 20000:
+    sys.setrecursionlimit(20000)
+
+
+class Frame(object):
+    """One activation record of a guest function."""
+
+    __slots__ = ("code", "function", "this_value", "args", "locals", "cells", "closure")
+
+    def __init__(self, code, function=None, this_value=UNDEFINED, args=None, closure=()):
+        self.code = code
+        self.function = function
+        self.this_value = this_value
+        args = list(args) if args is not None else []
+        # Missing arguments read as undefined; extras are dropped, as in JS.
+        while len(args) < code.num_params:
+            args.append(UNDEFINED)
+        del args[code.num_params :]
+        self.args = args
+        self.locals = [UNDEFINED] * code.num_locals
+        self.cells = [Cell() for _ in code.cell_names]
+        self.closure = closure
+        # Captured parameters live in their cell, seeded from the call.
+        for index, name in enumerate(code.cell_names):
+            if name in code.params:
+                self.cells[index].value = self.args[code.params.index(name)]
+
+    def cell_for(self, name):
+        """Find the cell for ``name`` in own cells or the closure."""
+        code = self.code
+        if name in code.cell_names:
+            return self.cells[code.cell_names.index(name)]
+        if name in code.free_names:
+            return self.closure[code.free_names.index(name)]
+        raise CompilerError("no cell for %r in %s" % (name, code.name))
+
+
+class Interpreter(object):
+    """Executes bytecode; the VM's always-available tier."""
+
+    def __init__(self, runtime=None, engine=None, profiler=None):
+        self.runtime = runtime if runtime is not None else Runtime()
+        self.runtime.interpreter = self
+        self.engine = engine
+        self.profiler = profiler
+        self.call_depth = 0
+        #: Count of bytecode instructions dispatched (for the cost model).
+        self.ops_executed = 0
+
+    # -- entry points ---------------------------------------------------------
+
+    def run_source(self, source):
+        """Compile and run a whole script; returns the printed output list."""
+        code = compile_source(source)
+        self.run_code(code)
+        return self.runtime.printed
+
+    def run_code(self, code):
+        frame = Frame(code)
+        return self.execute(frame)
+
+    # -- calls -----------------------------------------------------------------
+
+    def call_value(self, callee, this_value, args):
+        """Call any callable guest value."""
+        if isinstance(callee, NativeFunction):
+            return callee(this_value, args)
+        if isinstance(callee, JSFunction):
+            return self.call_function(callee, this_value, args)
+        raise JSTypeError("%s is not a function" % to_js_string(callee))
+
+    def call_function(self, function, this_value, args):
+        """Call a guest function, giving the JIT first refusal."""
+        if self.profiler is not None:
+            self.profiler.record_call(function, args)
+        if self.engine is not None:
+            handled, result = self.engine.try_native_call(function, this_value, args)
+            if handled:
+                return result
+        frame = self.build_frame(function, this_value, args)
+        return self.execute(frame)
+
+    def build_frame(self, function, this_value, args):
+        code = function.code
+        closure = ()
+        if code.has_frees:
+            closure = function.scope
+            if closure is None or len(closure) != len(code.free_names):
+                raise CompilerError("closure mismatch for %s" % code.name)
+        return Frame(code, function, this_value, args, closure)
+
+    def construct(self, callee, args):
+        """Implement ``new callee(...args)``."""
+        if isinstance(callee, NativeFunction):
+            # Host constructors (Array, String) ignore `this`.
+            return callee(UNDEFINED, args)
+        if not isinstance(callee, JSFunction):
+            raise JSTypeError("%s is not a constructor" % to_js_string(callee))
+        instance = JSObject()
+        result = self.call_function(callee, instance, args)
+        if isinstance(result, JSObject):
+            return result
+        return instance
+
+    # -- the dispatch loop ---------------------------------------------------
+
+    def execute(self, frame, pc=0, stack=None):
+        """Run ``frame`` from ``pc`` with an optional initial stack.
+
+        The non-default ``pc``/``stack`` form is used when resuming
+        after a JIT bailout: the native executor rebuilt the frame and
+        tells us where interpretation picks up.
+        """
+        self.call_depth += 1
+        if self.call_depth > MAX_CALL_DEPTH:
+            self.call_depth -= 1
+            raise JSRangeError("too much recursion")
+        try:
+            return self._run(frame, pc, stack if stack is not None else [])
+        finally:
+            self.call_depth -= 1
+
+    def _run(self, frame, pc, stack):
+        code = frame.code
+        instructions = code.instructions
+        constants = code.constants
+        names = code.names
+        runtime = self.runtime
+        feedback = code.feedback
+        push = stack.append
+        pop = stack.pop
+        while True:
+            instr = instructions[pc]
+            op = instr.op
+            self.ops_executed += 1
+            pc += 1
+            if op == Op.CONST:
+                push(constants[instr.arg])
+            elif op == Op.GETLOCAL:
+                push(frame.locals[instr.arg])
+            elif op == Op.SETLOCAL:
+                frame.locals[instr.arg] = pop()
+            elif op == Op.GETARG:
+                push(frame.args[instr.arg])
+            elif op == Op.SETARG:
+                frame.args[instr.arg] = pop()
+            elif op == Op.GETGLOBAL:
+                value = runtime.get_global(names[instr.arg])
+                if feedback is not None:
+                    feedback.record_site(pc - 1, value)
+                push(value)
+            elif op == Op.SETGLOBAL:
+                runtime.set_global(names[instr.arg], pop())
+            elif op == Op.GETCELL:
+                push(frame.cells[instr.arg].value)
+            elif op == Op.SETCELL:
+                frame.cells[instr.arg].value = pop()
+            elif op == Op.GETFREE:
+                push(frame.closure[instr.arg].value)
+            elif op == Op.SETFREE:
+                frame.closure[instr.arg].value = pop()
+            elif op == Op.GETTHIS:
+                push(frame.this_value)
+            elif op == Op.UNDEF:
+                push(UNDEFINED)
+            elif op == Op.POP:
+                pop()
+            elif op == Op.DUP:
+                push(stack[-1])
+            elif op == Op.SWAP:
+                stack[-1], stack[-2] = stack[-2], stack[-1]
+            elif op == Op.JUMP:
+                target = instr.arg
+                if target < pc - 1:
+                    outcome = self._backedge(frame, target, stack)
+                    if outcome is not None:
+                        kind, payload = outcome
+                        if kind == "return":
+                            return payload
+                        pc, stack = payload
+                        push = stack.append
+                        pop = stack.pop
+                        continue
+                pc = target
+            elif op == Op.IFFALSE:
+                value = pop()
+                if not to_boolean(value):
+                    target = instr.arg
+                    if target < pc - 1:
+                        outcome = self._backedge(frame, target, stack)
+                        if outcome is not None:
+                            kind, payload = outcome
+                            if kind == "return":
+                                return payload
+                            pc, stack = payload
+                            push = stack.append
+                            pop = stack.pop
+                            continue
+                    pc = target
+            elif op == Op.IFTRUE:
+                value = pop()
+                if to_boolean(value):
+                    target = instr.arg
+                    if target < pc - 1:
+                        outcome = self._backedge(frame, target, stack)
+                        if outcome is not None:
+                            kind, payload = outcome
+                            if kind == "return":
+                                return payload
+                            pc, stack = payload
+                            push = stack.append
+                            pop = stack.pop
+                            continue
+                    pc = target
+            elif op == Op.ADD:
+                right = pop()
+                stack[-1] = operations.js_add(stack[-1], right)
+            elif op == Op.SUB:
+                right = pop()
+                stack[-1] = operations.js_sub(stack[-1], right)
+            elif op == Op.MUL:
+                right = pop()
+                stack[-1] = operations.js_mul(stack[-1], right)
+            elif op in _BINARY_DISPATCH:
+                right = pop()
+                stack[-1] = operations.binary_op(op, stack[-1], right)
+            elif op in _UNARY_DISPATCH:
+                stack[-1] = operations.unary_op(op, stack[-1])
+            elif op == Op.NEWARRAY:
+                count = instr.arg
+                if count:
+                    elements = stack[-count:]
+                    del stack[-count:]
+                else:
+                    elements = []
+                push(JSArray(elements))
+            elif op == Op.NEWOBJECT:
+                count = instr.arg
+                obj = JSObject()
+                if count:
+                    flat = stack[-2 * count :]
+                    del stack[-2 * count :]
+                    for index in range(count):
+                        obj.set(to_js_string(flat[2 * index]), flat[2 * index + 1])
+                push(obj)
+            elif op == Op.GETPROP:
+                receiver = pop()
+                value = self.get_property(receiver, names[instr.arg])
+                if feedback is not None:
+                    feedback.record_site(pc - 1, value)
+                    feedback.record_recv(pc - 1, receiver)
+                push(value)
+            elif op == Op.SETPROP:
+                value = pop()
+                target = pop()
+                operations.set_property(target, names[instr.arg], value)
+                push(value)
+            elif op == Op.GETELEM:
+                index = pop()
+                value = operations.get_element(stack[-1], index, runtime)
+                if feedback is not None:
+                    feedback.record_site(pc - 1, value)
+                    feedback.record_recv(pc - 1, stack[-1])
+                stack[-1] = value
+            elif op == Op.SETELEM:
+                value = pop()
+                index = pop()
+                target = pop()
+                if feedback is not None:
+                    feedback.record_recv(pc - 1, target)
+                operations.set_element(target, index, value)
+                push(value)
+            elif op == Op.DELPROP:
+                target = pop()
+                if isinstance(target, JSObject):
+                    target.delete(names[instr.arg])
+                push(True)
+            elif op == Op.SELF:
+                push(frame.function)
+            elif op == Op.CLOSURE:
+                push(self.make_closure(constants[instr.arg], frame))
+            elif op == Op.CALL:
+                count = instr.arg
+                if count:
+                    args = stack[-count:]
+                    del stack[-count:]
+                else:
+                    args = []
+                this_value = pop()
+                callee = pop()
+                value = self.call_value(callee, this_value, args)
+                if feedback is not None:
+                    feedback.record_site(pc - 1, value)
+                push(value)
+            elif op == Op.NEW:
+                count = instr.arg
+                if count:
+                    args = stack[-count:]
+                    del stack[-count:]
+                else:
+                    args = []
+                callee = pop()
+                push(self.construct(callee, args))
+            elif op == Op.RETURN:
+                return pop()
+            elif op == Op.RETURN_UNDEF:
+                return UNDEFINED
+            else:
+                raise CompilerError("unknown opcode %r" % op)
+
+    def _backedge(self, frame, target, stack):
+        """Give the engine an OSR opportunity on a loop back edge.
+
+        Top-level scripts (``frame.function is None``) participate too:
+        IonMonkey compiles hot global code the same way.
+        """
+        if self.engine is None:
+            return None
+        if stack:
+            # Loop headers always have an empty expression stack in the
+            # bytecode our compiler emits; OSR relies on this.
+            return None
+        return self.engine.on_backedge(self, frame, target)
+
+    # -- helpers ------------------------------------------------------------------
+
+    def make_closure(self, code, frame):
+        """Instantiate a function value, capturing the needed cells."""
+        closure = ()
+        if code.has_frees:
+            closure = tuple(frame.cell_for(name) for name in code.free_names)
+        return JSFunction(code, closure)
+
+    def get_property(self, value, name):
+        """Property read including function statics (String.fromCharCode)."""
+        if isinstance(value, NativeFunction):
+            holder = self.runtime.function_statics.get(value)
+            if holder is not None:
+                return holder.get(name)
+            return UNDEFINED
+        if isinstance(value, JSFunction):
+            if name == "name":
+                return value.name or ""
+            if name == "length":
+                return value.code.num_params
+            return UNDEFINED
+        return operations.get_property(value, name, self.runtime)
+
+
+_BINARY_DISPATCH = frozenset(
+    [
+        Op.DIV, Op.MOD, Op.BITAND, Op.BITOR, Op.BITXOR,
+        Op.SHL, Op.SHR, Op.USHR,
+        Op.EQ, Op.NE, Op.STRICTEQ, Op.STRICTNE,
+        Op.LT, Op.LE, Op.GT, Op.GE, Op.IN,
+    ]
+)
+
+_UNARY_DISPATCH = frozenset([Op.NEG, Op.POS, Op.NOT, Op.BITNOT, Op.TYPEOF, Op.TONUM])

@@ -1,0 +1,114 @@
+"""Heap objects: plain objects and arrays.
+
+Objects are property maps; arrays add a dense element store.  The JIT's
+``checkarray`` (bounds check), ``ld`` and ``st`` MIR instructions
+operate directly on :class:`JSArray` element stores, matching how the
+paper's Figure 6 accesses ``s[i]``.
+"""
+
+from repro.jsvm.values import UNDEFINED, normalize_number
+from repro.errors import JSRangeError
+
+
+class JSObject(object):
+    """A plain JavaScript object: a mutable property map."""
+
+    __slots__ = ("properties",)
+
+    def __init__(self, properties=None):
+        self.properties = dict(properties) if properties else {}
+
+    def get(self, name):
+        """Read property ``name``; missing properties read as undefined."""
+        return self.properties.get(name, UNDEFINED)
+
+    def set(self, name, value):
+        self.properties[name] = value
+
+    def has(self, name):
+        return name in self.properties
+
+    def delete(self, name):
+        self.properties.pop(name, None)
+
+    def __repr__(self):
+        inner = ", ".join("%s: %r" % kv for kv in sorted(self.properties.items()))
+        return "{%s}" % inner
+
+
+class JSArray(JSObject):
+    """A JavaScript array with a dense element store.
+
+    Out-of-bounds reads return ``undefined`` (JS semantics); the JIT
+    relies on explicit bounds checks to stay on the fast path, and the
+    bounds-check-elimination pass (paper §3.6) removes those checks when
+    range analysis proves the index in ``[0, length)``.
+    """
+
+    __slots__ = ("elements",)
+
+    def __init__(self, elements=None):
+        super().__init__()
+        self.elements = list(elements) if elements is not None else []
+
+    @property
+    def length(self):
+        return len(self.elements)
+
+    def get_element(self, index):
+        """Read ``a[index]``.  Non-integer or out-of-range → undefined."""
+        if type(index) is float:
+            if not index.is_integer():
+                return UNDEFINED
+            index = int(index)
+        if type(index) is not int:
+            return UNDEFINED
+        if 0 <= index < len(self.elements):
+            return self.elements[index]
+        return UNDEFINED
+
+    def set_element(self, index, value):
+        """Write ``a[index] = value``, growing the array with holes."""
+        if type(index) is float:
+            if not index.is_integer():
+                raise JSRangeError("non-integer array index: %r" % index)
+            index = int(index)
+        if index < 0:
+            raise JSRangeError("negative array index: %d" % index)
+        if index >= len(self.elements):
+            self.elements.extend([UNDEFINED] * (index + 1 - len(self.elements)))
+        self.elements[index] = value
+
+    def set_length(self, new_length):
+        """Implement assignment to ``a.length``."""
+        if type(new_length) is float and new_length.is_integer():
+            new_length = int(new_length)
+        if type(new_length) is not int or new_length < 0:
+            raise JSRangeError("invalid array length: %r" % (new_length,))
+        if new_length < len(self.elements):
+            del self.elements[new_length:]
+        else:
+            self.elements.extend([UNDEFINED] * (new_length - len(self.elements)))
+
+    def push(self, value):
+        self.elements.append(value)
+        return normalize_number(len(self.elements))
+
+    def pop(self):
+        if not self.elements:
+            return UNDEFINED
+        return self.elements.pop()
+
+    def get(self, name):
+        if name == "length":
+            return len(self.elements)
+        return super().get(name)
+
+    def set(self, name, value):
+        if name == "length":
+            self.set_length(value)
+        else:
+            super().set(name, value)
+
+    def __repr__(self):
+        return "[%s]" % ", ".join(repr(e) for e in self.elements)

@@ -1,0 +1,286 @@
+"""JS operator semantics, shared by every tier of the VM.
+
+The interpreter, the JIT's constant folder and the simulated-native
+executor all evaluate guest operators through these functions.  Sharing
+one implementation is what makes compile-time folding sound: folding
+``a + b`` at compile time gives bit-identical results to executing it.
+"""
+
+import math
+
+from repro.errors import JSTypeError
+from repro.jsvm.bytecode import Op
+from repro.jsvm.objects import JSArray, JSObject
+from repro.jsvm.values import (
+    NULL,
+    UNDEFINED,
+    is_number,
+    js_equals,
+    js_strict_equals,
+    normalize_number,
+    to_boolean,
+    to_js_string,
+    to_number,
+    type_of,
+)
+
+_UINT32 = 2 ** 32
+_INT32_SIGN = 2 ** 31
+
+
+def to_int32(value):
+    """Implement JS ToInt32."""
+    number = to_number(value)
+    if type(number) is int:
+        n = number
+    elif math.isnan(number) or math.isinf(number):
+        return 0
+    else:
+        n = int(number)
+    n &= _UINT32 - 1
+    if n >= _INT32_SIGN:
+        n -= _UINT32
+    return n
+
+
+def to_uint32(value):
+    """Implement JS ToUint32."""
+    number = to_number(value)
+    if type(number) is int:
+        n = number
+    elif math.isnan(number) or math.isinf(number):
+        return 0
+    else:
+        n = int(number)
+    return n & (_UINT32 - 1)
+
+
+def js_add(a, b):
+    """The JS ``+`` operator: string concatenation or numeric addition."""
+    if type(a) is str or type(b) is str:
+        return to_js_string(a) + to_js_string(b)
+    if isinstance(a, JSObject) or isinstance(b, JSObject):
+        # ToPrimitive on objects/arrays yields strings in our subset.
+        return to_js_string(a) + to_js_string(b)
+    return _numeric(to_number(a) + to_number(b))
+
+
+def _numeric(value):
+    if type(value) is int:
+        return normalize_number(value)
+    return normalize_number(value)
+
+
+def js_sub(a, b):
+    """The JS ``-`` operator."""
+    return _numeric(to_number(a) - to_number(b))
+
+
+def js_mul(a, b):
+    """The JS ``*`` operator.
+
+    Python integer multiplication cannot produce -0, but JS can
+    (``-3 * 0`` is the double -0), so the int×int path restores the
+    sign explicitly.  The native tier's ``mul_i`` negative-zero bailout
+    relies on this matching.
+    """
+    x, y = to_number(a), to_number(b)
+    result = x * y
+    if type(x) is int and type(y) is int and result == 0 and (x < 0) != (y < 0):
+        return -0.0
+    return _numeric(result)
+
+
+def js_div(a, b):
+    """The JS ``/`` operator (IEEE division; /0 gives infinities)."""
+    x, y = to_number(a), to_number(b)
+    fx, fy = float(x), float(y)
+    if fy == 0.0:
+        if fx == 0.0 or math.isnan(fx):
+            return float("nan")
+        sign = math.copysign(1.0, fx) * math.copysign(1.0, fy)
+        return float("inf") * sign
+    return normalize_number(fx / fy)
+
+
+def js_mod(a, b):
+    """The JS ``%`` operator (fmod semantics, dividend sign)."""
+    x, y = float(to_number(a)), float(to_number(b))
+    if y == 0.0 or math.isnan(x) or math.isnan(y) or math.isinf(x):
+        return float("nan")
+    if math.isinf(y):
+        return normalize_number(x)
+    if x == 0.0:
+        return normalize_number(x)
+    return normalize_number(math.fmod(x, y))
+
+
+def js_neg(a):
+    """The JS unary ``-`` operator (note: -0 is a double)."""
+    number = to_number(a)
+    if type(number) is int:
+        if number == 0:
+            return -0.0
+        return normalize_number(-number)
+    return -number
+
+
+def js_compare(op, a, b):
+    """Shared relational comparison for <, <=, >, >=."""
+    if type(a) is str and type(b) is str:
+        if op == Op.LT:
+            return a < b
+        if op == Op.LE:
+            return a <= b
+        if op == Op.GT:
+            return a > b
+        return a >= b
+    x, y = float(to_number(a)), float(to_number(b))
+    if math.isnan(x) or math.isnan(y):
+        return False
+    if op == Op.LT:
+        return x < y
+    if op == Op.LE:
+        return x <= y
+    if op == Op.GT:
+        return x > y
+    return x >= y
+
+
+def js_in(key, container):
+    """The JS ``in`` operator."""
+    if isinstance(container, JSArray):
+        if is_number(key):
+            index = int(key)
+            return 0 <= index < container.length
+        return container.has(to_js_string(key))
+    if isinstance(container, JSObject):
+        return container.has(to_js_string(key))
+    raise JSTypeError("'in' requires an object, got %s" % type_of(container))
+
+
+def binary_op(op, a, b):
+    """Evaluate one binary bytecode operator on guest values."""
+    if op == Op.ADD:
+        return js_add(a, b)
+    if op == Op.SUB:
+        return js_sub(a, b)
+    if op == Op.MUL:
+        return js_mul(a, b)
+    if op == Op.DIV:
+        return js_div(a, b)
+    if op == Op.MOD:
+        return js_mod(a, b)
+    if op == Op.BITAND:
+        return to_int32(a) & to_int32(b)
+    if op == Op.BITOR:
+        return to_int32(a) | to_int32(b)
+    if op == Op.BITXOR:
+        return to_int32(a) ^ to_int32(b)
+    if op == Op.SHL:
+        shifted = (to_int32(a) << (to_uint32(b) & 31)) & (_UINT32 - 1)
+        if shifted >= _INT32_SIGN:
+            shifted -= _UINT32
+        return shifted
+    if op == Op.SHR:
+        return to_int32(a) >> (to_uint32(b) & 31)
+    if op == Op.USHR:
+        return normalize_number(to_uint32(a) >> (to_uint32(b) & 31))
+    if op == Op.EQ:
+        return js_equals(a, b)
+    if op == Op.NE:
+        return not js_equals(a, b)
+    if op == Op.STRICTEQ:
+        return js_strict_equals(a, b)
+    if op == Op.STRICTNE:
+        return not js_strict_equals(a, b)
+    if op in (Op.LT, Op.LE, Op.GT, Op.GE):
+        return js_compare(op, a, b)
+    if op == Op.IN:
+        return js_in(a, b)
+    raise JSTypeError("unknown binary operator %r" % op)
+
+
+def unary_op(op, a):
+    """Evaluate one unary bytecode operator on a guest value."""
+    if op == Op.NEG:
+        return js_neg(a)
+    if op == Op.POS or op == Op.TONUM:
+        return normalize_number(to_number(a))
+    if op == Op.NOT:
+        return not to_boolean(a)
+    if op == Op.BITNOT:
+        return ~to_int32(a)
+    if op == Op.TYPEOF:
+        return type_of(a)
+    raise JSTypeError("unknown unary operator %r" % op)
+
+
+def get_property(value, name, runtime=None):
+    """Generic property read, including string/array built-ins.
+
+    ``runtime`` supplies the method tables for primitive receivers; it
+    may be None when folding at compile time (then only data properties
+    like ``length`` are available, which is exactly what the constant
+    folder is allowed to fold — paper §2, "we can inline some
+    properties from these types, such as the length constant").
+    """
+    if type(value) is str:
+        if name == "length":
+            return len(value)
+        if runtime is not None:
+            method = runtime.string_methods.get(name)
+            if method is not None:
+                return method
+        return UNDEFINED
+    if isinstance(value, JSArray):
+        if name == "length":
+            return value.length
+        if name in value.properties:
+            return value.properties[name]
+        if runtime is not None:
+            method = runtime.array_methods.get(name)
+            if method is not None:
+                return method
+        return UNDEFINED
+    if isinstance(value, JSObject):
+        return value.get(name)
+    if value is UNDEFINED or value is NULL:
+        raise JSTypeError("cannot read property %r of %s" % (name, to_js_string(value)))
+    if is_number(value) and runtime is not None:
+        method = runtime.number_methods.get(name)
+        if method is not None:
+            return method
+    return UNDEFINED
+
+
+def set_property(value, name, new_value):
+    """Generic property write."""
+    if isinstance(value, JSObject):
+        value.set(name, new_value)
+        return
+    if value is UNDEFINED or value is NULL:
+        raise JSTypeError("cannot set property %r of %s" % (name, to_js_string(value)))
+    # Writes to primitives are silently dropped (non-strict JS).
+
+
+def get_element(value, index, runtime=None):
+    """Generic indexed read: arrays, strings, objects."""
+    if isinstance(value, JSArray) and is_number(index):
+        return value.get_element(index)
+    if type(value) is str:
+        if is_number(index):
+            i = int(index)
+            if 0 <= i < len(value) and float(index) == i:
+                return value[i]
+            return UNDEFINED
+        return get_property(value, to_js_string(index), runtime)
+    return get_property(value, to_js_string(index), runtime)
+
+
+def set_element(value, index, new_value):
+    """Generic indexed write."""
+    if isinstance(value, JSArray) and is_number(index):
+        value.set_element(index, new_value)
+        return
+    set_property(value, to_js_string(index), new_value)

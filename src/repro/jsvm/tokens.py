@@ -1,0 +1,122 @@
+"""Token kinds and the token record used by the lexer and parser."""
+
+
+class TokenType(object):
+    """Enumeration of token kinds (plain strings keep reprs readable)."""
+
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    IDENT = "IDENT"
+    KEYWORD = "KEYWORD"
+    PUNCT = "PUNCT"
+    EOF = "EOF"
+
+
+KEYWORDS = frozenset(
+    [
+        "var",
+        "function",
+        "return",
+        "if",
+        "else",
+        "while",
+        "do",
+        "for",
+        "break",
+        "continue",
+        "true",
+        "false",
+        "null",
+        "undefined",
+        "typeof",
+        "new",
+        "this",
+        "delete",
+        "in",
+        "instanceof",
+        "switch",
+        "case",
+        "default",
+        "throw",
+        "try",
+        "catch",
+        "finally",
+        "void",
+        "let",
+        "const",
+    ]
+)
+
+# Multi-character punctuators, longest first so the lexer can use
+# greedy matching.
+PUNCTUATORS = [
+    ">>>=",
+    "===",
+    "!==",
+    ">>>",
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "<<",
+    ">>",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    ";",
+    ",",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "|",
+    "^",
+    "!",
+    "~",
+    "?",
+    ":",
+    "=",
+    ".",
+]
+
+
+class Token(object):
+    """One lexical token with its source position."""
+
+    __slots__ = ("type", "value", "line", "column")
+
+    def __init__(self, token_type, value, line, column):
+        self.type = token_type
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def __repr__(self):
+        return "Token(%s, %r, %d:%d)" % (self.type, self.value, self.line, self.column)
+
+    def is_punct(self, value):
+        return self.type == TokenType.PUNCT and self.value == value
+
+    def is_keyword(self, value):
+        return self.type == TokenType.KEYWORD and self.value == value

@@ -1,0 +1,348 @@
+"""The JavaScript value model.
+
+Guest values map onto Python values as follows:
+
+===============  =========================================
+JS value         Python representation
+===============  =========================================
+number (int32)   ``int`` in ``[-2**31, 2**31 - 1]``
+number (double)  ``float``
+boolean          ``bool``
+string           ``str``
+undefined        the :data:`UNDEFINED` singleton
+null             the :data:`NULL` singleton
+object           :class:`repro.jsvm.objects.JSObject`
+array            :class:`repro.jsvm.objects.JSArray`
+function         :class:`JSFunction`
+===============  =========================================
+
+The int32/double split mirrors what IonMonkey's type inference does:
+numbers that fit an int32 are represented and typed as integers, which
+is what makes integer arithmetic cheap in the JIT (paper, §3).  Helper
+functions here implement the JS coercion semantics the interpreter,
+constant folder and native executor all share — keeping these three in
+agreement is what makes constant folding sound.
+"""
+
+import math
+
+INT32_MIN = -(2 ** 31)
+INT32_MAX = 2 ** 31 - 1
+_UINT32 = 2 ** 32
+
+
+class JSUndefined(object):
+    """The singleton type of ``undefined``."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self):
+        return "undefined"
+
+    def __bool__(self):
+        return False
+
+
+class JSNull(object):
+    """The singleton type of ``null``."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self):
+        return "null"
+
+    def __bool__(self):
+        return False
+
+
+UNDEFINED = JSUndefined()
+NULL = JSNull()
+
+
+class JSFunction(object):
+    """A guest function value: code object plus defining environment.
+
+    ``code`` is a :class:`repro.jsvm.bytecode.CodeObject`.  ``scope`` is
+    the :class:`repro.jsvm.interpreter.Environment` the function closes
+    over (``None`` for top-level functions that only see globals).
+    """
+
+    __slots__ = ("code", "scope", "function_id")
+
+    _next_id = 0
+
+    def __init__(self, code, scope=None):
+        self.code = code
+        self.scope = scope
+        self.function_id = JSFunction._next_id
+        JSFunction._next_id += 1
+
+    @property
+    def name(self):
+        return self.code.name
+
+    def __repr__(self):
+        return "<function %s#%d>" % (self.name or "<anonymous>", self.function_id)
+
+
+class NativeFunction(object):
+    """A host (builtin) function exposed to guest code, e.g. ``Math.floor``."""
+
+    __slots__ = ("name", "fn", "foldable")
+
+    def __init__(self, name, fn, foldable=False):
+        self.name = name
+        self.fn = fn
+        #: Whether the constant folder may evaluate this function at
+        #: compile time (true only for pure math builtins).
+        self.foldable = foldable
+
+    def __call__(self, this, args):
+        return self.fn(this, args)
+
+    def __repr__(self):
+        return "<native function %s>" % self.name
+
+
+def is_int32(value):
+    """True if ``value`` is a guest int32 (excludes bools)."""
+    return type(value) is int and INT32_MIN <= value <= INT32_MAX
+
+
+def is_number(value):
+    """True if ``value`` is a guest number (int32 or double)."""
+    return type(value) is int or type(value) is float
+
+
+def normalize_number(value):
+    """Canonicalize a Python number into the guest representation.
+
+    Integral floats that fit int32 become ints; ints outside int32
+    become floats.  This mirrors IonMonkey representing a number as an
+    integer whenever type inference allows it.
+    """
+    if type(value) is int:
+        if INT32_MIN <= value <= INT32_MAX:
+            return value
+        return float(value)
+    if type(value) is float:
+        if value.is_integer() and INT32_MIN <= value <= INT32_MAX:
+            # Preserve the float -0.0, which is distinct from int 0 in JS.
+            if value == 0.0 and math.copysign(1.0, value) < 0:
+                return value
+            return int(value)
+        return value
+    raise TypeError("not a number: %r" % (value,))
+
+
+def type_of(value):
+    """Implement the JS ``typeof`` operator."""
+    from repro.jsvm.objects import JSObject
+
+    if value is UNDEFINED:
+        return "undefined"
+    if value is NULL:
+        return "object"
+    if type(value) is bool:
+        return "boolean"
+    if is_number(value):
+        return "number"
+    if type(value) is str:
+        return "string"
+    if isinstance(value, (JSFunction, NativeFunction)):
+        return "function"
+    if isinstance(value, JSObject):
+        return "object"
+    raise TypeError("not a JS value: %r" % (value,))
+
+
+def type_tag(value):
+    """A fine-grained type tag used by telemetry and type inference.
+
+    Unlike :func:`type_of`, this distinguishes ``int`` from ``double``,
+    ``array`` from ``object``, and ``null`` from ``object`` — the
+    categories of the paper's Figure 4.
+    """
+    from repro.jsvm.objects import JSArray, JSObject
+
+    if value is UNDEFINED:
+        return "undefined"
+    if value is NULL:
+        return "null"
+    if type(value) is bool:
+        return "bool"
+    if type(value) is int:
+        if INT32_MIN <= value <= INT32_MAX:
+            return "int"
+        return "double"  # un-normalized wide integer: still a JS number
+    if type(value) is float:
+        return "double"
+    if type(value) is str:
+        return "string"
+    if isinstance(value, (JSFunction, NativeFunction)):
+        return "function"
+    if isinstance(value, JSArray):
+        return "array"
+    if isinstance(value, JSObject):
+        return "object"
+    raise TypeError("not a JS value: %r" % (value,))
+
+
+def to_boolean(value):
+    """Implement JS ToBoolean."""
+    if value is UNDEFINED or value is NULL:
+        return False
+    if type(value) is bool:
+        return value
+    if type(value) is int:
+        return value != 0
+    if type(value) is float:
+        return value != 0.0 and not math.isnan(value)
+    if type(value) is str:
+        return len(value) > 0
+    return True
+
+
+def to_number(value):
+    """Implement JS ToNumber for the subset we support."""
+    if type(value) is int or type(value) is float:
+        return value
+    if type(value) is bool:
+        return 1 if value else 0
+    if value is UNDEFINED:
+        return float("nan")
+    if value is NULL:
+        return 0
+    if type(value) is str:
+        text = value.strip()
+        if not text:
+            return 0
+        try:
+            return normalize_number(int(text, 0) if text.lower().startswith(("0x", "-0x")) else int(text))
+        except ValueError:
+            pass
+        try:
+            return normalize_number(float(text))
+        except ValueError:
+            return float("nan")
+    # Objects: the full spec calls valueOf/toString; our subset coerces
+    # arrays through their string form and other objects to NaN.
+    from repro.jsvm.objects import JSArray
+
+    if isinstance(value, JSArray):
+        return to_number(to_js_string(value))
+    return float("nan")
+
+
+def format_number(value):
+    """Render a guest number the way JS ``String(n)`` does."""
+    if type(value) is int:
+        return str(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "Infinity" if value > 0 else "-Infinity"
+    if value.is_integer() and abs(value) < 1e21:
+        return str(int(value))
+    return repr(value)
+
+
+def to_js_string(value):
+    """Implement JS ToString for the subset we support."""
+    from repro.jsvm.objects import JSArray, JSObject
+
+    if type(value) is str:
+        return value
+    if type(value) is bool:
+        return "true" if value else "false"
+    if is_number(value):
+        return format_number(value)
+    if value is UNDEFINED:
+        return "undefined"
+    if value is NULL:
+        return "null"
+    if isinstance(value, JSFunction):
+        return "function %s() { [code] }" % (value.name or "")
+    if isinstance(value, NativeFunction):
+        return "function %s() { [native code] }" % value.name
+    if isinstance(value, JSArray):
+        return ",".join(
+            "" if e is UNDEFINED or e is NULL else to_js_string(e) for e in value.elements
+        )
+    if isinstance(value, JSObject):
+        return "[object Object]"
+    raise TypeError("not a JS value: %r" % (value,))
+
+
+def js_strict_equals(a, b):
+    """Implement the JS ``===`` operator."""
+    ta, tb = type_of(a), type_of(b)
+    if ta != tb:
+        return False
+    if ta == "number":
+        return float(a) == float(b)
+    if ta in ("string", "boolean"):
+        return a == b
+    if a is UNDEFINED or a is NULL:
+        # typeof null is "object"; handle identity below for objects.
+        return a is b
+    return a is b
+
+
+def js_equals(a, b):
+    """Implement the JS ``==`` operator (abstract equality)."""
+    ta, tb = type_of(a), type_of(b)
+    if ta == tb:
+        return js_strict_equals(a, b)
+    nullish = (UNDEFINED, NULL)
+    if a in nullish and b in nullish:
+        return True
+    if a in nullish or b in nullish:
+        return False
+    if ta == "number" and tb == "string":
+        return js_equals(a, to_number(b))
+    if ta == "string" and tb == "number":
+        return js_equals(to_number(a), b)
+    if ta == "boolean":
+        return js_equals(to_number(a), b)
+    if tb == "boolean":
+        return js_equals(a, to_number(b))
+    if ta in ("object", "function") and tb in ("number", "string"):
+        return js_equals(to_js_string(a), b)
+    if tb in ("object", "function") and ta in ("number", "string"):
+        return js_equals(a, to_js_string(b))
+    return False
+
+
+def value_key(value):
+    """A hashable identity key for one argument value.
+
+    The specialization cache (paper §4, "Specialization policy") decides
+    whether a call's arguments match the cached ones.  Primitives match
+    by value *and* representation type; objects, arrays and functions
+    match by identity — exactly the notion under which specialized code
+    remains valid (an object constant is a baked-in reference).
+    """
+    t = type(value)
+    if t is int or t is float or t is bool or t is str:
+        return (t.__name__, value)
+    if value is UNDEFINED:
+        return ("undefined",)
+    if value is NULL:
+        return ("null",)
+    return ("ref", id(value))
+
+
+def arguments_key(args):
+    """The cache key for a full argument list."""
+    return tuple(value_key(a) for a in args)

@@ -1,0 +1,25 @@
+"""LIR and the simulated native back end.
+
+MIR is lowered to LIR (virtual registers, linear code, explicit phi
+moves), register-allocated with a linear-scan allocator, and emitted
+as "native" code for a simulated 8-register target machine executed by
+the cycle-counting :class:`~repro.lir.executor.NativeExecutor`.
+"""
+
+from repro.lir.lir_nodes import LInstruction, Snapshot
+from repro.lir.lowering import lower_graph
+from repro.lir.regalloc import allocate_registers, NUM_REGS
+from repro.lir.native import NativeCode, generate_native
+from repro.lir.executor import NativeExecutor, Bailout
+
+__all__ = [
+    "LInstruction",
+    "Snapshot",
+    "lower_graph",
+    "allocate_registers",
+    "NUM_REGS",
+    "NativeCode",
+    "generate_native",
+    "NativeExecutor",
+    "Bailout",
+]

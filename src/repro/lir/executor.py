@@ -1,0 +1,357 @@
+"""The simulated native target: executes :class:`NativeCode`.
+
+The executor is a small register machine — eight registers plus stack
+slots — whose instruction semantics mirror the interpreter's exactly
+(both defer to :mod:`repro.jsvm.operations`).  Each instruction is
+billed cycles from the engine's :class:`CostModel`; operands living in
+stack slots cost extra, modelling memory traffic from spills.
+
+Guards check the speculation they encode and raise :class:`Bailout`
+on failure.  A bailout carries everything needed to rebuild the
+interpreter frame from the guard's snapshot: the argument/local/stack
+values read out of their native locations, the resume pc and mode, and
+(for "after"-mode guards) the correct result the interpreter would
+have produced — e.g. an int32 add that overflowed hands back the exact
+double sum, so execution resumes as if the interpreter had done the
+addition itself.
+"""
+
+import math
+
+from repro.errors import CompilerError
+from repro.jsvm import operations
+from repro.jsvm.bytecode import Op
+from repro.jsvm.objects import JSArray, JSObject
+from repro.jsvm.values import (
+    INT32_MAX,
+    INT32_MIN,
+    UNDEFINED,
+    JSFunction,
+    NativeFunction,
+    normalize_number,
+    to_boolean,
+    type_of,
+)
+from repro.lir.regalloc import NUM_REGS
+from repro.mir.types import MIRType
+
+
+class Bailout(Exception):
+    """A guard failed; native execution must fall back to bytecode."""
+
+    def __init__(self, snapshot, args, locals_, stack, pc, mode, reason, guard_op, actual=None):
+        super().__init__("bailout at pc %d (%s)" % (pc, reason))
+        self.snapshot = snapshot
+        # Note: not named `args` — BaseException.args is a special
+        # attribute that silently coerces assignments to tuples.
+        self.frame_args = args
+        self.frame_locals = locals_
+        self.frame_stack = stack
+        self.pc = pc
+        self.mode = mode
+        self.reason = reason
+        self.guard_op = guard_op
+        #: For "after"-mode guards: the correct value the interpreter
+        #: would have produced (already appended to ``stack``).
+        self.actual = actual
+
+
+def _matches(value, mirtype):
+    """Runtime type check for unbox/typebarrier guards."""
+    if mirtype == MIRType.INT32:
+        return type(value) is int
+    if mirtype == MIRType.DOUBLE:
+        return type(value) is float or type(value) is int
+    if mirtype == MIRType.BOOLEAN:
+        return type(value) is bool
+    if mirtype == MIRType.STRING:
+        return type(value) is str
+    if mirtype == MIRType.ARRAY:
+        return isinstance(value, JSArray)
+    if mirtype == MIRType.OBJECT:
+        return isinstance(value, JSObject) and not isinstance(value, JSArray)
+    if mirtype == MIRType.FUNCTION:
+        return isinstance(value, (JSFunction, NativeFunction))
+    if mirtype == MIRType.VALUE:
+        return True
+    return False
+
+
+#: Int ops whose guard is an overflow/negative-zero check priced at
+#: one extra cycle (cleared by the overflow-elimination extension).
+_CHECKED_ARITH = frozenset(["add_i", "sub_i", "mul_i", "neg_i", "bitop_i"])
+
+
+class NativeExecutor(object):
+    """Runs native code against the shared heap and runtime."""
+
+    def __init__(self, interpreter, cost_model):
+        self.interpreter = interpreter
+        self.runtime = interpreter.runtime
+        self.cost_model = cost_model
+        #: Cycles burned by native execution (cumulative).
+        self.cycles = 0
+        #: Native instructions executed (cumulative).
+        self.instructions_executed = 0
+
+    # -- frame reconstruction on bailout -------------------------------------------
+
+    def _bail(self, values, snapshot, reason, op, actual=None):
+        locations = snapshot.locations
+        num_args = snapshot.num_args
+        num_locals = snapshot.num_locals
+        args = [values[loc] for loc in locations[:num_args]]
+        locals_ = [values[loc] for loc in locations[num_args : num_args + num_locals]]
+        stack = [values[loc] for loc in locations[num_args + num_locals :]]
+        if snapshot.mode == "after":
+            stack.append(actual)
+        raise Bailout(
+            snapshot, args, locals_, stack, snapshot.pc, snapshot.mode, reason, op, actual
+        )
+
+    # -- the dispatch loop ---------------------------------------------------------
+
+    def run(self, native, function, this_value, args, entry="entry", osr_args=None, osr_locals=None):
+        """Execute ``native``; returns the guest return value.
+
+        Raises :class:`Bailout` when a guard fails — the engine turns
+        that into interpreter resumption.
+        """
+        # Layout: [registers | spill slots | immediate pool]; negative
+        # operand locations index the pool from the end (x86-style
+        # instruction immediates, free of register pressure).
+        values = [UNDEFINED] * (NUM_REGS + native.num_slots) + native.immediates
+        instructions = native.instructions
+        cost = self.cost_model
+        costs = cost.native_costs
+        spill_price = cost.spill_access
+        interpreter = self.interpreter
+        runtime = self.runtime
+
+        if entry == "osr":
+            if native.osr_index is None:
+                raise CompilerError("native code for %s has no OSR entry" % native.code.name)
+            pc = native.osr_index
+        else:
+            pc = native.entry_index
+
+        cycles = 0
+        executed = 0
+        try:
+            while True:
+                instruction = instructions[pc]
+                op = instruction.op
+                srcs = instruction.srcs
+                dest = instruction.dest
+                executed += 1
+                cycles += costs.get(op, 1)
+                if instruction.snapshot is not None and op in _CHECKED_ARITH:
+                    # The overflow/negative-zero check itself (x86: a
+                    # `jo` after the operation).  Overflow-check
+                    # elimination removes exactly this cycle.
+                    cycles += 1
+                if dest is not None and dest >= NUM_REGS:
+                    cycles += spill_price
+                for loc in srcs:
+                    if loc >= NUM_REGS:
+                        cycles += spill_price
+                pc += 1
+
+                if op == "move":
+                    values[dest] = values[srcs[0]]
+                elif op == "const":
+                    values[dest] = instruction.extra
+                elif op == "getarg":
+                    index = instruction.extra
+                    if index == -1:
+                        values[dest] = this_value
+                    elif index < len(args):
+                        values[dest] = args[index]
+                    else:
+                        values[dest] = UNDEFINED
+                elif op == "osrvalue":
+                    kind, index = instruction.extra
+                    source = osr_args if kind == "arg" else osr_locals
+                    values[dest] = source[index]
+                elif op == "self":
+                    values[dest] = function
+                elif op == "add_i":
+                    result = values[srcs[0]] + values[srcs[1]]
+                    if (result > INT32_MAX or result < INT32_MIN) and instruction.snapshot is not None:
+                        self._bail(values, instruction.snapshot, "overflow", op, float(result))
+                    values[dest] = result
+                elif op == "sub_i":
+                    result = values[srcs[0]] - values[srcs[1]]
+                    if (result > INT32_MAX or result < INT32_MIN) and instruction.snapshot is not None:
+                        self._bail(values, instruction.snapshot, "overflow", op, float(result))
+                    values[dest] = result
+                elif op == "mul_i":
+                    a = values[srcs[0]]
+                    b = values[srcs[1]]
+                    result = a * b
+                    if instruction.snapshot is not None:
+                        if result > INT32_MAX or result < INT32_MIN:
+                            self._bail(values, instruction.snapshot, "overflow", op, float(result))
+                        if result == 0 and (a < 0 or b < 0):
+                            # JS: (-n) * 0 is -0, a double; the int path bails.
+                            self._bail(values, instruction.snapshot, "negative zero", op, -0.0)
+                    values[dest] = result
+                elif op == "neg_i":
+                    value = values[srcs[0]]
+                    if instruction.snapshot is not None:
+                        if value == 0:
+                            self._bail(values, instruction.snapshot, "negative zero", op, -0.0)
+                        if value == INT32_MIN:
+                            self._bail(values, instruction.snapshot, "overflow", op, -float(value))
+                    values[dest] = -value
+                elif op in ("add_d", "sub_d", "mul_d", "div_d", "mod_d"):
+                    values[dest] = _DOUBLE_OPS[op](values[srcs[0]], values[srcs[1]])
+                elif op == "neg_d":
+                    values[dest] = -values[srcs[0]]
+                elif op == "bitop_i":
+                    result = operations.binary_op(instruction.extra, values[srcs[0]], values[srcs[1]])
+                    if instruction.snapshot is not None and type(result) is not int:
+                        # ">>>" producing a value beyond int32.
+                        self._bail(values, instruction.snapshot, "uint32 overflow", op, result)
+                    values[dest] = result
+                elif op == "toint32":
+                    values[dest] = operations.to_int32(values[srcs[0]])
+                elif op == "todouble":
+                    values[dest] = float(values[srcs[0]])
+                elif op == "concat":
+                    values[dest] = values[srcs[0]] + values[srcs[1]]
+                elif op == "compare":
+                    cmp_op, kind = instruction.extra
+                    values[dest] = _compare(cmp_op, kind, values[srcs[0]], values[srcs[1]])
+                elif op == "binary_v":
+                    values[dest] = operations.binary_op(
+                        instruction.extra, values[srcs[0]], values[srcs[1]]
+                    )
+                elif op == "unary_v":
+                    values[dest] = operations.unary_op(instruction.extra, values[srcs[0]])
+                elif op == "not":
+                    values[dest] = not to_boolean(values[srcs[0]])
+                elif op == "typeof":
+                    values[dest] = type_of(values[srcs[0]])
+                elif op == "unbox":
+                    value = values[srcs[0]]
+                    expected = instruction.extra
+                    if not _matches(value, expected):
+                        self._bail(values, instruction.snapshot, "type guard", op, value)
+                    if expected == MIRType.DOUBLE and type(value) is int:
+                        value = float(value)
+                    values[dest] = value
+                elif op == "typebarrier":
+                    value = values[srcs[0]]
+                    if not _matches(value, instruction.extra):
+                        self._bail(values, instruction.snapshot, "type barrier", op, value)
+                    values[dest] = value
+                elif op == "checkoverrecursed":
+                    from repro.jsvm.interpreter import MAX_CALL_DEPTH
+
+                    if interpreter.call_depth >= MAX_CALL_DEPTH:
+                        self._bail(values, instruction.snapshot, "over-recursed", op)
+                elif op == "arraylength":
+                    values[dest] = len(values[srcs[0]].elements)
+                elif op == "stringlength":
+                    values[dest] = len(values[srcs[0]])
+                elif op == "boundscheck":
+                    index = values[srcs[0]]
+                    length = values[srcs[1]]
+                    if index < 0 or index >= length:
+                        self._bail(values, instruction.snapshot, "bounds check", op)
+                elif op == "loadelement":
+                    values[dest] = values[srcs[0]].elements[values[srcs[1]]]
+                elif op == "storeelement":
+                    values[srcs[0]].elements[values[srcs[1]]] = values[srcs[2]]
+                elif op == "getelem_v":
+                    values[dest] = operations.get_element(
+                        values[srcs[0]], values[srcs[1]], runtime
+                    )
+                elif op == "setelem_v":
+                    operations.set_element(values[srcs[0]], values[srcs[1]], values[srcs[2]])
+                elif op == "loadprop":
+                    values[dest] = values[srcs[0]].get(instruction.extra)
+                elif op == "storeprop":
+                    values[srcs[0]].set(instruction.extra, values[srcs[1]])
+                elif op == "getprop_v":
+                    values[dest] = interpreter.get_property(values[srcs[0]], instruction.extra)
+                elif op == "setprop_v":
+                    operations.set_property(values[srcs[0]], instruction.extra, values[srcs[1]])
+                elif op == "loadglobal":
+                    values[dest] = runtime.get_global(instruction.extra)
+                elif op == "storeglobal":
+                    runtime.set_global(instruction.extra, values[srcs[0]])
+                elif op == "newarray":
+                    values[dest] = JSArray([values[loc] for loc in srcs])
+                elif op == "newobject":
+                    obj = JSObject()
+                    for key, loc in zip(instruction.extra, srcs):
+                        obj.set(key, values[loc])
+                    values[dest] = obj
+                elif op == "lambda":
+                    values[dest] = JSFunction(instruction.extra, ())
+                elif op == "call":
+                    callee = values[srcs[0]]
+                    call_this = values[srcs[1]]
+                    call_args = [values[loc] for loc in srcs[2:]]
+                    values[dest] = interpreter.call_value(callee, call_this, call_args)
+                elif op == "new":
+                    callee = values[srcs[0]]
+                    call_args = [values[loc] for loc in srcs[1:]]
+                    values[dest] = interpreter.construct(callee, call_args)
+                elif op == "goto":
+                    pc = instruction.targets[0]
+                elif op == "test":
+                    if to_boolean(values[srcs[0]]):
+                        pc = instruction.targets[0]
+                    else:
+                        pc = instruction.targets[1]
+                elif op == "return":
+                    return values[srcs[0]]
+                else:
+                    raise CompilerError("native executor: unknown op %r" % op)
+        finally:
+            self.cycles += cycles
+            self.instructions_executed += executed
+
+
+def _double(value):
+    return float(value)
+
+
+def _div_d(a, b):
+    return operations.js_div(a, b)
+
+
+def _mod_d(a, b):
+    return operations.js_mod(a, b)
+
+
+_DOUBLE_OPS = {
+    "add_d": lambda a, b: normalize_number(a + b),
+    "sub_d": lambda a, b: normalize_number(a - b),
+    "mul_d": lambda a, b: normalize_number(a * b),
+    "div_d": _div_d,
+    "mod_d": _mod_d,
+}
+
+
+def _compare(op, kind, a, b):
+    """Specialized comparison; mirrors operations.binary_op exactly."""
+    if kind == "d":
+        if math.isnan(a) or math.isnan(b):
+            return False if op not in (Op.NE, Op.STRICTNE) else True
+    if op == Op.LT:
+        return a < b
+    if op == Op.LE:
+        return a <= b
+    if op == Op.GT:
+        return a > b
+    if op == Op.GE:
+        return a >= b
+    if op in (Op.EQ, Op.STRICTEQ):
+        return a == b
+    if op in (Op.NE, Op.STRICTNE):
+        return a != b
+    raise CompilerError("bad compare op %r" % op)

@@ -1,0 +1,289 @@
+"""MIR → LIR lowering.
+
+* Every MIR definition (phis included) receives a virtual register.
+* Phis become explicit move sequences on the incoming edges; moves go
+  through fresh temporaries (read-all-then-write-all), so parallel-move
+  cycles (swap patterns in loop headers) are handled without a cycle
+  detector.  Edges leaving a conditional branch get a trampoline block
+  so the moves execute only on their own path.
+* Guards translate their MIR resume points into LIR
+  :class:`~repro.lir.lir_nodes.Snapshot` records.
+"""
+
+from repro.errors import CompilerError
+from repro.jsvm.bytecode import Op
+from repro.lir.lir_nodes import LInstruction, LIRFunction, Snapshot
+from repro.mir import instructions as mi
+
+_ARITH_I_OPS = {Op.ADD: "add_i", Op.SUB: "sub_i", Op.MUL: "mul_i"}
+_ARITH_D_OPS = {
+    Op.ADD: "add_d",
+    Op.SUB: "sub_d",
+    Op.MUL: "mul_d",
+    Op.DIV: "div_d",
+    Op.MOD: "mod_d",
+}
+
+
+class _Lowerer(object):
+    def __init__(self, graph):
+        self.graph = graph
+        self.lir = LIRFunction(graph.code)
+        self.vregs = {}
+        self.next_vreg = 0
+        self.edge_trampolines = []  # (edge_id, moves, successor_block_id)
+
+    # -- virtual registers -----------------------------------------------------
+
+    def vreg_of(self, definition):
+        vreg = self.vregs.get(id(definition))
+        if vreg is None:
+            vreg = self.next_vreg
+            self.next_vreg += 1
+            self.vregs[id(definition)] = vreg
+        return vreg
+
+    def fresh_vreg(self):
+        vreg = self.next_vreg
+        self.next_vreg += 1
+        return vreg
+
+    # -- driver -------------------------------------------------------------------
+
+    def run(self):
+        graph = self.graph
+        order = graph.reverse_postorder()
+        # The function entry must be first in the stream.
+        if order and order[0] is not graph.entry:
+            order.remove(graph.entry)
+            order.insert(0, graph.entry)
+
+        for block in order:
+            self.lir.block_starts[block.id] = len(self.lir.instructions)
+            if block is graph.osr_entry:
+                self.lir.osr_index = len(self.lir.instructions)
+            for instruction in block.instructions:
+                if instruction.is_control:
+                    self.lower_terminator(block, instruction)
+                else:
+                    self.lower_instruction(instruction)
+        # Emit edge trampolines (phi moves for conditional edges).
+        for edge_id, moves, successor_id in self.edge_trampolines:
+            self.lir.block_starts[edge_id] = len(self.lir.instructions)
+            self.emit_moves(moves)
+            self.lir.append(LInstruction("goto", targets=[successor_id]))
+        self.lir.num_vregs = self.next_vreg
+        return self.lir
+
+    # -- phi moves ---------------------------------------------------------------
+
+    def phi_moves(self, pred, successor):
+        """Move pairs (src, dest) carrying phi inputs along pred->succ."""
+        if not successor.phis:
+            return []
+        index = None
+        for position, predecessor in enumerate(successor.predecessors):
+            if predecessor is pred:
+                index = position
+                break
+        if index is None:
+            raise CompilerError(
+                "edge B%d->B%d has no predecessor entry" % (pred.id, successor.id)
+            )
+        moves = []
+        for phi in successor.phis:
+            moves.append((self.vreg_of(phi.operands[index]), self.vreg_of(phi)))
+        return moves
+
+    def emit_moves(self, moves):
+        """Emit a parallel move with the standard worklist algorithm.
+
+        Moves whose destination is not pending as a source are safe to
+        emit; cycles (swap patterns between loop phis) are broken with
+        one temporary per cycle.
+        """
+        pending = [(src, dest) for src, dest in moves if src != dest]
+        while pending:
+            for index, (src, dest) in enumerate(pending):
+                dest_is_pending_source = any(
+                    other_src == dest
+                    for position, (other_src, _other_dest) in enumerate(pending)
+                    if position != index
+                )
+                if not dest_is_pending_source:
+                    self.lir.append(LInstruction("move", dest=dest, srcs=[src]))
+                    pending.pop(index)
+                    break
+            else:
+                # Pure cycle (loop-phi swap): save one destination in a
+                # temporary and redirect its pending readers to it.
+                _src, dest = pending[0]
+                temp = self.fresh_vreg()
+                self.lir.append(LInstruction("move", dest=temp, srcs=[dest]))
+                pending = [
+                    (temp if pending_src == dest else pending_src, pending_dest)
+                    for pending_src, pending_dest in pending
+                ]
+
+    # -- terminators ------------------------------------------------------------------
+
+    def lower_terminator(self, block, terminator):
+        if isinstance(terminator, mi.MReturn):
+            self.lir.append(
+                LInstruction("return", srcs=[self.vreg_of(terminator.operands[0])])
+            )
+            return
+        if isinstance(terminator, mi.MGoto):
+            successor = terminator.successors[0]
+            self.emit_moves(self.phi_moves(block, successor))
+            self.lir.append(LInstruction("goto", targets=[successor.id]))
+            return
+        if isinstance(terminator, mi.MTest):
+            targets = []
+            for successor in terminator.successors:
+                moves = self.phi_moves(block, successor)
+                if moves:
+                    edge_id = "edge%d_%d" % (block.id, successor.id)
+                    self.edge_trampolines.append((edge_id, moves, successor.id))
+                    targets.append(edge_id)
+                else:
+                    targets.append(successor.id)
+            self.lir.append(
+                LInstruction(
+                    "test", srcs=[self.vreg_of(terminator.operands[0])], targets=targets
+                )
+            )
+            return
+        raise CompilerError("unknown terminator %r" % terminator)
+
+    # -- snapshots ---------------------------------------------------------------------
+
+    def snapshot_of(self, instruction):
+        resume = instruction.resume_point
+        if resume is None:
+            raise CompilerError("guard %r lowered without a resume point" % instruction)
+        return Snapshot(
+            resume.pc,
+            resume.mode,
+            resume.num_args,
+            resume.num_locals,
+            [self.vreg_of(operand) for operand in resume.operands],
+        )
+
+    # -- instructions ---------------------------------------------------------------------
+
+    def lower_instruction(self, instruction):
+        lir = self.lir
+        srcs = [self.vreg_of(operand) for operand in instruction.operands]
+        dest = self.vreg_of(instruction)
+
+        def guard(op, extra=None, use_dest=True):
+            lir.append(
+                LInstruction(
+                    op,
+                    dest=dest if use_dest else None,
+                    srcs=srcs,
+                    extra=extra,
+                    snapshot=self.snapshot_of(instruction),
+                )
+            )
+
+        def plain(op, extra=None, use_dest=True):
+            lir.append(
+                LInstruction(op, dest=dest if use_dest else None, srcs=srcs, extra=extra)
+            )
+
+        if isinstance(instruction, mi.MConstant):
+            plain("const", extra=instruction.value)
+        elif isinstance(instruction, mi.MParameter):
+            plain("getarg", extra=instruction.index)
+        elif isinstance(instruction, mi.MOsrValue):
+            plain("osrvalue", extra=(instruction.kind, instruction.index))
+        elif isinstance(instruction, mi.MSelf):
+            plain("self")
+        elif isinstance(instruction, mi.MUnbox):
+            guard("unbox", extra=instruction.type)
+        elif isinstance(instruction, mi.MBox):
+            plain("move")
+        elif isinstance(instruction, mi.MTypeBarrier):
+            guard("typebarrier", extra=instruction.expected)
+        elif isinstance(instruction, mi.MToDouble):
+            plain("todouble")
+        elif isinstance(instruction, mi.MToInt32):
+            plain("toint32")
+        elif isinstance(instruction, mi.MCheckOverRecursed):
+            guard("checkoverrecursed", use_dest=False)
+        elif isinstance(instruction, mi.MBinaryArithI):
+            if instruction.is_guard:
+                guard(_ARITH_I_OPS[instruction.op])
+            else:
+                plain(_ARITH_I_OPS[instruction.op])
+        elif isinstance(instruction, mi.MBinaryArithD):
+            plain(_ARITH_D_OPS[instruction.op])
+        elif isinstance(instruction, mi.MBitOpI):
+            if instruction.is_guard:
+                guard("bitop_i", extra=instruction.op)
+            else:
+                plain("bitop_i", extra=instruction.op)
+        elif isinstance(instruction, mi.MNegI):
+            if instruction.is_guard:
+                guard("neg_i")
+            else:
+                plain("neg_i")
+        elif isinstance(instruction, mi.MNegD):
+            plain("neg_d")
+        elif isinstance(instruction, mi.MConcat):
+            plain("concat")
+        elif isinstance(instruction, mi.MCompare):
+            plain("compare", extra=(instruction.op, instruction.kind))
+        elif isinstance(instruction, mi.MBinaryV):
+            plain("binary_v", extra=instruction.op)
+        elif isinstance(instruction, mi.MUnaryV):
+            plain("unary_v", extra=instruction.op)
+        elif isinstance(instruction, mi.MNot):
+            plain("not")
+        elif isinstance(instruction, mi.MTypeOf):
+            plain("typeof")
+        elif isinstance(instruction, mi.MArrayLength):
+            plain("arraylength")
+        elif isinstance(instruction, mi.MStringLength):
+            plain("stringlength")
+        elif isinstance(instruction, mi.MBoundsCheck):
+            guard("boundscheck", use_dest=False)
+        elif isinstance(instruction, mi.MLoadElement):
+            plain("loadelement")
+        elif isinstance(instruction, mi.MStoreElement):
+            plain("storeelement", use_dest=False)
+        elif isinstance(instruction, mi.MGetElemV):
+            plain("getelem_v")
+        elif isinstance(instruction, mi.MSetElemV):
+            plain("setelem_v", use_dest=False)
+        elif isinstance(instruction, mi.MLoadProperty):
+            plain("loadprop", extra=instruction.name)
+        elif isinstance(instruction, mi.MStoreProperty):
+            plain("storeprop", extra=instruction.name, use_dest=False)
+        elif isinstance(instruction, mi.MGetPropV):
+            plain("getprop_v", extra=instruction.name)
+        elif isinstance(instruction, mi.MSetPropV):
+            plain("setprop_v", extra=instruction.name, use_dest=False)
+        elif isinstance(instruction, mi.MLoadGlobal):
+            plain("loadglobal", extra=instruction.name)
+        elif isinstance(instruction, mi.MStoreGlobal):
+            plain("storeglobal", extra=instruction.name, use_dest=False)
+        elif isinstance(instruction, mi.MNewArray):
+            plain("newarray")
+        elif isinstance(instruction, mi.MNewObject):
+            plain("newobject", extra=instruction.keys)
+        elif isinstance(instruction, mi.MLambda):
+            plain("lambda", extra=instruction.code)
+        elif isinstance(instruction, mi.MCall):
+            plain("call")
+        elif isinstance(instruction, mi.MNew):
+            plain("new")
+        else:
+            raise CompilerError("cannot lower %r" % instruction)
+
+
+def lower_graph(graph):
+    """Lower a MIR graph to an :class:`LIRFunction`."""
+    return _Lowerer(graph).run()

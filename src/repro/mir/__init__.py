@@ -1,0 +1,24 @@
+"""MIR: the SSA middle-level IR of the JIT (IonMonkey's MIR analogue).
+
+A :class:`~repro.mir.graph.MIRGraph` is a CFG of basic blocks holding
+three-address SSA instructions.  Graphs are built from stack bytecode
+by :mod:`repro.mir.builder`, optimized by the passes in
+:mod:`repro.opts`, and lowered to LIR by :mod:`repro.lir.lowering`.
+"""
+
+from repro.mir.types import MIRType, tag_to_mirtype, mirtype_of_value
+from repro.mir.graph import MBasicBlock, MIRGraph
+from repro.mir.builder import build_mir
+from repro.mir.printer import format_graph
+from repro.mir.verifier import verify_graph
+
+__all__ = [
+    "MIRType",
+    "tag_to_mirtype",
+    "mirtype_of_value",
+    "MBasicBlock",
+    "MIRGraph",
+    "build_mir",
+    "format_graph",
+    "verify_graph",
+]

@@ -1,0 +1,34 @@
+"""Human-readable MIR dumps, in the spirit of the paper's figures."""
+
+
+def format_block(block):
+    """Render one block: header, phis, instructions."""
+    lines = []
+    preds = ",".join("B%d" % p.id for p in block.predecessors)
+    header = "B%d:" % block.id
+    if preds:
+        header += "  ; preds: %s" % preds
+    lines.append(header)
+    for phi in block.phis:
+        lines.append("  %r" % phi)
+    for instruction in block.instructions:
+        text = "  %r" % instruction
+        if instruction.resume_point is not None:
+            text += "  [resume %s@%d]" % (
+                instruction.resume_point.mode,
+                instruction.resume_point.pc,
+            )
+        lines.append(text)
+    return "\n".join(lines)
+
+
+def format_graph(graph):
+    """Render a whole MIR graph as text (entry blocks first)."""
+    lines = ["; MIR for %s%s" % (graph.code.name, " [specialized]" if graph.specialized else "")]
+    if graph.entry is not None:
+        lines.append("; function entry: B%d" % graph.entry.id)
+    if graph.osr_entry is not None:
+        lines.append("; OSR entry: B%d (pc %s)" % (graph.osr_entry.id, graph.osr_pc))
+    for block in graph.blocks:
+        lines.append(format_block(block))
+    return "\n".join(lines)

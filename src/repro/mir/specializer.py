@@ -1,0 +1,424 @@
+"""Baseline type specialization of generic MIR.
+
+IonMonkey compiles *typed* code: numeric variables proven int32 use
+integer instructions, array accesses become bounds-check + raw element
+moves, and so on (paper §3: type specialization is the speculation
+IonMonkey already performs; our value specialization builds on top).
+
+This pass runs after graph construction, always — it is part of the
+baseline compiler, not one of the paper's configurable optimizations:
+
+1. A fixpoint computes the post-specialization type of every value,
+   optimistically for phis (loop counters converge to Int32 when their
+   inputs all will be Int32).
+2. Generic instructions whose operand types allow it are rewritten to
+   specialized forms: ``binary_v`` → ``arith_i``/``arith_d``/
+   ``concat``/``compare``, ``getelem_v`` → ``boundscheck`` +
+   ``loadelement``, property loads of ``length`` → length reads, etc.
+
+Specialized integer arithmetic carries overflow guards; the guards'
+resume points were attached when the generic instructions were built
+and are inherited by their replacements.
+"""
+
+from repro.jsvm.bytecode import Op
+from repro.mir.instructions import (
+    MArrayLength,
+    MBinaryArithD,
+    MBinaryArithI,
+    MBinaryV,
+    MBitOpI,
+    MBoundsCheck,
+    MCompare,
+    MConcat,
+    MGetElemV,
+    MGetPropV,
+    MLoadElement,
+    MNegD,
+    MNegI,
+    MNot,
+    MPhi,
+    MSetElemV,
+    MSetPropV,
+    MStoreElement,
+    MStringLength,
+    MToDouble,
+    MToInt32,
+    MTypeOf,
+    MUnaryV,
+    MLoadProperty,
+    MStoreProperty,
+)
+from repro.mir.types import MIRType
+
+_ARITH = (Op.ADD, Op.SUB, Op.MUL)
+_DIVMOD = (Op.DIV, Op.MOD)
+_BITOPS = (Op.BITAND, Op.BITOR, Op.BITXOR, Op.SHL, Op.SHR)
+_RELATIONAL = (Op.LT, Op.LE, Op.GT, Op.GE)
+_EQUALITY = (Op.EQ, Op.NE, Op.STRICTEQ, Op.STRICTNE)
+_NUMERIC = (MIRType.INT32, MIRType.DOUBLE)
+
+
+def _would_be_binary(op, lhs_type, rhs_type):
+    """Result type of a binary op after specialization (VALUE = generic).
+
+    ``None`` operand types mean "not yet computed" during the
+    optimistic fixpoint; the result stays unknown rather than
+    pessimizing (loop-carried values resolve on a later iteration).
+    """
+    if op in _RELATIONAL or op in _EQUALITY:
+        return MIRType.BOOLEAN
+    if lhs_type is None or rhs_type is None:
+        return None
+    if op in _ARITH:
+        if lhs_type == MIRType.INT32 and rhs_type == MIRType.INT32:
+            return MIRType.INT32
+        if lhs_type in _NUMERIC and rhs_type in _NUMERIC:
+            return MIRType.DOUBLE
+        if op == Op.ADD and lhs_type == MIRType.STRING and rhs_type == MIRType.STRING:
+            return MIRType.STRING
+        return MIRType.VALUE
+    if op in _DIVMOD:
+        if lhs_type in _NUMERIC and rhs_type in _NUMERIC:
+            return MIRType.DOUBLE
+        return MIRType.VALUE
+    if op in _BITOPS or op == Op.USHR:
+        if lhs_type in _NUMERIC and rhs_type in _NUMERIC:
+            return MIRType.INT32
+        return MIRType.VALUE
+    return MIRType.VALUE
+
+
+def _would_be_unary(op, operand_type):
+    if operand_type is None:
+        return None
+    if op == Op.NEG:
+        if operand_type == MIRType.INT32:
+            return MIRType.INT32
+        if operand_type == MIRType.DOUBLE:
+            return MIRType.DOUBLE
+        return MIRType.VALUE
+    if op in (Op.POS, Op.TONUM):
+        if operand_type in _NUMERIC:
+            return operand_type
+        return MIRType.VALUE
+    if op == Op.BITNOT:
+        if operand_type in _NUMERIC:
+            return MIRType.INT32
+        return MIRType.VALUE
+    return MIRType.VALUE
+
+
+def _join(types):
+    """Phi type join: equal types meet to themselves, numerics widen."""
+    result = None
+    for mirtype in types:
+        if mirtype is None:
+            continue  # optimistic: unvisited input doesn't pessimize
+        if result is None:
+            result = mirtype
+        elif result != mirtype:
+            if result in _NUMERIC and mirtype in _NUMERIC:
+                result = MIRType.DOUBLE
+            else:
+                return MIRType.VALUE
+    return result
+
+
+class TypeSpecializer(object):
+    """Runs the two phases described in the module docstring."""
+
+    def __init__(self, graph):
+        self.graph = graph
+        # Keyed by the definition objects themselves (identity hash).
+        # Never key this map by id(): instructions deleted during the
+        # rewrite phase would free their addresses for reuse by new
+        # instructions, which would then inherit stale types.  Object
+        # keys also pin the keys alive for the map's lifetime.
+        self.types = {}
+
+    # -- phase 1: type fixpoint -------------------------------------------------
+
+    def type_of(self, definition):
+        cached = self.types.get(definition)
+        if cached is not None:
+            return cached
+        return definition.type
+
+    def compute_types(self):
+        blocks = self.graph.reverse_postorder()
+        # Optimistic initialization for phis and for the generic
+        # instructions whose type depends on their (possibly
+        # loop-carried) operands.
+        for block in blocks:
+            for phi in block.phis:
+                self.types[phi] = None
+            for instruction in block.instructions:
+                if isinstance(instruction, (MBinaryV, MUnaryV)):
+                    self.types[instruction] = None
+        changed = True
+        while changed:
+            changed = False
+            for block in blocks:
+                for phi in block.phis:
+                    new_type = _join(self._operand_type(op) for op in phi.operands)
+                    if new_type != self.types[phi]:
+                        self.types[phi] = new_type
+                        changed = True
+                for instruction in block.instructions:
+                    new_type = self._instruction_type(instruction)
+                    if self.types.get(instruction) != new_type:
+                        self.types[instruction] = new_type
+                        changed = True
+        # Pessimize anything left optimistic (unreachable cycles).
+        for key, value in list(self.types.items()):
+            if value is None:
+                self.types[key] = MIRType.VALUE
+
+    def _operand_type(self, operand):
+        return self.types.get(operand, operand.type)
+
+    def _instruction_type(self, instruction):
+        if isinstance(instruction, MBinaryV):
+            return _would_be_binary(
+                instruction.op,
+                self._operand_type(instruction.operands[0]),
+                self._operand_type(instruction.operands[1]),
+            )
+        if isinstance(instruction, MUnaryV):
+            return _would_be_unary(
+                instruction.op, self._operand_type(instruction.operands[0])
+            )
+        return instruction.type
+
+    # -- phase 2: rewriting ----------------------------------------------------------
+
+    def simplify_guards(self):
+        """Remove barriers/unboxes whose operand is already typed.
+
+        After parameter specialization or inlining, a guard may sit on
+        a value the compiler has *proved* has the expected type (e.g. a
+        constant, or an int32 arithmetic result): the check can never
+        fail and IonMonkey would not emit it at all.
+        """
+        from repro.mir.instructions import MTypeBarrier, MUnbox
+
+        removed = 0
+        for block in list(self.graph.blocks):
+            for instruction in list(block.instructions):
+                if isinstance(instruction, MUnbox):
+                    expected = instruction.type
+                elif isinstance(instruction, MTypeBarrier):
+                    expected = instruction.expected
+                else:
+                    continue
+                operand = instruction.operands[0]
+                operand_type = self.type_of(operand)
+                proven = operand_type == expected or (
+                    expected == MIRType.DOUBLE and operand_type == MIRType.INT32
+                )
+                if proven:
+                    instruction.replace_all_uses_with(operand)
+                    block.remove_instruction(instruction)
+                    removed += 1
+        return removed
+
+    def run(self):
+        self.compute_types()
+        for block in list(self.graph.blocks):
+            for instruction in list(block.instructions):
+                if isinstance(instruction, MBinaryV):
+                    self._rewrite_binary(block, instruction)
+                elif isinstance(instruction, MUnaryV):
+                    self._rewrite_unary(block, instruction)
+                elif isinstance(instruction, MGetElemV):
+                    self._rewrite_getelem(block, instruction)
+                elif isinstance(instruction, MSetElemV):
+                    self._rewrite_setelem(block, instruction)
+                elif isinstance(instruction, MGetPropV):
+                    self._rewrite_getprop(block, instruction)
+                elif isinstance(instruction, MSetPropV):
+                    self._rewrite_setprop(block, instruction)
+        # Finalize phi types.
+        for block in self.graph.blocks:
+            for phi in block.phis:
+                phi.type = self.types.get(phi, MIRType.VALUE)
+        self.simplify_guards()
+        return self.graph
+
+    # -- helpers ------------------------------------------------------------------------
+
+    def _replace(self, block, old, new_instructions, result):
+        """Insert replacements before ``old``, rewire uses, remove ``old``.
+
+        The last resume point travels: the primary replacement (the one
+        flagged ``inherit_resume``) inherits ``old``'s resume point.
+        """
+        for new_instruction in new_instructions:
+            block.insert_before(old, new_instruction)
+        if result is not None:
+            old.replace_all_uses_with(result)
+        block.remove_instruction(old)
+
+    def _widen(self, block, anchor, definition):
+        """Ensure a numeric value is double-typed, inserting todouble."""
+        if self.type_of(definition) == MIRType.DOUBLE:
+            return definition
+        widen = MToDouble(definition)
+        block.insert_before(anchor, widen)
+        return widen
+
+    def _trunc(self, block, anchor, definition):
+        """Ensure a numeric value is int32-typed, inserting toint32."""
+        if self.type_of(definition) == MIRType.INT32:
+            return definition
+        trunc = MToInt32(definition)
+        block.insert_before(anchor, trunc)
+        return trunc
+
+    def _move_resume(self, old, new):
+        resume = old.resume_point
+        if resume is not None:
+            old.resume_point = None
+            new.attach_resume_point(resume)
+
+    # -- binary ------------------------------------------------------------------------------
+
+    def _rewrite_binary(self, block, instruction):
+        op = instruction.op
+        lhs, rhs = instruction.operands
+        lhs_type = self.type_of(lhs)
+        rhs_type = self.type_of(rhs)
+        result_type = _would_be_binary(op, lhs_type, rhs_type)
+
+        if op in _ARITH and result_type == MIRType.INT32:
+            new = MBinaryArithI(op, lhs, rhs)
+        elif op in _ARITH and result_type == MIRType.DOUBLE:
+            new = MBinaryArithD(
+                op,
+                self._widen(block, instruction, lhs),
+                self._widen(block, instruction, rhs),
+            )
+        elif op == Op.ADD and result_type == MIRType.STRING:
+            new = MConcat(lhs, rhs)
+        elif op in _DIVMOD and result_type == MIRType.DOUBLE:
+            new = MBinaryArithD(
+                op,
+                self._widen(block, instruction, lhs),
+                self._widen(block, instruction, rhs),
+            )
+        elif (op in _BITOPS or op == Op.USHR) and result_type == MIRType.INT32:
+            new = MBitOpI(
+                op,
+                self._trunc(block, instruction, lhs),
+                self._trunc(block, instruction, rhs),
+                is_guard=(op == Op.USHR),
+            )
+        elif op in _RELATIONAL or op in _EQUALITY:
+            kind = self._compare_kind(op, lhs_type, rhs_type)
+            if kind is None:
+                return
+            if kind == "d":
+                new = MCompare(
+                    op,
+                    kind,
+                    self._widen(block, instruction, lhs),
+                    self._widen(block, instruction, rhs),
+                )
+            else:
+                new = MCompare(op, kind, lhs, rhs)
+        else:
+            return
+        self._move_resume(instruction, new)
+        self._replace(block, instruction, [new], new)
+
+    @staticmethod
+    def _compare_kind(op, lhs_type, rhs_type):
+        if lhs_type == MIRType.INT32 and rhs_type == MIRType.INT32:
+            return "i"
+        if lhs_type == MIRType.BOOLEAN and rhs_type == MIRType.BOOLEAN:
+            return "i"
+        if lhs_type in _NUMERIC and rhs_type in _NUMERIC:
+            return "d"
+        if lhs_type == MIRType.STRING and rhs_type == MIRType.STRING:
+            return "s"
+        return None
+
+    # -- unary ------------------------------------------------------------------------------------
+
+    def _rewrite_unary(self, block, instruction):
+        op = instruction.op
+        operand = instruction.operands[0]
+        operand_type = self.type_of(operand)
+        if op == Op.NEG and operand_type == MIRType.INT32:
+            new = MNegI(operand)
+        elif op == Op.NEG and operand_type == MIRType.DOUBLE:
+            new = MNegD(operand)
+        elif op in (Op.POS, Op.TONUM) and operand_type in _NUMERIC:
+            # ToNumber of a number is the identity.
+            instruction.replace_all_uses_with(operand)
+            block.remove_instruction(instruction)
+            return
+        elif op == Op.BITNOT and operand_type in _NUMERIC:
+            minus_one = None
+            from repro.mir.instructions import MConstant
+
+            minus_one = MConstant(-1)
+            block.insert_before(instruction, minus_one)
+            new = MBitOpI(Op.BITXOR, self._trunc(block, instruction, operand), minus_one)
+        else:
+            return
+        self._move_resume(instruction, new)
+        self._replace(block, instruction, [new], new)
+
+    # -- element access -----------------------------------------------------------------------------
+
+    def _rewrite_getelem(self, block, instruction):
+        receiver, index = instruction.operands
+        if self.type_of(receiver) != MIRType.ARRAY or self.type_of(index) != MIRType.INT32:
+            return
+        length = MArrayLength(receiver)
+        check = MBoundsCheck(index, length)
+        self._move_resume(instruction, check)  # out-of-bounds re-runs GETELEM
+        load = MLoadElement(receiver, index)
+        self._replace(block, instruction, [length, check, load], load)
+
+    def _rewrite_setelem(self, block, instruction):
+        receiver, index, value = instruction.operands
+        if self.type_of(receiver) != MIRType.ARRAY or self.type_of(index) != MIRType.INT32:
+            return
+        length = MArrayLength(receiver)
+        check = MBoundsCheck(index, length)
+        self._move_resume(instruction, check)  # growing store bails out
+        store = MStoreElement(receiver, index, value)
+        self._replace(block, instruction, [length, check, store], None)
+
+    # -- property access -------------------------------------------------------------------------------
+
+    def _rewrite_getprop(self, block, instruction):
+        receiver = instruction.operands[0]
+        receiver_type = self.type_of(receiver)
+        name = instruction.name
+        if name == "length" and receiver_type == MIRType.ARRAY:
+            new = MArrayLength(receiver)
+        elif name == "length" and receiver_type == MIRType.STRING:
+            new = MStringLength(receiver)
+        elif receiver_type == MIRType.OBJECT:
+            new = MLoadProperty(receiver, name)
+        else:
+            return
+        self._move_resume(instruction, new)
+        self._replace(block, instruction, [new], new)
+
+    def _rewrite_setprop(self, block, instruction):
+        receiver, value = instruction.operands
+        if self.type_of(receiver) != MIRType.OBJECT:
+            return
+        new = MStoreProperty(receiver, value, instruction.name)
+        self._move_resume(instruction, new)
+        self._replace(block, instruction, [new], None)
+
+
+def specialize_types(graph):
+    """Run baseline type specialization on ``graph`` (in place)."""
+    return TypeSpecializer(graph).run()

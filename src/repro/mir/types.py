@@ -1,0 +1,90 @@
+"""MIR value types.
+
+``VALUE`` is the boxed "anything" type (IonMonkey's ``Value``); the
+others are unboxed representations produced by type specialization.
+The int32/double split mirrors IonMonkey's numeric representation
+choice (paper §3: "If the IonMonkey compiler infers that a numeric
+variable is an integer, then this type is used to compile that
+variable, instead of the more expensive floating point type").
+"""
+
+from repro.jsvm.objects import JSArray, JSObject
+from repro.jsvm.values import (
+    NULL,
+    UNDEFINED,
+    JSFunction,
+    NativeFunction,
+    is_int32,
+)
+
+
+class MIRType(object):
+    """Enumeration of MIR value types."""
+
+    VALUE = "Value"  # boxed, unknown runtime type
+    INT32 = "Int32"
+    DOUBLE = "Double"
+    BOOLEAN = "Boolean"
+    STRING = "String"
+    OBJECT = "Object"  # plain JSObject (not array)
+    ARRAY = "Array"
+    FUNCTION = "Function"
+    UNDEFINED = "Undefined"
+    NULL = "Null"
+
+    ALL = (VALUE, INT32, DOUBLE, BOOLEAN, STRING, OBJECT, ARRAY, FUNCTION, UNDEFINED, NULL)
+
+    #: Types a specialized numeric instruction can consume.
+    NUMERIC = (INT32, DOUBLE)
+
+
+#: Map from telemetry type tags (``repro.jsvm.values.type_tag``) to MIRType.
+_TAG_TO_MIRTYPE = {
+    "int": MIRType.INT32,
+    "double": MIRType.DOUBLE,
+    "bool": MIRType.BOOLEAN,
+    "string": MIRType.STRING,
+    "object": MIRType.OBJECT,
+    "array": MIRType.ARRAY,
+    "function": MIRType.FUNCTION,
+    "undefined": MIRType.UNDEFINED,
+    "null": MIRType.NULL,
+}
+
+
+def tag_to_mirtype(tag):
+    """Convert a profiler type tag to the MIRType it unboxes to."""
+    return _TAG_TO_MIRTYPE[tag]
+
+
+def mirtype_of_value(value):
+    """The precise MIRType of a concrete guest value."""
+    t = type(value)
+    if t is bool:
+        return MIRType.BOOLEAN
+    if t is int:
+        if is_int32(value):
+            return MIRType.INT32
+        return MIRType.DOUBLE
+    if t is float:
+        return MIRType.DOUBLE
+    if t is str:
+        return MIRType.STRING
+    if value is UNDEFINED:
+        return MIRType.UNDEFINED
+    if value is NULL:
+        return MIRType.NULL
+    if isinstance(value, (JSFunction, NativeFunction)):
+        return MIRType.FUNCTION
+    if isinstance(value, JSArray):
+        return MIRType.ARRAY
+    if isinstance(value, JSObject):
+        return MIRType.OBJECT
+    raise TypeError("not a guest value: %r" % (value,))
+
+
+def value_matches_mirtype(value, mirtype):
+    """Runtime check used by unbox guards in the native executor."""
+    if mirtype == MIRType.VALUE:
+        return True
+    return mirtype_of_value(value) == mirtype

@@ -1,0 +1,126 @@
+"""MIR structural invariant checker.
+
+Run after construction and after each optimization pass in tests; any
+violation is a bug in this package (:class:`CompilerError`), never in
+the guest program.
+"""
+
+from repro.errors import CompilerError
+
+
+def verify_graph(graph):
+    """Check SSA/CFG invariants; raises :class:`CompilerError` on failure."""
+    block_set = {id(block) for block in graph.blocks}
+    defined = set()
+
+    for block in graph.blocks:
+        if block.terminator is None:
+            raise CompilerError("block B%d has no terminator" % block.id)
+        for instruction in block.instructions[:-1]:
+            if instruction.is_control:
+                raise CompilerError(
+                    "control instruction %r in the middle of B%d" % (instruction, block.id)
+                )
+        for phi in block.phis:
+            if len(phi.operands) != len(block.predecessors):
+                raise CompilerError(
+                    "phi %r in B%d has %d operands for %d predecessors"
+                    % (phi, block.id, len(phi.operands), len(block.predecessors))
+                )
+        for successor in block.successors:
+            if id(successor) not in block_set:
+                raise CompilerError(
+                    "B%d branches to a block not in the graph" % block.id
+                )
+            if block not in successor.predecessors:
+                raise CompilerError(
+                    "B%d -> B%d edge missing from predecessor list"
+                    % (block.id, successor.id)
+                )
+        for predecessor in block.predecessors:
+            if id(predecessor) not in block_set:
+                raise CompilerError(
+                    "B%d has predecessor outside the graph" % block.id
+                )
+            if block not in predecessor.successors:
+                raise CompilerError(
+                    "B%d lists B%d as predecessor but there is no edge"
+                    % (block.id, predecessor.id)
+                )
+
+    # Def-use symmetry.
+    for block in graph.blocks:
+        for instruction in list(block.phis) + block.instructions:
+            defined.add(id(instruction))
+    for block in graph.blocks:
+        for instruction in list(block.phis) + block.instructions:
+            for operand in instruction.operands:
+                if id(operand) not in defined:
+                    raise CompilerError(
+                        "%r uses %r which is not defined in the graph"
+                        % (instruction, operand)
+                    )
+                if not any(c is instruction for c, _ in operand.uses):
+                    raise CompilerError(
+                        "use of v%d by v%d is not registered"
+                        % (operand.id, instruction.id)
+                    )
+            if instruction.resume_point is not None:
+                for operand in instruction.resume_point.operands:
+                    if id(operand) not in defined:
+                        raise CompilerError(
+                            "resume point of %r references undefined value" % instruction
+                        )
+    return True
+
+
+def verify_dominance(graph):
+    """Check that every definition dominates its uses.
+
+    Phi operands must dominate the end of the corresponding
+    predecessor block.  Resume-point operands are checked only on
+    guards: a non-guard's resume point is inert metadata and LICM may
+    legitimately hoist the instruction away from it.
+    """
+    from repro.opts.dominators import DominatorTree
+
+    tree = DominatorTree(graph)
+    positions = {}
+    for block in graph.blocks:
+        for index, instruction in enumerate(block.instructions):
+            positions[id(instruction)] = (block, index)
+        for phi in block.phis:
+            positions[id(phi)] = (block, -1)  # phis precede instructions
+
+    def dominates_use(value, use_block, use_position):
+        value_block, value_position = positions.get(id(value), (None, None))
+        if value_block is None:
+            raise CompilerError("use of value not present in graph: %r" % value)
+        if value_block is use_block:
+            return value_position < use_position
+        return tree.dominates(value_block, use_block)
+
+    for block in graph.blocks:
+        for phi in block.phis:
+            for index, operand in enumerate(phi.operands):
+                predecessor = block.predecessors[index]
+                # The operand must be available at the predecessor's end.
+                if not dominates_use(operand, predecessor, len(predecessor.instructions)):
+                    raise CompilerError(
+                        "phi %r operand v%d does not dominate predecessor B%d"
+                        % (phi, operand.id, predecessor.id)
+                    )
+        for index, instruction in enumerate(block.instructions):
+            for operand in instruction.operands:
+                if not dominates_use(operand, block, index):
+                    raise CompilerError(
+                        "%r uses v%d which does not dominate it" % (instruction, operand.id)
+                    )
+            if instruction.is_guard and instruction.resume_point is not None:
+                for operand in instruction.resume_point.operands:
+                    if not dominates_use(operand, block, index):
+                        raise CompilerError(
+                            "guard %r resume operand v%d does not dominate it"
+                            % (instruction, operand.id)
+                        )
+    return True

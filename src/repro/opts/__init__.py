@@ -1,0 +1,41 @@
+"""Optimization passes over MIR (and one over bytecode).
+
+The paper's configurable optimizations:
+
+* :mod:`repro.opts.param_spec` — parameter specialization (§3.2); the
+  graph-construction side lives in the MIR builder, the closure
+  inlining side (§3.7) in :mod:`repro.opts.inlining`.
+* :mod:`repro.opts.constprop` — constant propagation (§3.3).
+* :mod:`repro.opts.loop_inversion` — loop inversion (§3.4), done as a
+  bytecode rotation before MIR construction.
+* :mod:`repro.opts.dce` — dead-code elimination (§3.5).
+* :mod:`repro.opts.bounds_check` — array-bounds-check elimination
+  (§3.6) on top of :mod:`repro.opts.range_analysis`.
+
+Baseline (always-on, IonMonkey-equivalent) passes:
+
+* :mod:`repro.opts.gvn` — global value numbering [Alpern et al.].
+* :mod:`repro.opts.licm` — loop-invariant code motion.
+"""
+
+from repro.opts.dominators import DominatorTree
+from repro.opts.loops import find_loops
+from repro.opts.gvn import run_gvn
+from repro.opts.constprop import run_constant_propagation
+from repro.opts.dce import run_dce
+from repro.opts.licm import run_licm
+from repro.opts.loop_inversion import rotate_loops
+from repro.opts.bounds_check import run_bounds_check_elimination
+from repro.opts.inlining import run_inlining
+
+__all__ = [
+    "DominatorTree",
+    "find_loops",
+    "run_gvn",
+    "run_constant_propagation",
+    "run_dce",
+    "run_licm",
+    "rotate_loops",
+    "run_bounds_check_elimination",
+    "run_inlining",
+]

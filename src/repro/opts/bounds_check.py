@@ -1,0 +1,103 @@
+"""Array-bounds-check elimination (paper §3.6).
+
+Removes ``boundscheck`` guards when the trivial range analysis proves
+``0 <= index < length``:
+
+* the index must be a recognized induction variable (or a constant);
+* the array length must be known at compile time, which happens when
+  the array is itself a *specialization constant* — a concrete JSArray
+  reference baked in by parameter specialization — exactly the
+  situation of the paper's Figure 8(b), where ``s2``'s length is known
+  because ``s2`` is the baked-in reference ``0xFF3D8800``.
+
+Aliasing discipline: the length of a constant array is only trusted if
+nothing in the graph can change any array's length.  Guarded
+``storeelement`` instructions cannot grow an array (they bail out
+instead), so they are harmless; generic element/property stores and
+calls make the pass give up, the same conservative all-or-nothing
+aliasing the paper describes IonMonkey using.
+"""
+
+from repro.mir.instructions import (
+    MArrayLength,
+    MBoundsCheck,
+    MCall,
+    MConstant,
+    MNew,
+    MSetElemV,
+    MSetPropV,
+    MStoreGlobal,
+    MStoreProperty,
+)
+from repro.opts.loops import find_loops
+from repro.opts.range_analysis import compute_ranges
+from repro.jsvm.objects import JSArray
+
+#: Instruction classes that may (directly or through reentrancy)
+#: change some array's length.
+_LENGTH_CLOBBERS = (MSetElemV, MSetPropV, MCall, MNew, MStoreProperty, MStoreGlobal)
+
+
+def _graph_may_resize_arrays(graph):
+    for instruction in graph.all_instructions():
+        if isinstance(instruction, _LENGTH_CLOBBERS):
+            return True
+    return False
+
+
+def _known_length(length_def, may_resize):
+    """Compile-time array length, or None."""
+    if isinstance(length_def, MConstant) and type(length_def.value) is int:
+        return length_def.value
+    if isinstance(length_def, MArrayLength):
+        array = length_def.operands[0]
+        if isinstance(array, MConstant) and isinstance(array.value, JSArray):
+            if not may_resize:
+                return array.value.length
+    return None
+
+
+def run_bounds_check_elimination(graph):
+    """Remove provably safe bounds checks; returns the count removed."""
+    loops = find_loops(graph)
+    ranges = compute_ranges(graph, loops)
+    may_resize = _graph_may_resize_arrays(graph)
+
+    in_loop_blocks = {}
+    for loop in loops:
+        for block in loop.blocks:
+            in_loop_blocks.setdefault(id(block), []).append(loop)
+
+    removed = 0
+    for block in list(graph.blocks):
+        for instruction in list(block.instructions):
+            if not isinstance(instruction, MBoundsCheck):
+                continue
+            index_def, length_def = instruction.operands
+            length = _known_length(length_def, may_resize)
+            if length is None:
+                continue
+            index_range = _index_range(index_def, ranges, block, in_loop_blocks)
+            if index_range is None:
+                continue
+            low, high = index_range
+            if 0 <= low and high < length:
+                block.remove_instruction(instruction)
+                removed += 1
+    return removed
+
+
+def _index_range(index_def, ranges, block, in_loop_blocks):
+    """The index's [low, high], honouring loop-scoped ranges."""
+    if isinstance(index_def, MConstant) and type(index_def.value) is int:
+        return index_def.value, index_def.value
+    found = ranges.get(index_def)
+    if found is None:
+        return None
+    # Induction ranges hold for uses *inside* the loop body; a use
+    # after the loop may see the final (exceeding) value.
+    loops_here = in_loop_blocks.get(id(block), [])
+    index_loops = in_loop_blocks.get(id(index_def.block), [])
+    if not any(loop in loops_here for loop in index_loops):
+        return None
+    return found.low, found.high

@@ -1,0 +1,136 @@
+"""Dead-code elimination (paper §3.5).
+
+Runs after constant propagation "to give instruction folding the
+chance to transform conditional branches into simple boolean values":
+
+1. *Branch folding* — a ``test`` whose condition is a constant becomes
+   a ``goto``; the untaken edge is removed (phi operands trimmed).
+2. *Unreachable-block removal* — blocks no longer reachable from the
+   entry points are deleted.  The function entry block itself is
+   always kept, as the paper notes: the cached binary must remain
+   callable from its function entry point.
+3. *Dead-instruction elimination* — pure, removable instructions (and
+   phis) with no remaining uses are deleted, iterating to a fixed
+   point.  Resume-point references count as uses, so values the
+   interpreter would need after a bailout stay alive.
+4. *Trivial-phi cleanup* — collapsing the CFG leaves single-input
+   phis behind; they are forwarded.
+"""
+
+from repro.jsvm.values import to_boolean
+from repro.mir.instructions import EFFECT_STORE, MConstant, MGoto, MTest
+
+
+def fold_branches(graph):
+    """Rewrite constant ``test``s to ``goto``s; returns count folded."""
+    folded = 0
+    for block in list(graph.blocks):
+        terminator = block.terminator
+        if not isinstance(terminator, MTest):
+            continue
+        condition = terminator.operands[0]
+        if not isinstance(condition, MConstant):
+            continue
+        taken_index = 0 if to_boolean(condition.value) else 1
+        taken = terminator.successors[taken_index]
+        untaken = terminator.successors[1 - taken_index]
+        block.remove_instruction(terminator)
+        goto = MGoto(taken)
+        block.append(goto)
+        if untaken is not taken and block in untaken.predecessors:
+            untaken.remove_predecessor(block)
+        folded += 1
+    return folded
+
+
+def remove_dead_instructions(graph):
+    """Delete unused pure instructions and phis; returns count removed."""
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in graph.blocks:
+            for phi in list(block.phis):
+                if not phi.has_uses():
+                    block.remove_phi(phi)
+                    removed += 1
+                    changed = True
+            for instruction in list(block.instructions):
+                if instruction.is_control or not instruction.removable:
+                    continue
+                if instruction.effect == EFFECT_STORE:
+                    continue
+                if instruction.has_uses():
+                    continue
+                block.remove_instruction(instruction)
+                removed += 1
+                changed = True
+    return removed
+
+
+def simplify_trivial_phis(graph):
+    """Forward phis whose inputs are all identical (or self + one)."""
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in graph.blocks:
+            for phi in list(block.phis):
+                inputs = set(op for op in phi.operands if op is not phi)
+                if len(inputs) == 1:
+                    phi.replace_all_uses_with(inputs.pop())
+                    block.remove_phi(phi)
+                    removed += 1
+                    changed = True
+    return removed
+
+
+def merge_blocks(graph):
+    """Merge straight-line block pairs (goto to a single-pred block).
+
+    Standard CFG cleanup every compiler performs: ``B: ...; goto S``
+    where ``S`` has no other predecessors (and no phis) folds into one
+    block.  Entry blocks are never merged away.
+    """
+    merged = 0
+    entries = set(id(block) for block in graph.entries())
+    changed = True
+    while changed:
+        changed = False
+        for block in list(graph.blocks):
+            terminator = block.terminator
+            if not isinstance(terminator, MGoto):
+                continue
+            successor = terminator.successors[0]
+            if (
+                successor is block
+                or id(successor) in entries
+                or successor.phis
+                or len(successor.predecessors) != 1
+            ):
+                continue
+            block.remove_instruction(terminator)
+            for instruction in successor.instructions:
+                instruction.block = block
+            block.instructions.extend(successor.instructions)
+            successor.instructions = []
+            new_terminator = block.terminator
+            if new_terminator is not None:
+                for next_successor in new_terminator.successors:
+                    for index, predecessor in enumerate(next_successor.predecessors):
+                        if predecessor is successor:
+                            next_successor.predecessors[index] = block
+            graph.blocks.remove(successor)
+            merged += 1
+            changed = True
+    return merged
+
+
+def run_dce(graph):
+    """The full §3.5 pass; returns (branches folded, blocks removed,
+    instructions removed)."""
+    branches = fold_branches(graph)
+    blocks = graph.compact()
+    phis = simplify_trivial_phis(graph)
+    instructions = remove_dead_instructions(graph)
+    return branches, blocks, instructions + phis

@@ -1,0 +1,98 @@
+"""Loop-invariant code motion (baseline IonMonkey pass).
+
+Hoists loop-invariant computations into the loop preheader.  Two
+safety rules shape what may move:
+
+* **Aliasing** — heap loads move only when the loop body contains no
+  store-class instruction (the same naive alias analysis the paper
+  describes IonMonkey using).
+* **Faultability** — instructions that can raise a guest error (the
+  generic property/element/global loads) move only when the loop is
+  do-while shaped, i.e. guaranteed to execute at least once.  Loop
+  inversion produces exactly that shape, which is how it "improved the
+  effectiveness of IonMonkey's invariant code motion" on
+  ``string-unpack-code`` (paper §4).
+
+Guards never move (their resume points anchor them to a bytecode
+position), and loops reachable from the OSR entry keep their code in
+place because they have no usable preheader.
+"""
+
+from repro.mir.instructions import (
+    EFFECT_LOAD,
+    EFFECT_NONE,
+    EFFECT_STORE,
+    MGetElemV,
+    MGetPropV,
+    MLoadGlobal,
+)
+from repro.opts.dominators import DominatorTree
+from repro.opts.loops import find_loops
+
+#: Load-class instructions that may raise a guest error when executed.
+_FAULTABLE = (MGetElemV, MGetPropV, MLoadGlobal)
+
+
+def run_licm(graph):
+    """Hoist invariant code; returns the number of hoisted instructions."""
+    tree = DominatorTree(graph)
+    loops = find_loops(graph, tree)
+    hoisted = 0
+    # Outermost loops first, so code can migrate several levels out.
+    for loop in loops:
+        hoisted += _hoist_loop(loop)
+    return hoisted
+
+
+def _hoist_loop(loop):
+    preheader = loop.preheader()
+    if preheader is None or preheader.terminator is None:
+        return 0
+    guaranteed = loop.is_do_while_shaped()
+    has_store = any(
+        instruction.effect == EFFECT_STORE
+        for block in loop.blocks
+        for instruction in block.instructions
+    )
+
+    in_loop = set()
+    for block in loop.blocks:
+        for phi in block.phis:
+            in_loop.add(id(phi))
+        for instruction in block.instructions:
+            in_loop.add(id(instruction))
+
+    hoisted = 0
+    anchor = preheader.terminator
+    changed = True
+    while changed:
+        changed = False
+        for block in loop.blocks:
+            for instruction in list(block.instructions):
+                if not _hoistable(instruction, guaranteed, has_store):
+                    continue
+                if any(id(op) in in_loop for op in instruction.operands):
+                    continue
+                block.instructions.remove(instruction)
+                instruction.block = preheader
+                preheader.instructions.insert(
+                    preheader.instructions.index(anchor), instruction
+                )
+                in_loop.discard(id(instruction))
+                hoisted += 1
+                changed = True
+    return hoisted
+
+
+def _hoistable(instruction, guaranteed, has_store):
+    if instruction.is_control or instruction.is_guard or not instruction.movable:
+        return False
+    if instruction.effect == EFFECT_STORE:
+        return False
+    if instruction.effect == EFFECT_LOAD:
+        if has_store:
+            return False
+        if isinstance(instruction, _FAULTABLE) and not guaranteed:
+            return False
+        return True
+    return instruction.effect == EFFECT_NONE

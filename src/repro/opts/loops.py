@@ -1,0 +1,90 @@
+"""Natural-loop discovery from back edges.
+
+A back edge is an edge ``L -> H`` where ``H`` dominates ``L``; the
+natural loop is ``H`` plus every block that can reach ``L`` without
+passing through ``H``.  Loops sharing a header are merged, as usual.
+"""
+
+from repro.opts.dominators import DominatorTree
+
+
+class Loop(object):
+    """One natural loop."""
+
+    __slots__ = ("header", "latches", "body")
+
+    def __init__(self, header):
+        self.header = header
+        self.latches = []
+        #: Every block in the loop, header included.
+        self.body = {id(header): header}
+
+    def contains(self, block):
+        return id(block) in self.body
+
+    @property
+    def blocks(self):
+        return list(self.body.values())
+
+    def preheader(self):
+        """The unique predecessor of the header outside the loop, or None.
+
+        A loop entered both from straight-line code and from the OSR
+        block has two outside predecessors and therefore no preheader;
+        passes that need one (LICM) skip such loops.
+        """
+        outside = [p for p in self.header.predecessors if not self.contains(p)]
+        if len(outside) == 1:
+            return outside[0]
+        return None
+
+    def is_do_while_shaped(self):
+        """True when reaching the header guarantees one body execution.
+
+        After loop inversion the exit test sits in the latch, so every
+        successor of the header stays inside the loop.  LICM may then
+        hoist faultable loop-invariant code into the preheader without
+        changing behaviour for zero-trip loops (there are none).
+        """
+        return all(self.contains(successor) for successor in self.header.successors)
+
+    def exits(self):
+        """Edges (block, successor) leaving the loop."""
+        result = []
+        for block in self.body.values():
+            for successor in block.successors:
+                if not self.contains(successor):
+                    result.append((block, successor))
+        return result
+
+    def __repr__(self):
+        return "<Loop header=B%d blocks=%d>" % (self.header.id, len(self.body))
+
+
+def find_loops(graph, dominator_tree=None):
+    """Return the graph's natural loops, innermost last."""
+    tree = dominator_tree if dominator_tree is not None else DominatorTree(graph)
+    loops = {}
+    for block in graph.blocks:
+        for successor in block.successors:
+            if tree.dominates(successor, block):
+                loop = loops.get(id(successor))
+                if loop is None:
+                    loop = Loop(successor)
+                    loops[id(successor)] = loop
+                loop.latches.append(block)
+                _flood(loop, block)
+    ordered = sorted(loops.values(), key=lambda l: len(l.body), reverse=True)
+    return ordered
+
+
+def _flood(loop, latch):
+    """Add every block reaching ``latch`` without crossing the header."""
+    stack = [latch]
+    while stack:
+        block = stack.pop()
+        if id(block) in loop.body:
+            continue
+        loop.body[id(block)] = block
+        for predecessor in block.predecessors:
+            stack.append(predecessor)

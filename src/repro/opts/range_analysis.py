@@ -1,0 +1,150 @@
+"""Trivial induction-variable range analysis (paper §3.6).
+
+The paper keeps its optimizer simple: it only recognizes variables
+defined by the pattern ``i0 = exp; i1 = phi(i0, i2); i2 = i1 + c`` and
+estimates their ranges from the loop's controlling comparison.  We
+implement the same recognizer:
+
+* an *induction phi* in a loop header with a constant (or
+  constant-range) initial value and a ``phi + c`` increment (c > 0)
+  flowing around the back edge;
+* a loop-controlling test ``x < bound`` / ``x <= bound`` with ``bound``
+  a compile-time constant — which, after parameter specialization,
+  loop bounds frequently are;
+* derived ranges for the increment definition.
+
+Ranges are inclusive ``[low, high]`` integer pairs.
+"""
+
+from repro.jsvm.bytecode import Op
+from repro.mir.instructions import MBinaryArithI, MCompare, MConstant, MPhi, MTest
+
+
+class Range(object):
+    """An inclusive integer interval."""
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low, high):
+        self.low = low
+        self.high = high
+
+    def __repr__(self):
+        return "[%d, %d]" % (self.low, self.high)
+
+
+def _constant_int(definition):
+    if isinstance(definition, MConstant) and type(definition.value) is int:
+        return definition.value
+    return None
+
+
+def _induction_increment(phi):
+    """Return (increment_def, step) for ``i2 = i1 + c`` patterns."""
+    for operand in phi.operands:
+        if not isinstance(operand, MBinaryArithI) or operand.op != Op.ADD:
+            continue
+        lhs, rhs = operand.operands
+        if lhs is phi:
+            step = _constant_int(rhs)
+        elif rhs is phi:
+            step = _constant_int(lhs)
+        else:
+            continue
+        if step is not None and step > 0:
+            return operand, step
+    return None, None
+
+
+def _loop_bound(loop, phi, increment):
+    """Find ``tested < bound`` controlling the loop; returns the
+    inclusive maximum of the *tested* definition, or None."""
+    for block, _exit_target in loop.exits():
+        # Soundness: only the header test or a latch test bounds every
+        # trip around the back edge.  A conditional `break` elsewhere
+        # does not constrain the induction variable.
+        if block is not loop.header and block not in loop.latches:
+            continue
+        terminator = block.terminator
+        if not isinstance(terminator, MTest):
+            continue
+        condition = terminator.operands[0]
+        if not isinstance(condition, MCompare):
+            continue
+        lhs, rhs = condition.operands
+        op = condition.op
+        # Normalize to tested-on-the-left.
+        if lhs in (phi, increment):
+            tested, bound = lhs, rhs
+        elif rhs in (phi, increment):
+            tested, bound = rhs, lhs
+            op = {Op.LT: Op.GT, Op.LE: Op.GE, Op.GT: Op.LT, Op.GE: Op.LE}.get(op, op)
+        else:
+            continue
+        bound_value = _constant_int(bound)
+        if bound_value is None:
+            continue
+        # The loop continues while the condition holds on the body edge.
+        body_successor = terminator.successors[0]
+        if not loop.contains(body_successor):
+            # Branch polarity: true edge exits, so the loop continues
+            # while the *negation* holds.
+            op = {Op.LT: Op.GE, Op.LE: Op.GT, Op.GT: Op.LE, Op.GE: Op.LT}[op] if op in (
+                Op.LT,
+                Op.LE,
+                Op.GT,
+                Op.GE,
+            ) else op
+        if op == Op.LT:
+            maximum = bound_value - 1
+        elif op == Op.LE:
+            maximum = bound_value
+        else:
+            continue  # decreasing loops: out of the paper's pattern
+        return tested, maximum
+    return None, None
+
+
+def compute_ranges(graph, loops):
+    """Map definition -> :class:`Range` for recognized variables.
+
+    Keyed by the definition objects (identity hash), never ``id()``,
+    so entries cannot be confused across allocation reuse.
+    """
+    ranges = {}
+    for loop in loops:
+        for phi in loop.header.phis:
+            if not isinstance(phi, MPhi):
+                continue
+            increment, step = _induction_increment(phi)
+            if increment is None:
+                continue
+            initials = []
+            for operand in phi.operands:
+                if operand is increment:
+                    continue
+                value = _constant_int(operand)
+                if value is None:
+                    initials = None
+                    break
+                initials.append(value)
+            if not initials:
+                continue
+            tested, maximum = _loop_bound(loop, phi, increment)
+            if tested is None:
+                continue
+            if tested is increment:
+                # phi's value is the previous increment, bounded by max;
+                # the initial values enter directly.
+                phi_high = max(initials + [maximum])
+            else:
+                phi_high = max(initials + [maximum])
+            phi_low = min(initials)
+            ranges[phi] = Range(phi_low, phi_high)
+            ranges[increment] = Range(phi_low + step, phi_high + step)
+            if tested is increment:
+                # The increment itself never exceeds the bound inside
+                # the loop body *after* the test; conservatively keep
+                # the shifted range computed above.
+                pass
+    return ranges

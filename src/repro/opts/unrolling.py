@@ -1,0 +1,230 @@
+"""Loop unrolling under value specialization (paper §6 future work).
+
+"It is our intention to re-implement other classic compiler
+optimizations such as loop-unrolling ... in the context of
+runtime-value specialization."  This extension does exactly that for
+the profitable case specialization creates: once parameters are
+constants, many loop trip counts become compile-time constants, and a
+short counted loop can be *fully unrolled* — after which constant
+propagation frequently evaluates the whole loop away.
+
+Scope (deliberately conservative):
+
+* single-block loops (header == latch == body), the shape loop
+  inversion produces for simple counted loops;
+* one recognized induction variable ``i = phi(init, i + step)`` with
+  constant ``init``/``step``/bound and a ``<``/``<=`` latch test;
+* trip count and code growth under small fixed budgets;
+* no calls inside the body (stores and guards are fine — each clone
+  keeps its own resume point, with operands remapped to that
+  iteration's values).
+
+Off in every configuration the paper measures; enable with
+``OptConfig(..., unroll=True)``.
+"""
+
+import copy
+
+from repro.jsvm.bytecode import Op
+from repro.mir.instructions import (
+    MCall,
+    MCompare,
+    MConstant,
+    MGoto,
+    MNew,
+    MPhi,
+    MTest,
+    ResumePoint,
+)
+from repro.opts.loops import find_loops
+from repro.opts.range_analysis import _constant_int, _induction_increment
+
+#: Maximum trip count eligible for full unrolling.
+MAX_TRIP_COUNT = 12
+#: Maximum body size (instructions) eligible.
+MAX_BODY_SIZE = 24
+#: Maximum total instructions added per loop.
+MAX_GROWTH = 160
+
+
+def run_unrolling(graph):
+    """Fully unroll eligible constant-trip-count loops.
+
+    Returns the number of loops unrolled.
+    """
+    from repro.opts.dce import merge_blocks
+
+    # Rotated counted loops are a body block plus a latch-test block;
+    # folding straight-line chains first gives the single-block shape.
+    merge_blocks(graph)
+    unrolled = 0
+    # Re-discover loops after each unroll (the CFG changed).
+    changed = True
+    while changed:
+        changed = False
+        for loop in find_loops(graph):
+            if _try_unroll(graph, loop):
+                unrolled += 1
+                changed = True
+                break
+    return unrolled
+
+
+def _try_unroll(graph, loop):
+    header = loop.header
+    if len(loop.body) != 1 or loop.latches != [header]:
+        return False
+    terminator = header.terminator
+    if not isinstance(terminator, MTest):
+        return False
+    if terminator.successors[0] is not header:
+        return False  # loop continues on the true edge in our shape
+    exit_block = terminator.successors[1]
+    if exit_block is header:
+        return False
+    outside_preds = [p for p in header.predecessors if p is not header]
+    if len(outside_preds) != 1:
+        return False  # OSR-entered or irreducible: leave it alone
+    preheader = outside_preds[0]
+    entry_index = header.predecessors.index(preheader)
+    back_index = header.predecessors.index(header)
+
+    if len(header.instructions) > MAX_BODY_SIZE:
+        return False
+    for instruction in header.instructions:
+        if isinstance(instruction, (MCall, MNew)):
+            return False
+
+    trip_count = _trip_count(header, entry_index)
+    if trip_count is None or trip_count > MAX_TRIP_COUNT:
+        return False
+    if trip_count * len(header.instructions) > MAX_GROWTH:
+        return False
+
+    # --- clone the body trip_count times -----------------------------------
+    phis = list(header.phis)
+    current = {phi: phi.operands[entry_index] for phi in phis}
+    blocks = []
+    for _iteration in range(trip_count):
+        block = graph.new_block()
+        value_map = dict(current)
+        for instruction in header.instructions[:-1]:
+            clone = _clone_instruction(instruction, value_map)
+            block.append(clone)
+            value_map[instruction] = clone
+        blocks.append((block, value_map))
+        current = {
+            phi: value_map.get(phi.operands[back_index], phi.operands[back_index])
+            for phi in phis
+        }
+
+    # --- wire the chain ------------------------------------------------------
+    for position, (block, _value_map) in enumerate(blocks):
+        goto = MGoto(None)
+        block.append(goto)
+        if position + 1 < len(blocks):
+            target = blocks[position + 1][0]
+        else:
+            target = exit_block
+        goto.successors[0] = target
+        if position + 1 < len(blocks):
+            target.add_predecessor(block)
+
+    first_block = blocks[0][0]
+    last_block, last_map = blocks[-1]
+
+    # Preheader now enters the first clone.
+    pre_terminator = preheader.terminator
+    for index, successor in enumerate(pre_terminator.successors):
+        if successor is header:
+            pre_terminator.successors[index] = first_block
+    first_block.add_predecessor(preheader)
+
+    # The exit keeps its phi-operand order: swap the header for the
+    # last clone in place.
+    exit_index = exit_block.predecessors.index(header)
+    exit_block.predecessors[exit_index] = last_block
+
+    # Redirect surviving uses of loop definitions to their final
+    # (exit-time) values.
+    for phi in phis:
+        phi.replace_all_uses_with(current[phi])
+    for instruction in header.instructions[:-1]:
+        final = last_map.get(instruction)
+        if final is not None:
+            instruction.replace_all_uses_with(final)
+
+    # Delete the original loop body.
+    for phi in list(header.phis):
+        header.remove_phi(phi)
+    for instruction in list(header.instructions):
+        header.remove_instruction(instruction)
+    graph.blocks.remove(header)
+    return True
+
+
+def _trip_count(header, entry_index):
+    """Exact body-execution count for the recognized induction shape."""
+    terminator = header.terminator
+    condition = terminator.operands[0]
+    if not isinstance(condition, MCompare) or condition.op not in (Op.LT, Op.LE):
+        return None
+    for phi in header.phis:
+        increment, step = _induction_increment(phi)
+        if increment is None:
+            continue
+        init = _constant_int(phi.operands[entry_index])
+        if init is None:
+            continue
+        lhs, rhs = condition.operands
+        if lhs is phi:
+            tested_is_phi = True
+        elif lhs is increment:
+            tested_is_phi = False
+        else:
+            continue
+        bound = _constant_int(rhs)
+        if bound is None:
+            continue
+
+        def continues(value):
+            return value < bound if condition.op == Op.LT else value <= bound
+
+        i = init
+        count = 0
+        while True:
+            count += 1
+            if count > MAX_TRIP_COUNT:
+                return None
+            nxt = i + step
+            tested = i if tested_is_phi else nxt
+            if not continues(tested):
+                return count
+            i = nxt
+    return None
+
+
+def _clone_instruction(instruction, value_map):
+    """Copy one instruction, remapping operands (and its snapshot)."""
+    clone = copy.copy(instruction)
+    clone.id = -1
+    clone.block = None
+    clone.uses = []
+    clone.resume_point = None
+    clone.operands = []
+    for operand in instruction.operands:
+        mapped = value_map.get(operand, operand)
+        clone.operands.append(mapped)
+        mapped.add_use(clone, len(clone.operands) - 1)
+    resume = instruction.resume_point
+    if resume is not None:
+        clone.attach_resume_point(
+            ResumePoint(
+                resume.pc,
+                resume.mode,
+                [value_map.get(o, o) for o in resume.args],
+                [value_map.get(o, o) for o in resume.locals],
+                [value_map.get(o, o) for o in resume.stack],
+            )
+        )
+    return clone

@@ -1,0 +1,18 @@
+"""Telemetry: the measurement apparatus behind the paper's Section 2
+histograms and the Section 4 code-size study."""
+
+from repro.telemetry.histograms import (
+    CallProfiler,
+    histogram,
+    percent_histogram,
+    type_distribution,
+)
+from repro.telemetry.codesize import CodeSizeReport
+
+__all__ = [
+    "CallProfiler",
+    "histogram",
+    "percent_histogram",
+    "type_distribution",
+    "CodeSizeReport",
+]

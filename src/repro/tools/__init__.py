@@ -1,0 +1,5 @@
+"""Command-line tooling: ``python -m repro <command>``."""
+
+from repro.tools.cli import main
+
+__all__ = ["main"]

@@ -1,0 +1,238 @@
+"""The ``repro`` command line interface.
+
+Subcommands::
+
+    python -m repro run script.js [--config all] [--stats]
+    python -m repro profile script.js
+    python -m repro disasm script.js --function f [--config all]
+    python -m repro bench --suite sunspider [--configs PS,PS+CP,all]
+    python -m repro configs
+
+``run`` executes a guest script under the JIT; ``profile`` prints the
+Section 2-style call histogram for it; ``disasm`` shows a function's
+optimized MIR and native code; ``bench`` runs a suite sweep and prints
+its Figure 9 row; ``configs`` lists the available optimization
+configurations.
+"""
+
+import argparse
+import sys
+
+from repro.engine.config import BASELINE, EXTENDED, FULL_SPEC, PAPER_CONFIGS
+from repro.engine.runtime_engine import Engine
+
+
+def _config_registry():
+    registry = {"baseline": BASELINE, "extended": EXTENDED}
+    for config in PAPER_CONFIGS:
+        registry[config.name] = config
+    return registry
+
+
+def _resolve_config(name):
+    registry = _config_registry()
+    if name not in registry:
+        raise SystemExit(
+            "unknown config %r; available: %s" % (name, ", ".join(sorted(registry)))
+        )
+    return registry[name]
+
+
+def _read_source(path):
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+# -- subcommands -------------------------------------------------------------
+
+
+def cmd_run(args, out):
+    """``repro run``: execute a guest script under the JIT."""
+    config = _resolve_config(args.config)
+    engine = Engine(config=config, spec_cache_capacity=args.cache_capacity)
+    printed = engine.run_source(_read_source(args.script))
+    for line in printed:
+        out.write(line + "\n")
+    if args.stats:
+        out.write("\n-- engine stats (%s) --\n" % config.describe())
+        for key, value in sorted(engine.stats.summary().items()):
+            out.write("%-18s %s\n" % (key, value))
+    return 0
+
+
+def cmd_profile(args, out):
+    """``repro profile``: Section 2-style call histogram."""
+    from repro.jsvm.interpreter import Interpreter
+    from repro.telemetry.histograms import CallProfiler
+
+    profiler = CallProfiler()
+    interpreter = Interpreter(profiler=profiler)
+    interpreter.run_source(_read_source(args.script))
+    out.write("functions: %d\n" % profiler.num_functions)
+    out.write("called once: %.2f%%\n" % (100 * profiler.fraction_called_once()))
+    out.write(
+        "single argument set: %.2f%%\n" % (100 * profiler.fraction_single_argument_set())
+    )
+    out.write("\n%-24s %10s %14s\n" % ("function", "calls", "argument sets"))
+    profiles = sorted(
+        profiler.profiles.values(), key=lambda p: p.call_count, reverse=True
+    )
+    for profile in profiles[: args.top]:
+        out.write(
+            "%-24s %10d %14d\n"
+            % (profile.name, profile.call_count, profile.distinct_argument_sets)
+        )
+    return 0
+
+
+def cmd_disasm(args, out):
+    """``repro disasm``: bytecode, optimized MIR and native code."""
+    from repro.engine.jit import compile_function
+    from repro.jsvm.bytecompiler import compile_source
+    from repro.jsvm.feedback import TypeFeedback
+    from repro.jsvm.interpreter import Interpreter
+    from repro.mir.printer import format_graph
+    from repro.opts.loop_inversion import rotate_loops
+
+    config = _resolve_config(args.config)
+    source = _read_source(args.script)
+    toplevel = compile_source(source)
+
+    functions = {}
+
+    def collect(code):
+        for constant in code.constants:
+            if hasattr(constant, "instructions"):
+                functions[constant.name] = constant
+                collect(constant)
+
+    collect(toplevel)
+    if args.function not in functions:
+        raise SystemExit(
+            "no function %r; found: %s" % (args.function, ", ".join(sorted(functions)))
+        )
+    target = functions[args.function]
+
+    # Warm up interpreted so the compiler sees real type feedback.
+    for code in functions.values():
+        code.feedback = TypeFeedback(code.num_params)
+    interpreter = Interpreter()
+    original = interpreter.call_function
+    recorded = {}
+
+    def recording(function, this_value, call_args):
+        if function.code.feedback is not None:
+            function.code.feedback.record_args(call_args, this_value)
+        if function.code is target and "args" not in recorded:
+            recorded["args"] = list(call_args)
+            recorded["this"] = this_value
+        return original(function, this_value, call_args)
+
+    interpreter.call_function = recording
+    interpreter.run_code(toplevel)
+
+    if config.loop_inversion:
+        rotate_loops(target, recursive=False)
+
+    param_values = recorded.get("args") if config.param_spec else None
+    result = compile_function(
+        target,
+        config,
+        feedback=target.feedback,
+        param_values=param_values,
+        this_value=recorded.get("this"),
+        keep_graph=True,
+    )
+    out.write("; config: %s\n" % config.describe())
+    if param_values is not None:
+        out.write("; specialized on: %r\n" % (param_values,))
+    out.write("\n== bytecode ==\n")
+    out.write(target.disassemble() + "\n")
+    out.write("\n== optimized MIR ==\n")
+    out.write(format_graph(result.graph) + "\n")
+    out.write("\n== native code (%d instructions) ==\n" % result.native.size)
+    out.write(result.native.disassemble() + "\n")
+    return 0
+
+
+def cmd_bench(args, out):
+    """``repro bench``: one suite's Figure 9 rows."""
+    from repro.bench.harness import format_figure9, run_suite_sweep
+    from repro.workloads import ALL_SUITES
+
+    if args.suite not in ALL_SUITES:
+        raise SystemExit(
+            "unknown suite %r; available: %s" % (args.suite, ", ".join(sorted(ALL_SUITES)))
+        )
+    if args.configs:
+        configs = [_resolve_config(name) for name in args.configs.split(",")]
+    else:
+        configs = PAPER_CONFIGS
+    sweep = run_suite_sweep(args.suite, ALL_SUITES[args.suite], configs=configs)
+    out.write(format_figure9([sweep], configs, "total_cycles", "runtime speedup") + "\n")
+    out.write(
+        format_figure9([sweep], configs, "compile_cycles", "compilation overhead") + "\n"
+    )
+    return 0
+
+
+def cmd_configs(args, out):
+    """``repro configs``: list optimization configurations."""
+    registry = _config_registry()
+    for name in sorted(registry):
+        out.write("%-14s %s\n" % (name, registry[name].describe()))
+    return 0
+
+
+# -- entry point --------------------------------------------------------------
+
+
+def build_parser():
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Just-in-Time Value Specialization (CGO 2013) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a guest script under the JIT")
+    run.add_argument("script", help="path to a guest script, or - for stdin")
+    run.add_argument("--config", default="all", help="optimization config (see `configs`)")
+    run.add_argument("--stats", action="store_true", help="print engine statistics")
+    run.add_argument(
+        "--cache-capacity", type=int, default=1, help="specialized binaries kept per function"
+    )
+    run.set_defaults(handler=cmd_run)
+
+    profile = sub.add_parser("profile", help="print the call/argument-set profile")
+    profile.add_argument("script")
+    profile.add_argument("--top", type=int, default=20, help="rows to display")
+    profile.set_defaults(handler=cmd_profile)
+
+    disasm = sub.add_parser("disasm", help="show a function's MIR and native code")
+    disasm.add_argument("script")
+    disasm.add_argument("--function", required=True, help="guest function name")
+    disasm.add_argument("--config", default="all")
+    disasm.set_defaults(handler=cmd_disasm)
+
+    bench = sub.add_parser("bench", help="run a suite sweep (Figure 9 row)")
+    bench.add_argument("--suite", required=True, help="sunspider | v8 | kraken")
+    bench.add_argument("--configs", help="comma-separated config names (default: all 11)")
+    bench.set_defaults(handler=cmd_bench)
+
+    configs = sub.add_parser("configs", help="list optimization configurations")
+    configs.set_defaults(handler=cmd_configs)
+    return parser
+
+
+def main(argv=None, out=None):
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args, out if out is not None else sys.stdout)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+"""Benchmark workloads: the evaluation substrate.
+
+Three suites of guest programs stand in for SunSpider 1.0, V8 v6 and
+Kraken 1.1 (see DESIGN.md's substitution ledger), plus the synthetic
+web corpus that stands in for the Alexa top-100 study.
+"""
+
+from repro.workloads.benchmark import Benchmark
+from repro.workloads.sunspider import SUNSPIDER
+from repro.workloads.v8 import V8
+from repro.workloads.kraken import KRAKEN
+from repro.workloads.web import (
+    WebCorpusConfig,
+    generate_web_trace,
+    generate_website_program,
+    WEBSITES,
+)
+
+ALL_SUITES = {"sunspider": SUNSPIDER, "v8": V8, "kraken": KRAKEN}
+
+
+def suite(name):
+    """Look up a suite by name: 'sunspider', 'v8' or 'kraken'."""
+    return ALL_SUITES[name]
+
+
+__all__ = [
+    "Benchmark",
+    "suite",
+    "ALL_SUITES",
+    "SUNSPIDER",
+    "V8",
+    "KRAKEN",
+    "WebCorpusConfig",
+    "generate_web_trace",
+    "generate_website_program",
+    "WEBSITES",
+]

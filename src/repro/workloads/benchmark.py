@@ -1,0 +1,14 @@
+"""The Benchmark record shared by all suite modules."""
+
+
+class Benchmark(object):
+    """One benchmark program: a name and guest source code."""
+
+    __slots__ = ("name", "source")
+
+    def __init__(self, name, source):
+        self.name = name
+        self.source = source
+
+    def __repr__(self):
+        return "<Benchmark %s>" % self.name

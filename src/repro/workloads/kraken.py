@@ -1,0 +1,353 @@
+"""Kraken-1.1-style benchmark suite.
+
+Kraken is dominated by long-running numeric kernels over typed-ish
+arrays: audio DSP (beat detection, FFT), imaging filters (gaussian
+blur, desaturation), crypto (AES/CCM bit mixing) and JSON-ish string
+parsing.  Matching the paper's Figure 3 for Kraken, a large fraction
+of functions are called exactly once (big drivers) or always with the
+same arguments (kernels re-invoked on the same buffers) — Kraken had
+the highest single-argument-set rate (55.91%) of the three suites.
+"""
+
+from repro.workloads.benchmark import Benchmark
+
+# stanford-crypto-ccm flavour: byte mixing over a constant buffer; the
+# hot anonymous kernel is always called with the same array.
+CRYPTO_CCM = Benchmark(
+    "stanford-crypto-ccm",
+    """
+    var xorRound = function(words, key) {
+        var acc = 0;
+        for (var i = 0; i < words.length; i++) {
+            words[i] = ((words[i] ^ key) + ((words[i] << 5) & 0xffff)) & 0xffff;
+            acc = (acc + words[i]) & 0xffff;
+        }
+        return acc;
+    };
+    function driver() {
+        var words = [];
+        for (var i = 0; i < 64; i++) words[i] = (i * 2654435761) & 0xffff;
+        var mac = 0;
+        for (var round = 0; round < 220; round++)
+            mac = (mac + xorRound(words, 0x5a5a)) & 0xffff;
+        return mac;
+    }
+    print(driver());
+    """,
+)
+
+AUDIO_BEAT_DETECTION = Benchmark(
+    "audio-beat-detection",
+    """
+    function energy(samples, from, to) {
+        var e = 0.0;
+        for (var i = from; i < to; i++) e += samples[i] * samples[i];
+        return e;
+    }
+    function detectBeats(samples, window) {
+        var beats = 0;
+        var history = 0.0;
+        var count = 0;
+        for (var at = 0; at + window <= samples.length; at += window) {
+            var e = energy(samples, at, at + window);
+            count++;
+            var average = history / count;
+            if (count > 8 && e > 1.4 * average) beats++;
+            history += e;
+        }
+        return beats;
+    }
+    function driver() {
+        var samples = [];
+        for (var i = 0; i < 2200; i++) {
+            var base = Math.sin(i * 0.13) * 0.3;
+            if ((i / 100 | 0) % 4 == 0) base += Math.sin(i * 1.7) * 0.9;
+            samples[i] = base;
+        }
+        var total = 0;
+        for (var round = 0; round < 10; round++)
+            total += detectBeats(samples, 100);
+        return total;
+    }
+    print(driver());
+    """,
+)
+
+AUDIO_FFT = Benchmark(
+    "audio-fft",
+    """
+    function butterfly(re, im, n) {
+        var checksum = 0.0;
+        for (var span = 1; span < n; span <<= 1) {
+            for (var i = 0; i + span < n; i += span << 1) {
+                for (var j = 0; j < span; j++) {
+                    var a = i + j, b = i + j + span;
+                    var tr = re[b] * 0.7071 - im[b] * 0.7071;
+                    var ti = re[b] * 0.7071 + im[b] * 0.7071;
+                    re[b] = re[a] - tr;
+                    im[b] = im[a] - ti;
+                    re[a] += tr;
+                    im[a] += ti;
+                }
+            }
+        }
+        for (var i = 0; i < n; i++) checksum += re[i] * re[i] + im[i] * im[i];
+        return checksum;
+    }
+    function driver() {
+        var n = 256;
+        var total = 0.0;
+        for (var round = 0; round < 6; round++) {
+            var re = [], im = [];
+            for (var i = 0; i < n; i++) { re[i] = Math.sin(i); im[i] = 0.0; }
+            total += butterfly(re, im, n);
+        }
+        return total;
+    }
+    print(driver().toFixed(2));
+    """,
+)
+
+IMAGING_GAUSSIAN_BLUR = Benchmark(
+    "imaging-gaussian-blur",
+    """
+    function blurRow(src, dst, width, y, kernel, ksum) {
+        var base = y * width;
+        for (var x = 2; x < width - 2; x++) {
+            var acc = 0;
+            acc += src[base + x - 2] * kernel[0];
+            acc += src[base + x - 1] * kernel[1];
+            acc += src[base + x] * kernel[2];
+            acc += src[base + x + 1] * kernel[3];
+            acc += src[base + x + 2] * kernel[4];
+            dst[base + x] = (acc / ksum) | 0;
+        }
+        return dst[base + 2];
+    }
+    function blur(src, dst, width, height, kernel, ksum) {
+        var check = 0;
+        for (var y = 0; y < height; y++)
+            check = (check + blurRow(src, dst, width, y, kernel, ksum)) & 0xffff;
+        return check;
+    }
+    function driver() {
+        var width = 64, height = 24;
+        var src = [], dst = [];
+        for (var i = 0; i < width * height; i++) { src[i] = (i * 31) & 255; dst[i] = 0; }
+        var kernel = [1, 4, 6, 4, 1];
+        var total = 0;
+        for (var round = 0; round < 25; round++)
+            total = (total + blur(src, dst, width, height, kernel, 16)) & 0xffff;
+        return total;
+    }
+    print(driver());
+    """,
+)
+
+IMAGING_DESATURATE = Benchmark(
+    "imaging-desaturate",
+    """
+    function desaturate(pixels) {
+        var sum = 0;
+        for (var i = 0; i + 2 < pixels.length; i += 3) {
+            var grey = ((pixels[i] * 77 + pixels[i + 1] * 151 + pixels[i + 2] * 28) >> 8) & 255;
+            pixels[i] = grey;
+            pixels[i + 1] = grey;
+            pixels[i + 2] = grey;
+            sum = (sum + grey) & 0xffffff;
+        }
+        return sum;
+    }
+    function driver() {
+        var pixels = [];
+        for (var i = 0; i < 1800; i++) pixels[i] = (i * 97) & 255;
+        var total = 0;
+        for (var round = 0; round < 28; round++)
+            total = (total + desaturate(pixels)) & 0xffffff;
+        return total;
+    }
+    print(driver());
+    """,
+)
+
+JSON_PARSE = Benchmark(
+    "json-parse-financial",
+    """
+    function skipSpace(text, at) {
+        while (at < text.length && text.charAt(at) == " ") at++;
+        return at;
+    }
+    function parseNumber(text, at) {
+        var value = 0;
+        while (at < text.length) {
+            var c = text.charCodeAt(at);
+            if (c < 48 || c > 57) break;
+            value = value * 10 + (c - 48);
+            at++;
+        }
+        return value;
+    }
+    function parseArray(text) {
+        var at = 1;
+        var total = 0, count = 0;
+        while (at < text.length && text.charAt(at) != "]") {
+            at = skipSpace(text, at);
+            total += parseNumber(text, at);
+            while (at < text.length && text.charAt(at) != "," && text.charAt(at) != "]") at++;
+            if (text.charAt(at) == ",") at++;
+            count++;
+        }
+        return total + count;
+    }
+    function driver() {
+        var doc = "[";
+        for (var i = 0; i < 70; i++) doc += (i * 37 % 1000) + ", ";
+        doc += "0]";
+        var total = 0;
+        for (var round = 0; round < 60; round++)
+            total += parseArray(doc);
+        return total;
+    }
+    print(driver());
+    """,
+)
+
+KRAKEN = [
+    CRYPTO_CCM,
+    AUDIO_BEAT_DETECTION,
+    AUDIO_FFT,
+    IMAGING_GAUSSIAN_BLUR,
+    IMAGING_DESATURATE,
+    JSON_PARSE,
+]
+
+
+AI_ASTAR = Benchmark(
+    "ai-astar",
+    """
+    function Node2(x, y) {
+        this.x = x;
+        this.y = y;
+        this.g = 0;
+        this.h = 0;
+        this.parent = null;
+    }
+    function heuristic(x0, y0, x1, y1) {
+        var dx = x0 > x1 ? x0 - x1 : x1 - x0;
+        var dy = y0 > y1 ? y0 - y1 : y1 - y0;
+        return dx + dy;
+    }
+    function search(grid, width, height) {
+        var open = [new Node2(0, 0)];
+        var visited = [];
+        for (var i = 0; i < width * height; i++) visited[i] = false;
+        var expansions = 0;
+        while (open.length > 0) {
+            var bestIndex = 0;
+            for (var i = 1; i < open.length; i++)
+                if (open[i].g + open[i].h < open[bestIndex].g + open[bestIndex].h)
+                    bestIndex = i;
+            var node = open[bestIndex];
+            open[bestIndex] = open[open.length - 1];
+            open.pop();
+            if (node.x == width - 1 && node.y == height - 1) return expansions;
+            var index = node.y * width + node.x;
+            if (visited[index]) continue;
+            visited[index] = true;
+            expansions++;
+            var dx = [1, -1, 0, 0];
+            var dy = [0, 0, 1, -1];
+            for (var d = 0; d < 4; d++) {
+                var nx = node.x + dx[d], ny = node.y + dy[d];
+                if (nx < 0 || ny < 0 || nx >= width || ny >= height) continue;
+                if (grid[ny * width + nx]) continue;
+                if (visited[ny * width + nx]) continue;
+                var next = new Node2(nx, ny);
+                next.g = node.g + 1;
+                next.h = heuristic(nx, ny, width - 1, height - 1);
+                next.parent = node;
+                open.push(next);
+            }
+        }
+        return -1;
+    }
+    function driver() {
+        var width = 12, height = 12;
+        var grid = [];
+        for (var i = 0; i < width * height; i++)
+            grid[i] = (i * 2654435761 & 7) == 0 && i != 0 && i != width * height - 1;
+        var total = 0;
+        for (var round = 0; round < 4; round++) total += search(grid, width, height);
+        return total;
+    }
+    print(driver());
+    """,
+)
+
+CRYPTO_SHA256 = Benchmark(
+    "stanford-crypto-sha256-iterative",
+    """
+    function ch(x, y, z) { return (x & y) ^ ((~x) & z); }
+    function maj(x, y, z) { return (x & y) ^ (x & z) ^ (y & z); }
+    function sigma0(x) { return ((x >>> 2) | (x << 30)) ^ ((x >>> 13) | (x << 19)) ^ ((x >>> 22) | (x << 10)); }
+    function sigma1(x) { return ((x >>> 6) | (x << 26)) ^ ((x >>> 11) | (x << 21)) ^ ((x >>> 25) | (x << 7)); }
+    function round256(w, a, b, c, d, e, f, g, h) {
+        for (var t = 0; t < 64; t++) {
+            var t1 = (h + sigma1(e) + ch(e, f, g) + w[t & 15]) | 0;
+            var t2 = (sigma0(a) + maj(a, b, c)) | 0;
+            h = g; g = f; f = e; e = (d + t1) | 0;
+            d = c; c = b; b = a; a = (t1 + t2) | 0;
+        }
+        return (a ^ e) | 0;
+    }
+    function driver() {
+        var w = [];
+        for (var i = 0; i < 16; i++) w[i] = (i * 0x428a2f98) | 0;
+        var h = 0x6a09e667;
+        for (var block = 0; block < 30; block++)
+            h = (h + round256(w, h, h ^ 1, h ^ 2, h ^ 3, h ^ 4, h ^ 5, h ^ 6, h ^ 7)) | 0;
+        return h;
+    }
+    print(driver());
+    """,
+)
+
+IMAGING_DARKROOM = Benchmark(
+    "imaging-darkroom",
+    """
+    function histogram(pixels, bins) {
+        for (var i = 0; i < bins.length; i++) bins[i] = 0;
+        for (var i = 0; i < pixels.length; i++) bins[pixels[i] >> 4]++;
+        var peak = 0;
+        for (var i = 0; i < bins.length; i++) if (bins[i] > bins[peak]) peak = i;
+        return peak;
+    }
+    function levels(pixels, low, high) {
+        var scale = 255 / (high - low);
+        var sum = 0;
+        for (var i = 0; i < pixels.length; i++) {
+            var v = ((pixels[i] - low) * scale) | 0;
+            if (v < 0) v = 0;
+            if (v > 255) v = 255;
+            pixels[i] = v;
+            sum = (sum + v) & 0xffffff;
+        }
+        return sum;
+    }
+    function driver() {
+        var pixels = [];
+        for (var i = 0; i < 1200; i++) pixels[i] = (i * 89) & 255;
+        var bins = [];
+        for (var i = 0; i < 16; i++) bins[i] = 0;
+        var total = 0;
+        for (var round = 0; round < 12; round++) {
+            total = (total + histogram(pixels, bins)) & 0xffffff;
+            total = (total + levels(pixels, 10, 245)) & 0xffffff;
+        }
+        return total;
+    }
+    print(driver());
+    """,
+)
+
+KRAKEN.extend([AI_ASTAR, CRYPTO_SHA256, IMAGING_DARKROOM])

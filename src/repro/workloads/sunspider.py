@@ -1,0 +1,561 @@
+"""SunSpider-1.0-style benchmark suite.
+
+Re-implementations of representative SunSpider programs in the guest
+subset, scaled to run in seconds on the simulated VM.  The mix follows
+the original suite's flavour: bit manipulation, small crypto kernels,
+string processing, math loops, array access and recursion.  Invocation
+behaviour matches the paper's Figure 3 observations for SunSpider —
+a sizeable fraction of functions run once (top-level drivers), hot
+kernels are either argument-monomorphic (specialization wins) or
+argument-varying like ``md5_ii`` (specialization deopts), so both
+policy paths get exercised.
+"""
+
+from repro.workloads.benchmark import Benchmark
+
+# The benchmark the paper highlights with a 49% speedup: the inner
+# kernel is called with the same byte inside the driver's hot loop.
+BITOPS_BITS_IN_BYTE = Benchmark(
+    "bitops-bits-in-byte",
+    """
+    function bitsinbyte(b) {
+        var m = 1, c = 0;
+        while (m < 0x100) {
+            if (b & m) c++;
+            m <<= 1;
+        }
+        return c;
+    }
+    function TimeFunc(func) {
+        var x = 0, y = 0;
+        for (var x = 0; x < 35; x++)
+            for (var y = 0; y < 256; y++)
+                func(y);
+        return func(173) * x * y;
+    }
+    print(TimeFunc(bitsinbyte));
+    """,
+)
+
+BITOPS_3BIT_BITS = Benchmark(
+    "bitops-3bit-bits-in-byte",
+    """
+    function fast3bitlookup(b) {
+        var c, bi3b = 0xE994;
+        c  = 3 & (bi3b >> ((b << 1) & 14));
+        c += 3 & (bi3b >> ((b >> 2) & 14));
+        c += 3 & (bi3b >> ((b >> 5) & 6));
+        return c;
+    }
+    function TimeFunc(func) {
+        var sum = 0;
+        for (var x = 0; x < 60; x++)
+            for (var y = 0; y < 256; y++)
+                sum += func(y);
+        return sum;
+    }
+    print(TimeFunc(fast3bitlookup));
+    """,
+)
+
+BITOPS_NSIEVE_BITS = Benchmark(
+    "bitops-nsieve-bits",
+    """
+    function primes(isPrime, n) {
+        var count = 0, m = 10000 << n, size = m + 31 >> 5;
+        for (var i = 0; i < size; i++) isPrime[i] = 0xffffffff | 0;
+        for (var i = 2; i < m; i++)
+            if (isPrime[i >> 5] & (1 << (i & 31))) {
+                for (var j = i + i; j < m; j += i)
+                    isPrime[j >> 5] &= ~(1 << (j & 31));
+                count++;
+            }
+        return count;
+    }
+    function sieve() {
+        var sum = 0;
+        for (var i = 0; i <= 0; i++) {
+            var isPrime = new Array((10000 << i) + 31 >> 5);
+            sum += primes(isPrime, i);
+        }
+        return sum;
+    }
+    print(sieve());
+    """,
+)
+
+# crypto-md5 flavour: round helpers called thousands of times with
+# *different* values (the paper: "each of the 2,300 calls of the md5_ii
+# function receives different values") — specialization must deopt
+# gracefully here.
+CRYPTO_MD5 = Benchmark(
+    "crypto-md5",
+    """
+    function safe_add(x, y) {
+        var lsw = (x & 0xFFFF) + (y & 0xFFFF);
+        var msw = (x >> 16) + (y >> 16) + (lsw >> 16);
+        return (msw << 16) | (lsw & 0xFFFF);
+    }
+    function bit_rol(num, cnt) {
+        return (num << cnt) | (num >>> (32 - cnt));
+    }
+    function md5_cmn(q, a, b, x, s, t) {
+        return safe_add(bit_rol(safe_add(safe_add(a, q), safe_add(x, t)), s), b);
+    }
+    function md5_ff(a, b, c, d, x, s, t) {
+        return md5_cmn((b & c) | ((~b) & d), a, b, x, s, t);
+    }
+    function md5_gg(a, b, c, d, x, s, t) {
+        return md5_cmn((b & d) | (c & (~d)), a, b, x, s, t);
+    }
+    function md5_hh(a, b, c, d, x, s, t) {
+        return md5_cmn(b ^ c ^ d, a, b, x, s, t);
+    }
+    function md5_ii(a, b, c, d, x, s, t) {
+        return md5_cmn(c ^ (b | (~d)), a, b, x, s, t);
+    }
+    function core_round(x, a, b, c, d) {
+        a = md5_ff(a, b, c, d, x[0], 7, -680876936);
+        d = md5_ff(d, a, b, c, x[1], 12, -389564586);
+        c = md5_ff(c, d, a, b, x[2], 17, 606105819);
+        b = md5_ff(b, c, d, a, x[3], 22, -1044525330);
+        a = md5_gg(a, b, c, d, x[1], 5, -165796510);
+        d = md5_gg(d, a, b, c, x[6], 9, -1069501632);
+        c = md5_gg(c, d, a, b, x[11], 14, 643717713);
+        b = md5_gg(b, c, d, a, x[0], 20, -373897302);
+        a = md5_hh(a, b, c, d, x[5], 4, -378558);
+        d = md5_hh(d, a, b, c, x[8], 11, -2022574463);
+        c = md5_hh(c, d, a, b, x[11], 16, 1839030562);
+        b = md5_hh(b, c, d, a, x[14], 23, -35309556);
+        a = md5_ii(a, b, c, d, x[0], 6, -198630844);
+        d = md5_ii(d, a, b, c, x[7], 10, 1126891415);
+        c = md5_ii(c, d, a, b, x[14], 15, -1416354905);
+        b = md5_ii(b, c, d, a, x[5], 21, -57434055);
+        return safe_add(a, safe_add(b, safe_add(c, d)));
+    }
+    function run() {
+        var x = [];
+        for (var i = 0; i < 16; i++) x[i] = (i * 0x01234567) | 0;
+        var h = 0x67452301;
+        for (var round = 0; round < 120; round++) {
+            h = core_round(x, h, h ^ 0xefcdab89, h ^ 0x98badcfe, h ^ 0x10325476);
+            x[round & 15] = h;
+        }
+        return h;
+    }
+    print(run());
+    """,
+)
+
+# string-unpack-code flavour: the paper credits loop inversion +
+# IonMonkey's invariant code motion with a 28% speedup here.  The
+# decoder's dictionary and radix stay loop-invariant.
+STRING_UNPACK_CODE = Benchmark(
+    "string-unpack-code",
+    """
+    function unpack(packed, dict, radix) {
+        var out = "";
+        for (var i = 0; i < packed.length; i++) {
+            var code = packed.charCodeAt(i) - 97;
+            var word = dict[code % radix];
+            out += word;
+            if (i % 7 == 6) out += " ";
+        }
+        return out.length;
+    }
+    function driver() {
+        var dict = ["var", "func", "ret", "if", "else", "for", "idx", "obj"];
+        var packed = "";
+        var seed = 11;
+        for (var i = 0; i < 60; i++) {
+            seed = (seed * 131 + 7) % 26;
+            packed += String.fromCharCode(97 + seed);
+        }
+        var total = 0;
+        for (var round = 0; round < 120; round++)
+            total += unpack(packed, dict, 8);
+        return total;
+    }
+    print(driver());
+    """,
+)
+
+STRING_BASE64 = Benchmark(
+    "string-base64",
+    """
+    function toBase64(data, chars) {
+        var out = "";
+        var i = 0;
+        while (i + 2 < data.length) {
+            var n = (data.charCodeAt(i) << 16) | (data.charCodeAt(i + 1) << 8) | data.charCodeAt(i + 2);
+            out += chars.charAt((n >> 18) & 63);
+            out += chars.charAt((n >> 12) & 63);
+            out += chars.charAt((n >> 6) & 63);
+            out += chars.charAt(n & 63);
+            i += 3;
+        }
+        return out;
+    }
+    function driver() {
+        var chars = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+        var data = "";
+        for (var i = 0; i < 99; i++) data += String.fromCharCode(32 + (i * 7) % 90);
+        var length = 0;
+        for (var round = 0; round < 110; round++)
+            length += toBase64(data, chars).length;
+        return length;
+    }
+    print(driver());
+    """,
+)
+
+MATH_PARTIAL_SUMS = Benchmark(
+    "math-partial-sums",
+    """
+    function partial(n) {
+        var a1 = 0.0, a2 = 0.0, a3 = 0.0, a4 = 0.0, a5 = 0.0;
+        var twothirds = 2.0 / 3.0;
+        var alt = -1.0;
+        for (var k = 1; k <= n; k++) {
+            var k2 = k * k;
+            var k3 = k2 * k;
+            var sk = Math.sin(k);
+            var ck = Math.cos(k);
+            alt = -alt;
+            a1 += Math.pow(twothirds, k - 1);
+            a2 += 1.0 / (k * Math.sqrt(k));
+            a3 += 1.0 / (k3 * sk * sk);
+            a4 += 1.0 / (k3 * ck * ck);
+            a5 += alt / k;
+        }
+        return a1 + a2 + a3 + a4 + a5;
+    }
+    var total = 0.0;
+    for (var i = 0; i < 3; i++) total += partial(1024);
+    print(total.toFixed(6));
+    """,
+)
+
+ACCESS_NSIEVE = Benchmark(
+    "access-nsieve",
+    """
+    function nsieve(m, isPrime) {
+        var count = 0;
+        for (var i = 2; i <= m; i++) isPrime[i] = true;
+        for (var i = 2; i <= m; i++) {
+            if (isPrime[i]) {
+                for (var k = i + i; k <= m; k += i) isPrime[k] = false;
+                count++;
+            }
+        }
+        return count;
+    }
+    function sieve() {
+        var sum = 0;
+        for (var i = 1; i <= 2; i++) {
+            var m = (1 << i) * 2500;
+            var flags = new Array(m + 1);
+            sum += nsieve(m, flags);
+        }
+        return sum;
+    }
+    print(sieve());
+    """,
+)
+
+ACCESS_FANNKUCH = Benchmark(
+    "access-fannkuch",
+    """
+    function fannkuch(n) {
+        var check = 0;
+        var perm = new Array(n);
+        var perm1 = new Array(n);
+        var count = new Array(n);
+        var maxFlipsCount = 0;
+        var m = n - 1;
+        for (var i = 0; i < n; i++) perm1[i] = i;
+        var r = n;
+        while (true) {
+            while (r != 1) { count[r - 1] = r; r--; }
+            if (!(perm1[0] == 0 || perm1[m] == m)) {
+                for (var i = 0; i < n; i++) perm[i] = perm1[i];
+                var flipsCount = 0;
+                var k;
+                while (!((k = perm[0]) == 0)) {
+                    var k2 = (k + 1) >> 1;
+                    for (var i = 0; i < k2; i++) {
+                        var temp = perm[i];
+                        perm[i] = perm[k - i];
+                        perm[k - i] = temp;
+                    }
+                    flipsCount++;
+                }
+                if (flipsCount > maxFlipsCount) maxFlipsCount = flipsCount;
+            }
+            while (true) {
+                if (r == n) return maxFlipsCount;
+                var perm0 = perm1[0];
+                var i = 0;
+                while (i < r) {
+                    var j = i + 1;
+                    perm1[i] = perm1[j];
+                    i = j;
+                }
+                perm1[r] = perm0;
+                count[r] = count[r] - 1;
+                if (count[r] > 0) break;
+                r++;
+            }
+        }
+    }
+    print(fannkuch(7));
+    """,
+)
+
+CONTROLFLOW_RECURSIVE = Benchmark(
+    "controlflow-recursive",
+    """
+    function ack(m, n) {
+        if (m == 0) return n + 1;
+        if (n == 0) return ack(m - 1, 1);
+        return ack(m - 1, ack(m, n - 1));
+    }
+    function fib(n) {
+        if (n < 2) return 1;
+        return fib(n - 2) + fib(n - 1);
+    }
+    function tak(x, y, z) {
+        if (y >= x) return z;
+        return tak(tak(x - 1, y, z), tak(y - 1, z, x), tak(z - 1, x, y));
+    }
+    var result = 0;
+    for (var round = 0; round < 5; round++)
+        for (var i = 3; i <= 4; i++)
+            result += ack(2, i + 4) + fib(10 + i) + tak(3 * i, 2 * i, i);
+    print(result);
+    """,
+)
+
+MATH_CORDIC = Benchmark(
+    "math-cordic",
+    """
+    function cordicsincos(Target, AG_CONST, Angles) {
+        var X = 0.6072529350 * AG_CONST;
+        var Y = 0.0;
+        var TargetAngle = Target * 65536.0;
+        var CurrAngle = 0.0;
+        for (var Step = 0; Step < 12; Step++) {
+            var NewX;
+            if (TargetAngle > CurrAngle) {
+                NewX = X - (Y / (1 << Step));
+                Y = (X / (1 << Step)) + Y;
+                X = NewX;
+                CurrAngle += Angles[Step];
+            } else {
+                NewX = X + (Y / (1 << Step));
+                Y = Y - (X / (1 << Step));
+                X = NewX;
+                CurrAngle -= Angles[Step];
+            }
+        }
+        return X * Y;
+    }
+    function cordic(runs) {
+        var AG_CONST = 1.0;
+        var Angles = [2949120.0, 1740992.0, 919872.0, 466944.0, 234368.0, 117312.0,
+                      58688.0, 29312.0, 14656.0, 7360.0, 3648.0, 1856.0];
+        var total = 0.0;
+        for (var i = 0; i < runs; i++)
+            total += cordicsincos(28.027, AG_CONST, Angles);
+        return total;
+    }
+    print(cordic(800).toFixed(4));
+    """,
+)
+
+SUNSPIDER = [
+    BITOPS_BITS_IN_BYTE,
+    BITOPS_3BIT_BITS,
+    BITOPS_NSIEVE_BITS,
+    CRYPTO_MD5,
+    STRING_UNPACK_CODE,
+    STRING_BASE64,
+    MATH_PARTIAL_SUMS,
+    ACCESS_NSIEVE,
+    ACCESS_FANNKUCH,
+    CONTROLFLOW_RECURSIVE,
+    MATH_CORDIC,
+]
+
+
+ACCESS_BINARY_TREES = Benchmark(
+    "access-binary-trees",
+    """
+    function TreeNode(left, right, item) {
+        this.left = left;
+        this.right = right;
+        this.item = item;
+    }
+    function itemCheck(node) {
+        if (node.left === null) return node.item;
+        return node.item + itemCheck(node.left) - itemCheck(node.right);
+    }
+    function bottomUpTree(item, depth) {
+        if (depth > 0)
+            return new TreeNode(bottomUpTree(2 * item - 1, depth - 1),
+                                bottomUpTree(2 * item, depth - 1), item);
+        return new TreeNode(null, null, item);
+    }
+    function driver() {
+        var check = 0;
+        for (var depth = 2; depth <= 5; depth++) {
+            var iterations = 1 << (7 - depth);
+            for (var i = 1; i <= iterations; i++) {
+                check += itemCheck(bottomUpTree(i, depth));
+                check += itemCheck(bottomUpTree(-i, depth));
+            }
+        }
+        return check;
+    }
+    print(driver());
+    """,
+)
+
+MATH_SPECTRAL_NORM = Benchmark(
+    "math-spectral-norm",
+    """
+    function A(i, j) {
+        return 1 / ((i + j) * (i + j + 1) / 2 + i + 1);
+    }
+    function Au(u, v) {
+        for (var i = 0; i < u.length; ++i) {
+            var t = 0;
+            for (var j = 0; j < u.length; ++j) t += A(i, j) * u[j];
+            v[i] = t;
+        }
+    }
+    function Atu(u, v) {
+        for (var i = 0; i < u.length; ++i) {
+            var t = 0;
+            for (var j = 0; j < u.length; ++j) t += A(j, i) * u[j];
+            v[i] = t;
+        }
+    }
+    function AtAu(u, v, w) {
+        Au(u, w);
+        Atu(w, v);
+    }
+    function spectralnorm(n) {
+        var u = [], v = [], w = [], vv = 0, vBv = 0;
+        for (var i = 0; i < n; ++i) { u[i] = 1; v[i] = 0; w[i] = 0; }
+        for (var i = 0; i < 8; ++i) { AtAu(u, v, w); AtAu(v, u, w); }
+        for (var i = 0; i < n; ++i) { vBv += u[i] * v[i]; vv += v[i] * v[i]; }
+        return Math.sqrt(vBv / vv);
+    }
+    print(spectralnorm(24).toFixed(7));
+    """,
+)
+
+STRING_FASTA = Benchmark(
+    "string-fasta",
+    """
+    function rand(seed, max) {
+        return ((seed * 3877 + 29573) % 139968) / 139968 * max;
+    }
+    function makeCumulative(chars, probs) {
+        var acc = 0;
+        var out = [];
+        for (var i = 0; i < probs.length; i++) { acc += probs[i]; out[i] = acc; }
+        return out;
+    }
+    function fastaRandom(count, chars, cumulative) {
+        var seed = 42;
+        var hash = 0;
+        while (count-- > 0) {
+            seed = (seed * 3877 + 29573) % 139968;
+            var r = seed / 139968;
+            var c = 0;
+            while (cumulative[c] < r) c++;
+            hash = (hash * 31 + chars.charCodeAt(c)) & 0xffffff;
+        }
+        return hash;
+    }
+    function driver() {
+        var chars = "acgtBDHKMNRSVWY";
+        var probs = [0.27, 0.12, 0.12, 0.27, 0.02, 0.02, 0.02, 0.02,
+                     0.02, 0.02, 0.02, 0.02, 0.02, 0.02, 0.02];
+        var cumulative = makeCumulative(chars, probs);
+        var total = 0;
+        for (var round = 0; round < 5; round++)
+            total = (total + fastaRandom(2500, chars, cumulative)) & 0xffffff;
+        return total;
+    }
+    print(driver());
+    """,
+)
+
+CRYPTO_SHA1 = Benchmark(
+    "crypto-sha1",
+    """
+    function rol(num, cnt) {
+        return (num << cnt) | (num >>> (32 - cnt));
+    }
+    function sha1_ft(t, b, c, d) {
+        if (t < 20) return (b & c) | ((~b) & d);
+        if (t < 40) return b ^ c ^ d;
+        if (t < 60) return (b & c) | (b & d) | (c & d);
+        return b ^ c ^ d;
+    }
+    function sha1_kt(t) {
+        return t < 20 ? 1518500249 : t < 40 ? 1859775393 :
+               t < 60 ? -1894007588 : -899497514;
+    }
+    function core(w, a, b, c, d, e) {
+        for (var t = 0; t < 80; t++) {
+            if (t >= 16) w[t & 15] = rol(w[(t + 13) & 15] ^ w[(t + 8) & 15] ^ w[(t + 2) & 15] ^ w[t & 15], 1);
+            var tmp = (rol(a, 5) + sha1_ft(t, b, c, d) + e + w[t & 15] + sha1_kt(t)) | 0;
+            e = d; d = c; c = rol(b, 30); b = a; a = tmp;
+        }
+        return (a ^ b ^ c ^ d ^ e) | 0;
+    }
+    function driver() {
+        var w = [];
+        for (var i = 0; i < 16; i++) w[i] = (i * 0x9e3779b9) | 0;
+        var h = 0x67452301;
+        for (var block = 0; block < 40; block++)
+            h = (h + core(w, h, h ^ 0xefcdab89, h ^ 0x98badcfe, h ^ 0x10325476, block)) | 0;
+        return h;
+    }
+    print(driver());
+    """,
+)
+
+THREED_MORPH = Benchmark(
+    "3d-morph",
+    """
+    function morph(a, f) {
+        var PI2nQ = Math.PI * 2 / 120;
+        for (var i = 0; i < a.length; i++)
+            a[i] = Math.sin((i % 120) * PI2nQ + f) * 0.5;
+        var sum = 0;
+        for (var i = 0; i < a.length; i++) sum += a[i];
+        return sum;
+    }
+    function driver() {
+        var a = [];
+        for (var i = 0; i < 600; i++) a[i] = 0;
+        var total = 0;
+        for (var f = 0; f < 12; f++) total += morph(a, f / 12);
+        return total;
+    }
+    print(driver().toFixed(6));
+    """,
+)
+
+SUNSPIDER.extend([
+    ACCESS_BINARY_TREES,
+    MATH_SPECTRAL_NORM,
+    STRING_FASTA,
+    CRYPTO_SHA1,
+    THREED_MORPH,
+])

@@ -1,0 +1,293 @@
+"""V8-v6-style benchmark suite.
+
+The original V8 suite is object- and allocation-heavy (Richards'
+task scheduler, Earley–Boyer's cons cells, DeltaBlue's constraint
+objects, Splay's tree nodes, Crypto's bignum arrays).  These guest
+re-implementations keep that flavour: lots of objects, constructors,
+method-style calls, and — matching the paper's Figure 3 for V8 — a
+low fraction of call-once functions with substantial argument
+diversity (``sc_Pair``-style constructors get called thousands of
+times with different values).
+"""
+
+from repro.workloads.benchmark import Benchmark
+
+# Richards flavour: a tiny round-robin task scheduler over objects.
+RICHARDS = Benchmark(
+    "richards",
+    """
+    function Task(id, priority) {
+        this.id = id;
+        this.priority = priority;
+        this.state = 0;
+        this.counter = 0;
+    }
+    function runTask(task, work) {
+        task.counter = task.counter + work;
+        task.state = (task.state + 1) & 3;
+        return task.counter & 0xffff;
+    }
+    function schedule(tasks, rounds) {
+        var total = 0;
+        for (var r = 0; r < rounds; r++) {
+            for (var i = 0; i < tasks.length; i++) {
+                var task = tasks[i];
+                if (task.state != 3)
+                    total += runTask(task, task.priority + (r & 7));
+                else
+                    task.state = 0;
+            }
+        }
+        return total;
+    }
+    function driver() {
+        var tasks = [];
+        for (var i = 0; i < 6; i++) tasks[i] = new Task(i, (i * 37) % 11 + 1);
+        return schedule(tasks, 900);
+    }
+    print(driver());
+    """,
+)
+
+# Earley–Boyer flavour: cons pairs built by a constructor invoked with
+# many different argument pairs (the paper's most-called V8 function).
+EARLEY_BOYER = Benchmark(
+    "earley-boyer",
+    """
+    function sc_Pair(car, cdr) {
+        this.car = car;
+        this.cdr = cdr;
+    }
+    function cons(a, b) { return new sc_Pair(a, b); }
+    function listLength(l) {
+        var n = 0;
+        while (l !== null) { n++; l = l.cdr; }
+        return n;
+    }
+    function sumList(l) {
+        var s = 0;
+        while (l !== null) { s += l.car; l = l.cdr; }
+        return s;
+    }
+    function reverseList(l) {
+        var out = null;
+        while (l !== null) { out = cons(l.car, out); l = l.cdr; }
+        return out;
+    }
+    function driver() {
+        var total = 0;
+        for (var round = 0; round < 60; round++) {
+            var l = null;
+            for (var i = 0; i < 40; i++) l = cons(i * round, l);
+            l = reverseList(l);
+            total += sumList(l) + listLength(l);
+        }
+        return total;
+    }
+    print(driver());
+    """,
+)
+
+# DeltaBlue flavour: objects with small polymorphic-ish methods.
+DELTABLUE = Benchmark(
+    "deltablue",
+    """
+    function Variable(value) {
+        this.value = value;
+        this.stay = true;
+    }
+    function Constraint(a, b, scale, offset) {
+        this.a = a;
+        this.b = b;
+        this.scale = scale;
+        this.offset = offset;
+    }
+    function execute(c) {
+        c.b.value = c.a.value * c.scale + c.offset;
+        return c.b.value;
+    }
+    function propagate(chain, rounds) {
+        var total = 0;
+        for (var r = 0; r < rounds; r++) {
+            chain[0].a.value = r & 255;
+            for (var i = 0; i < chain.length; i++)
+                total += execute(chain[i]) & 0xffff;
+        }
+        return total;
+    }
+    function driver() {
+        var vars = [];
+        for (var i = 0; i < 9; i++) vars[i] = new Variable(i);
+        var chain = [];
+        for (var i = 0; i < 8; i++)
+            chain[i] = new Constraint(vars[i], vars[i + 1], 2, 1);
+        return propagate(chain, 700);
+    }
+    print(driver());
+    """,
+)
+
+# Splay flavour: binary search tree of objects, insert + lookup.
+SPLAY = Benchmark(
+    "splay",
+    """
+    function Node(key) {
+        this.key = key;
+        this.left = null;
+        this.right = null;
+    }
+    function insert(root, key) {
+        if (root === null) return new Node(key);
+        var node = root;
+        while (true) {
+            if (key < node.key) {
+                if (node.left === null) { node.left = new Node(key); break; }
+                node = node.left;
+            } else if (key > node.key) {
+                if (node.right === null) { node.right = new Node(key); break; }
+                node = node.right;
+            } else break;
+        }
+        return root;
+    }
+    function contains(root, key) {
+        var node = root;
+        while (node !== null) {
+            if (key == node.key) return true;
+            node = key < node.key ? node.left : node.right;
+        }
+        return false;
+    }
+    function driver() {
+        var root = null;
+        var seed = 49734321;
+        for (var i = 0; i < 600; i++) {
+            seed = (seed * 1103515245 + 12345) & 0x3fffffff;
+            root = insert(root, seed % 4096);
+        }
+        var hits = 0;
+        seed = 49734321;
+        for (var i = 0; i < 1200; i++) {
+            seed = (seed * 1103515245 + 12345) & 0x3fffffff;
+            if (contains(root, seed % 4096)) hits++;
+        }
+        return hits;
+    }
+    print(driver());
+    """,
+)
+
+# Crypto flavour: bignum-ish limb arithmetic over arrays.
+V8_CRYPTO = Benchmark(
+    "crypto",
+    """
+    function am3(a, b, c, n) {
+        var carry = 0;
+        for (var i = 0; i < n; i++) {
+            var v = a[i] * b + c[i] + carry;
+            carry = (v / 16384) | 0;
+            c[i] = v & 16383;
+        }
+        return carry;
+    }
+    function mulmod(a, c, n, rounds) {
+        var total = 0;
+        for (var r = 0; r < rounds; r++) {
+            total = (total + am3(a, (r & 127) + 1, c, n)) & 0xffff;
+        }
+        return total;
+    }
+    function driver() {
+        var n = 24;
+        var a = [], c = [];
+        for (var i = 0; i < n; i++) { a[i] = (i * 7919) & 16383; c[i] = 0; }
+        return mulmod(a, c, n, 500);
+    }
+    print(driver());
+    """,
+)
+
+# RegExp stands in as string scanning (the subset has no regexes).
+V8_REGEXP = Benchmark(
+    "regexp",
+    """
+    function countMatches(text, needle) {
+        var count = 0;
+        var at = text.indexOf(needle, 0);
+        while (at >= 0) {
+            count++;
+            at = text.indexOf(needle, at + 1);
+        }
+        return count;
+    }
+    function driver() {
+        var text = "";
+        for (var i = 0; i < 70; i++)
+            text += i % 3 == 0 ? "foobar " : (i % 3 == 1 ? "bazfoo " : "quux ");
+        var total = 0;
+        for (var round = 0; round < 120; round++) {
+            total += countMatches(text, "foo");
+            total += countMatches(text, "ba");
+        }
+        return total;
+    }
+    print(driver());
+    """,
+)
+
+# RayTrace flavour: vector math over a constant scene; the tracing
+# kernels are always called with the same scene/camera objects.
+RAYTRACE = Benchmark(
+    "raytrace",
+    """
+    function Vector(x, y, z) {
+        this.x = x;
+        this.y = y;
+        this.z = z;
+    }
+    function dot(a, b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+    function traceRow(spheres, count, y, width) {
+        var hits = 0;
+        for (var x = 0; x < width; x++) {
+            var dx = (x - width / 2) / width;
+            var dy = (y - 12) / 24;
+            for (var s = 0; s < count; s++) {
+                var sphere = spheres[s];
+                var ox = sphere.cx - dx * 10;
+                var oy = sphere.cy - dy * 10;
+                var b = ox * dx + oy * dy;
+                var c = ox * ox + oy * oy - sphere.r * sphere.r;
+                if (b * b - c > 0) hits++;
+            }
+        }
+        return hits;
+    }
+    function render(spheres, count, width, height) {
+        var total = 0;
+        for (var y = 0; y < height; y++)
+            total += traceRow(spheres, count, y, width);
+        return total;
+    }
+    function driver() {
+        var spheres = [];
+        for (var i = 0; i < 5; i++) {
+            spheres[i] = {cx: i * 2 - 4, cy: (i % 3) - 1, r: 1.5 + (i % 2)};
+        }
+        var total = 0;
+        for (var frame = 0; frame < 6; frame++)
+            total += render(spheres, 5, 40, 18);
+        return total;
+    }
+    print(driver());
+    """,
+)
+
+V8 = [
+    RICHARDS,
+    EARLEY_BOYER,
+    DELTABLUE,
+    RAYTRACE,
+    SPLAY,
+    V8_CRYPTO,
+    V8_REGEXP,
+]

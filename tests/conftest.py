@@ -1,0 +1,47 @@
+"""Shared test helpers.
+
+``run_interp`` executes a script on the bare interpreter;
+``run_engine`` under a JIT engine with a given config;
+``assert_same_output`` runs a script under the interpreter and every
+paper configuration and checks all outputs agree (the differential
+oracle used throughout the suite).
+"""
+
+import pytest
+
+from repro import BASELINE, FULL_SPEC, PAPER_CONFIGS, Engine
+from repro.jsvm.interpreter import Interpreter
+
+
+def run_interp(source):
+    """Run on the interpreter only; returns printed lines."""
+    return Interpreter().run_source(source)
+
+
+def run_engine(source, config=FULL_SPEC, **engine_kwargs):
+    """Run under a JIT engine; returns (printed lines, engine)."""
+    engine = Engine(config=config, **engine_kwargs)
+    printed = engine.run_source(source)
+    return printed, engine
+
+
+def assert_same_output(source, configs=None, **engine_kwargs):
+    """Differential oracle: interpreter vs every JIT configuration."""
+    expected = run_interp(source)
+    tried = configs if configs is not None else [BASELINE, FULL_SPEC]
+    for config in tried:
+        printed, _engine = run_engine(source, config, **engine_kwargs)
+        assert printed == expected, (
+            "output mismatch under %s:\n interp: %r\n engine: %r"
+            % (config.name, expected, printed)
+        )
+    return expected
+
+
+#: Engine thresholds that make tiny test scripts compile quickly.
+FAST = {"hot_call_threshold": 3, "osr_backedge_threshold": 10}
+
+
+@pytest.fixture
+def fast_engine_kwargs():
+    return dict(FAST)

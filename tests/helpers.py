@@ -1,0 +1,64 @@
+"""Shared utilities for JIT-level tests."""
+
+from repro.jsvm.bytecode import Op
+from repro.jsvm.bytecompiler import compile_source
+from repro.jsvm.feedback import TypeFeedback
+from repro.jsvm.interpreter import Interpreter
+
+
+def all_function_codes(toplevel):
+    found = []
+
+    def walk(c):
+        for constant in c.constants:
+            if hasattr(constant, "instructions"):
+                found.append(constant)
+                walk(constant)
+
+    walk(toplevel)
+    return found
+
+
+def compile_and_profile(source, name=None):
+    """Compile a script, interpret it once recording full type feedback.
+
+    Returns (toplevel_code, target_code).  The target is the first
+    nested function, or the one matching ``name``.
+    """
+    toplevel = compile_source(source)
+    functions = all_function_codes(toplevel)
+    if name is None:
+        target = functions[0]
+    else:
+        target = [c for c in functions if c.name == name][0]
+    for code in functions:
+        code.feedback = TypeFeedback(code.num_params)
+    interp = Interpreter()
+    original_call = interp.call_function
+
+    def recording_call(function, this_value, args):
+        if function.code.feedback is not None:
+            function.code.feedback.record_args(args, this_value)
+        return original_call(function, this_value, args)
+
+    interp.call_function = recording_call
+    interp.run_code(toplevel)
+    return toplevel, target
+
+
+def backward_jump_target(code):
+    """The bytecode pc of the first loop header (backward JUMP target)."""
+    for index, instr in enumerate(code.instructions):
+        if instr.op == Op.JUMP and instr.arg < index:
+            return instr.arg
+        if instr.op == Op.IFTRUE and instr.arg < index:
+            return instr.arg
+    raise AssertionError("no loop in %s" % code.name)
+
+
+def count(graph, cls):
+    return sum(1 for i in graph.all_instructions() if isinstance(i, cls))
+
+
+def instrs(graph, cls):
+    return [i for i in graph.all_instructions() if isinstance(i, cls)]

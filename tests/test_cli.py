@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.tools.cli import main
+
+
+@pytest.fixture
+def script(tmp_path):
+    path = tmp_path / "prog.js"
+    path.write_text(
+        """
+        function square(x) { return x * x; }
+        var total = 0;
+        for (var i = 0; i < 50; i++) total += square(7);
+        print(total);
+        """
+    )
+    return str(path)
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestRun:
+    def test_runs_and_prints(self, script):
+        code, output = run_cli(["run", script])
+        assert code == 0
+        assert "2450" in output
+
+    def test_stats_flag(self, script):
+        _code, output = run_cli(["run", script, "--stats"])
+        assert "total_cycles" in output
+        assert "specialized" in output
+
+    def test_config_selection(self, script):
+        _code, output = run_cli(["run", script, "--config", "baseline", "--stats"])
+        assert "specialized       0" in output.replace("  ", " ") or "specialized" in output
+
+    def test_unknown_config_rejected(self, script):
+        with pytest.raises(SystemExit):
+            run_cli(["run", script, "--config", "warpdrive"])
+
+    def test_cache_capacity_flag(self, script):
+        code, output = run_cli(["run", script, "--cache-capacity", "2"])
+        assert code == 0
+
+
+class TestProfile:
+    def test_profile_output(self, script):
+        _code, output = run_cli(["profile", script])
+        assert "functions: " in output
+        assert "square" in output
+        assert "single argument set" in output
+
+
+class TestDisasm:
+    def test_disasm_sections(self, script):
+        _code, output = run_cli(["disasm", script, "--function", "square"])
+        assert "== bytecode ==" in output
+        assert "== optimized MIR ==" in output
+        assert "== native code" in output
+        assert "specialized on: [7]" in output
+
+    def test_disasm_baseline_not_specialized(self, script):
+        _code, output = run_cli(
+            ["disasm", script, "--function", "square", "--config", "baseline"]
+        )
+        assert "specialized on" not in output
+        assert "parameter" in output
+
+    def test_unknown_function(self, script):
+        with pytest.raises(SystemExit):
+            run_cli(["disasm", script, "--function", "nope"])
+
+
+class TestConfigs:
+    def test_lists_all(self):
+        _code, output = run_cli(["configs"])
+        assert "baseline" in output
+        assert "all" in output
+        assert "extended" in output
+        assert "ParameterSpec" in output
+
+
+class TestBench:
+    def test_bench_quick(self):
+        _code, output = run_cli(["bench", "--suite", "kraken", "--configs", "PS"])
+        assert "runtime speedup" in output
+        assert "kraken" in output
+
+    def test_unknown_suite(self):
+        with pytest.raises(SystemExit):
+            run_cli(["bench", "--suite", "octane"])

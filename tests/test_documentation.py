@@ -1,0 +1,61 @@
+"""Documentation hygiene: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+SKIP_MODULES = set()
+
+
+def _walk_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name in SKIP_MODULES:
+            continue
+        yield importlib.import_module(info.name)
+
+
+def test_every_module_has_a_docstring():
+    missing = []
+    for module in _walk_modules():
+        if not (module.__doc__ or "").strip():
+            missing.append(module.__name__)
+    assert not missing, "modules without docstrings: %s" % missing
+
+
+def test_every_public_class_has_a_docstring():
+    missing = []
+    for module in _walk_modules():
+        for name, obj in vars(module).items():
+            if name.startswith("_") or not inspect.isclass(obj):
+                continue
+            if obj.__module__ != module.__name__:
+                continue  # re-export
+            if not (obj.__doc__ or "").strip():
+                missing.append("%s.%s" % (module.__name__, name))
+    assert not missing, "classes without docstrings: %s" % missing
+
+
+def test_every_public_function_has_a_docstring():
+    missing = []
+    for module in _walk_modules():
+        for name, obj in vars(module).items():
+            if name.startswith("_") or not inspect.isfunction(obj):
+                continue
+            if obj.__module__ != module.__name__:
+                continue
+            if not (obj.__doc__ or "").strip():
+                missing.append("%s.%s" % (module.__name__, name))
+    assert not missing, "functions without docstrings: %s" % missing
+
+
+def test_design_and_experiments_exist():
+    import os
+
+    root = os.path.join(os.path.dirname(repro.__file__), "..", "..")
+    for filename in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
+        path = os.path.join(root, filename)
+        assert os.path.exists(path), "%s missing" % filename
+        with open(path) as handle:
+            assert len(handle.read()) > 500, "%s suspiciously short" % filename

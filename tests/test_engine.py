@@ -1,0 +1,299 @@
+"""Engine-level tests: JIT entry, OSR, bailouts, policy, differential."""
+
+import pytest
+
+from repro import BASELINE, FULL_SPEC, PAPER_CONFIGS, Engine
+from repro.engine.config import OptConfig
+
+from tests.conftest import FAST, assert_same_output, run_engine, run_interp
+
+
+class TestCompilationTriggers:
+    def test_hot_function_compiles(self):
+        source = "function f(x) { return x + 1; } var s = 0; for (var i = 0; i < 50; i++) s += f(1); print(s);"
+        printed, engine = run_engine(source, BASELINE, **FAST)
+        assert printed == ["100"]
+        assert engine.stats.compiles >= 1
+
+    def test_cold_function_stays_interpreted(self):
+        source = "function f(x) { return x + 1; } print(f(1));"
+        printed, engine = run_engine(source, BASELINE)
+        assert printed == ["2"]
+        assert engine.stats.compiles == 0
+
+    def test_hot_loop_triggers_osr(self):
+        source = """
+        function main() { var s = 0; for (var i = 0; i < 5000; i++) s += i; return s; }
+        print(main());
+        """
+        printed, engine = run_engine(source, BASELINE, **FAST)
+        assert printed == ["12497500"]
+        assert engine.stats.osr_compiles >= 1
+
+    def test_toplevel_loop_triggers_osr(self):
+        source = "var s = 0; for (var i = 0; i < 5000; i++) s += i; print(s);"
+        printed, engine = run_engine(source, BASELINE, **FAST)
+        assert printed == ["12497500"]
+        assert engine.stats.osr_compiles >= 1
+
+    def test_closure_functions_stay_interpreted(self):
+        source = """
+        function mk() { var c = 0; return function() { c++; return c; }; }
+        var f = mk();
+        var last = 0;
+        for (var i = 0; i < 100; i++) last = f();
+        print(last);
+        """
+        printed, engine = run_engine(source, BASELINE, **FAST)
+        assert printed == ["100"]
+        assert engine.stats.not_compilable
+
+
+class TestSpecializationPolicy:
+    HOT = """
+    function f(a, b) { return a * 1000 + b; }
+    var s = 0;
+    for (var i = 0; i < 100; i++) s += f(3, 4);
+    print(s);
+    """
+
+    def test_same_args_specialize_successfully(self):
+        printed, engine = run_engine(self.HOT, FULL_SPEC, **FAST)
+        assert printed == ["300400"]
+        assert len(engine.stats.specialized_functions) >= 1
+        assert engine.stats.successfully_specialized
+        assert not engine.stats.deoptimized_functions
+
+    def test_changing_args_deoptimizes_once(self):
+        source = """
+        function f(a, b) { return a + b; }
+        var s = 0;
+        for (var i = 0; i < 50; i++) s += f(1, 2);
+        for (var i = 0; i < 50; i++) s += f(i, 2);
+        print(s);
+        """
+        printed, engine = run_engine(source, FULL_SPEC, **FAST)
+        assert printed == [str(50 * 3 + sum(i + 2 for i in range(50)))]
+        assert engine.stats.deoptimized_functions
+        # Marked never-specialize: exactly one deopt despite many arg sets.
+        assert engine.stats.invalidations == 1
+
+    def test_cache_hit_on_alternating_same_args(self):
+        source = """
+        function f(a) { return a * 2; }
+        var s = 0;
+        for (var i = 0; i < 100; i++) s += f(21);
+        print(s);
+        """
+        printed, engine = run_engine(source, FULL_SPEC, **FAST)
+        assert printed == ["4200"]
+        assert engine.stats.compiles_per_function  # compiled once
+        counts = list(engine.stats.compiles_per_function.values())
+        assert max(counts) <= 2  # no recompile storm
+
+    def test_object_identity_matters(self):
+        source = """
+        function f(o) { return o.x; }
+        var a = {x: 1};
+        var s = 0;
+        for (var i = 0; i < 60; i++) s += f(a);
+        var b = {x: 1};
+        s += f(b);
+        print(s);
+        """
+        printed, engine = run_engine(source, FULL_SPEC, **FAST)
+        assert printed == ["61"]
+        assert engine.stats.deoptimized_functions
+
+    def test_baseline_never_specializes(self):
+        _printed, engine = run_engine(self.HOT, BASELINE, **FAST)
+        assert not engine.stats.specialized_functions
+
+
+class TestBailouts:
+    def test_type_guard_bailout_recovers(self):
+        source = """
+        function f(a) { return a + a; }
+        var s = "";
+        for (var i = 0; i < 50; i++) s = f(1);
+        s = f("x");
+        print(s);
+        """
+        printed, engine = run_engine(source, BASELINE, **FAST)
+        assert printed == ["xx"]
+        assert engine.stats.bailouts >= 1
+
+    def test_overflow_bailout_produces_double(self):
+        source = """
+        function f(a) { return a + a; }
+        var r = 0;
+        for (var i = 0; i < 50; i++) r = f(3);
+        r = f(2000000000);
+        print(r);
+        """
+        printed, engine = run_engine(source, BASELINE, **FAST)
+        assert printed == ["4000000000"]
+
+    def test_oob_store_bailout_grows_array(self):
+        source = """
+        function f(a, i, v) { a[i] = v; return a.length; }
+        var arr = [0];
+        var r = 0;
+        for (var k = 0; k < 50; k++) r = f(arr, 0, k);
+        r = f(arr, 5, 9);
+        print(r, arr[5], arr.length);
+        """
+        printed, engine = run_engine(source, BASELINE, **FAST)
+        assert printed == ["6 9 6"]
+
+    def test_repeated_bailouts_force_generic(self):
+        # Alternating types at a site defeat speculation; the engine
+        # must converge to generic code instead of bailout-looping.
+        source = """
+        function f(a) { return a + a; }
+        var r = 0;
+        for (var i = 0; i < 40; i++) r = f(1);
+        for (var i = 0; i < 40; i++) r = f(i % 2 ? 1 : "x");
+        print(r);
+        """
+        printed, engine = run_engine(source, BASELINE, **FAST)
+        assert printed == ["2"]
+        assert engine.stats.bailouts <= 20  # bounded, no storm
+
+    def test_osr_bailout_resumes_loop(self):
+        source = """
+        function main(n) {
+          var s = 0;
+          for (var i = 0; i < n; i++) {
+            if (i == 500) s += "!"; else s += 1;
+          }
+          return s;
+        }
+        print(main(600));
+        """
+        # s becomes a string mid-loop: OSR'd code bails, loop finishes.
+        expected = run_interp(source)
+        printed, engine = run_engine(source, BASELINE, **FAST)
+        assert printed == expected
+        assert engine.stats.osr_compiles >= 1
+
+
+class TestRecursionAndDepth:
+    def test_native_recursion(self):
+        source = "function fib(n) { return n < 2 ? n : fib(n-1) + fib(n-2); } print(fib(16));"
+        printed, engine = run_engine(source, BASELINE, **FAST)
+        assert printed == ["987"]
+        assert engine.stats.compiles >= 1
+
+    def test_too_much_recursion_from_native(self):
+        from repro.errors import JSRangeError
+
+        source = """
+        function f(n) { return f(n + 1); }
+        var caught = 0;
+        f(0);
+        """
+        engine = Engine(config=BASELINE, **FAST)
+        with pytest.raises(JSRangeError):
+            engine.run_source(source)
+
+
+class TestDifferentialAllConfigs:
+    """The differential oracle over every paper configuration."""
+
+    def test_numeric_kernel(self):
+        source = """
+        function kernel(a, b, n) {
+          var s = 0;
+          for (var i = 0; i < n; i++) s += (a * i + b) & 255;
+          return s;
+        }
+        var total = 0;
+        for (var r = 0; r < 30; r++) total += kernel(3, 5, 40);
+        print(total);
+        """
+        assert_same_output(source, configs=PAPER_CONFIGS, **FAST)
+
+    def test_array_kernel(self):
+        source = """
+        function sum(a) {
+          var s = 0;
+          for (var i = 0; i < a.length; i++) s += a[i];
+          return s;
+        }
+        var arr = [];
+        for (var i = 0; i < 64; i++) arr[i] = i * 3;
+        var total = 0;
+        for (var r = 0; r < 30; r++) total += sum(arr);
+        print(total);
+        """
+        assert_same_output(source, configs=PAPER_CONFIGS, **FAST)
+
+    def test_closure_map_kernel(self):
+        source = """
+        function inc(x) { return x + 1; }
+        function map(s, b, n, f) {
+          var i = b;
+          while (i < n) { s[i] = f(s[i]); i++; }
+          return s;
+        }
+        var arr = [];
+        for (var i = 0; i < 30; i++) arr[i] = i;
+        for (var r = 0; r < 30; r++) map(arr, 2, 30, inc);
+        print(arr.join(","));
+        """
+        assert_same_output(source, configs=PAPER_CONFIGS, **FAST)
+
+    def test_string_kernel(self):
+        source = """
+        function hash(s) {
+          var h = 0;
+          for (var i = 0; i < s.length; i++) h = (h * 31 + s.charCodeAt(i)) & 0xffffff;
+          return h;
+        }
+        var total = 0;
+        for (var r = 0; r < 40; r++) total += hash("specialize me please");
+        print(total);
+        """
+        assert_same_output(source, configs=PAPER_CONFIGS, **FAST)
+
+    def test_object_kernel(self):
+        source = """
+        function norm(p) { return p.x * p.x + p.y * p.y; }
+        var pt = {x: 3, y: 4};
+        var total = 0;
+        for (var r = 0; r < 60; r++) total += norm(pt);
+        print(total);
+        """
+        assert_same_output(source, configs=PAPER_CONFIGS, **FAST)
+
+    def test_polymorphic_call_sites(self):
+        source = """
+        function apply(f, x) { return f(x); }
+        function a(x) { return x + 1; }
+        function b(x) { return x * 2; }
+        var total = 0;
+        for (var i = 0; i < 60; i++) total += apply(i % 2 ? a : b, i);
+        print(total);
+        """
+        assert_same_output(source, configs=PAPER_CONFIGS, **FAST)
+
+    def test_deep_expression_pressure(self):
+        source = """
+        function f(a, b, c, d) {
+          return (a+b)*(c+d) + (a+c)*(b+d) + (a+d)*(b+c) + (a*b - c*d) + (a - b + c - d);
+        }
+        var total = 0;
+        for (var i = 0; i < 40; i++) total += f(1, 2, 3, 4);
+        print(total);
+        """
+        assert_same_output(source, configs=PAPER_CONFIGS, **FAST)
+
+    def test_negative_zero_and_nan_corners(self):
+        source = """
+        function f(a, b) { return a * b; }
+        var r = 0;
+        for (var i = 0; i < 40; i++) r = f(-3, 0);
+        print(1 / r);
+        """
+        assert_same_output(source, **FAST)

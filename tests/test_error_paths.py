@@ -1,0 +1,116 @@
+"""Failure injection: guest errors must behave identically in every tier."""
+
+import pytest
+
+from repro import BASELINE, FULL_SPEC, Engine
+from repro.errors import JSRangeError, JSReferenceError, JSTypeError
+from repro.jsvm.interpreter import Interpreter
+
+from tests.conftest import FAST
+
+
+def error_from(source, runner):
+    with pytest.raises((JSTypeError, JSReferenceError, JSRangeError)) as info:
+        runner(source)
+    return type(info.value)
+
+
+def interp(source):
+    Interpreter().run_source(source)
+
+
+def engine(config):
+    def runner(source):
+        Engine(config=config, **FAST).run_source(source)
+
+    return runner
+
+
+class TestErrorsMatchAcrossTiers:
+    def check(self, source):
+        expected = error_from(source, interp)
+        for config in (BASELINE, FULL_SPEC):
+            assert error_from(source, engine(config)) is expected
+
+    def test_property_of_undefined_in_hot_code(self):
+        # The function runs natively for a while, then the error path
+        # is injected by switching the argument to undefined.
+        self.check(
+            """
+            function f(o) { return o.x; }
+            var r = 0;
+            for (var i = 0; i < 30; i++) r = f({x: i});
+            f(undefined);
+            """
+        )
+
+    def test_property_of_null_via_element(self):
+        self.check(
+            """
+            function f(a, i) { return a[i]; }
+            var arr = [1, 2, 3];
+            for (var k = 0; k < 30; k++) f(arr, 1);
+            f(null, 0);
+            """
+        )
+
+    def test_calling_non_function_mid_loop(self):
+        self.check(
+            """
+            function apply(g, x) { return g(x); }
+            function id(x) { return x; }
+            for (var i = 0; i < 30; i++) apply(id, i);
+            apply(42, 1);
+            """
+        )
+
+    def test_missing_global_in_native_code(self):
+        self.check(
+            """
+            function f(flag) { return flag ? definitelyMissing : 1; }
+            for (var i = 0; i < 30; i++) f(false);
+            f(true);
+            """
+        )
+
+    def test_guest_recursion_limit_native(self):
+        self.check(
+            """
+            function f(n) { return n <= 0 ? 0 : f(n - 1) + 1; }
+            for (var i = 0; i < 30; i++) f(10);
+            f(100000);
+            """
+        )
+
+    def test_in_operator_on_primitive(self):
+        self.check(
+            """
+            function f(o) { return 'k' in o; }
+            for (var i = 0; i < 30; i++) f({k: 1});
+            f(5);
+            """
+        )
+
+
+class TestEngineSurvivesErrors:
+    def test_engine_usable_after_guest_error(self):
+        e = Engine(config=FULL_SPEC, **FAST)
+        with pytest.raises(JSReferenceError):
+            e.run_source("print(missingGlobal);")
+        # Note: run_source compiles fresh code; the engine object
+        # remains consistent and can run another script.
+        assert e.run_source("print(1 + 1);")[-1] == "2"
+
+    def test_stats_consistent_after_error(self):
+        e = Engine(config=FULL_SPEC, **FAST)
+        with pytest.raises(JSTypeError):
+            e.run_source(
+                """
+                function f(o) { return o.x; }
+                for (var i = 0; i < 30; i++) f({x: 1});
+                f(null);
+                """
+            )
+        e.finish()
+        summary = e.stats.summary()
+        assert summary["total_cycles"] > 0

@@ -1,0 +1,54 @@
+"""The example scripts must run end to end (they are documentation)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_quickstart():
+    result = run_example("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "speedup" in result.stdout
+    assert "functions specialized" in result.stdout
+
+
+def test_specialization_tour():
+    result = run_example("specialization_tour.py")
+    assert result.returncode == 0, result.stderr
+    assert "Figure 7a" in result.stdout
+    assert "Final native code" in result.stdout
+    assert "constant [1, 2, 3, 4, 5]" in result.stdout  # the baked array
+
+
+def test_deopt_lifecycle():
+    result = run_example("deopt_lifecycle.py")
+    assert result.returncode == 0, result.stderr
+    assert "cache hits" in result.stdout
+    assert "never-specialize mark: True" in result.stdout
+
+
+@pytest.mark.slow
+def test_web_profile():
+    result = run_example("web_profile.py")
+    assert result.returncode == 0, result.stderr
+    assert "Figure 4" in result.stdout
+
+
+@pytest.mark.slow
+def test_future_work():
+    result = run_example("future_work.py")
+    assert result.returncode == 0, result.stderr
+    assert "Overflow-check elimination" in result.stdout

@@ -1,0 +1,207 @@
+"""Tests for the §6 future-work extensions: overflow-check elimination
+and loop unrolling under value specialization."""
+
+import pytest
+
+from repro import BASELINE, Engine
+from repro.engine.config import EXTENDED, FULL_SPEC, OptConfig
+from repro.jsvm.interpreter import Interpreter
+from repro.mir import instructions as mi
+from repro.mir.builder import build_mir
+from repro.mir.specializer import specialize_types
+from repro.mir.verifier import verify_graph
+from repro.opts.constprop import run_constant_propagation
+from repro.opts.dce import run_dce
+from repro.opts.loop_inversion import rotate_loops
+from repro.opts.overflow_check import run_overflow_check_elimination
+from repro.opts.unrolling import run_unrolling
+
+from tests.conftest import FAST, run_engine
+from tests.helpers import compile_and_profile, count, instrs
+
+OVERFLOW_CFG = OptConfig(
+    "ovf", param_spec=True, constprop=True, loop_inversion=True, dce=True,
+    bounds_check=True, overflow_elim=True,
+)
+UNROLL_CFG = OptConfig(
+    "unr", param_spec=True, constprop=True, loop_inversion=True, dce=True,
+    bounds_check=True, unroll=True,
+)
+
+
+def spec_graph(source, name, param_values, rotate=True):
+    _top, code = compile_and_profile(source, name)
+    if rotate:
+        rotate_loops(code)
+    graph = build_mir(code, feedback=code.feedback, param_values=param_values)
+    specialize_types(graph)
+    run_constant_propagation(graph)
+    run_dce(graph)
+    verify_graph(graph)
+    return graph
+
+
+LOOP_SOURCE = """
+function f(n) {
+  var s = 0;
+  for (var i = 0; i < n; i++) s = s + i;
+  return s;
+}
+f(50);
+"""
+
+
+class TestOverflowCheckElimination:
+    def test_clears_guard_on_bounded_induction(self):
+        graph = spec_graph(LOOP_SOURCE, "f", [50])
+        guarded_before = sum(
+            1 for a in instrs(graph, mi.MBinaryArithI) if a.is_guard
+        )
+        cleared = run_overflow_check_elimination(graph)
+        verify_graph(graph)
+        assert cleared >= 1
+        guarded_after = sum(1 for a in instrs(graph, mi.MBinaryArithI) if a.is_guard)
+        assert guarded_after < guarded_before
+
+    def test_keeps_guard_when_bound_unknown(self):
+        graph = spec_graph(LOOP_SOURCE.replace("f(50);", ""), "f", None, rotate=False)
+        # Without specialization the bound n is unknown.
+        cleared = run_overflow_check_elimination(graph)
+        assert cleared == 0
+
+    def test_keeps_guard_near_int32_limit(self):
+        source = """
+        function f(n) {
+          var s = 0;
+          for (var i = 2147483000; i < n; i++) s = s + i;
+          return s;
+        }
+        f(2147483646);
+        """
+        graph = spec_graph(source, "f", [2147483646])
+        # s + i can overflow (sum of many near-max values): s's range
+        # is unknown, so its guard must stay.
+        adds = [a for a in instrs(graph, mi.MBinaryArithI) if a.op.lower() == "add"]
+        assert any(a.is_guard for a in adds)
+
+    def test_end_to_end_results_unchanged(self):
+        source = """
+        function kernel(n) {
+          var s = 0;
+          for (var i = 0; i < n; i++) s += i & 1023;
+          return s;
+        }
+        var t = 0;
+        for (var r = 0; r < 30; r++) t += kernel(100);
+        print(t);
+        """
+        expected = Interpreter().run_source(source)
+        printed, engine = run_engine(source, OVERFLOW_CFG, **FAST)
+        assert printed == expected
+
+    def test_extension_reduces_cycles(self):
+        source = """
+        function kernel(n) {
+          var s = 0;
+          for (var i = 0; i < n; i++) s = (s & 4095) + i;
+          return s;
+        }
+        var t = 0;
+        for (var r = 0; r < 40; r++) t += kernel(200);
+        print(t);
+        """
+        _out1, plain = run_engine(source, FULL_SPEC, **FAST)
+        _out2, extended = run_engine(source, OVERFLOW_CFG, **FAST)
+        assert _out1 == _out2
+        # i's guard clears (i in [0,199]); guards cost cycles.
+        assert extended.stats.total_cycles <= plain.stats.total_cycles
+
+
+class TestLoopUnrolling:
+    SHORT_LOOP = """
+    function f(a) {
+      var s = 0;
+      for (var i = 0; i < 5; i++) s = s + a;
+      return s;
+    }
+    f(7);
+    """
+
+    def test_unrolls_constant_trip_count(self):
+        graph = spec_graph(self.SHORT_LOOP, "f", [7])
+        unrolled = run_unrolling(graph)
+        verify_graph(graph)
+        assert unrolled == 1
+        assert not instrs(graph, mi.MPhi)  # the loop is gone
+
+    def test_constprop_evaluates_unrolled_loop(self):
+        graph = spec_graph(self.SHORT_LOOP, "f", [7])
+        run_unrolling(graph)
+        run_constant_propagation(graph)
+        run_dce(graph)
+        verify_graph(graph)
+        returns = instrs(graph, mi.MReturn)
+        assert isinstance(returns[0].operands[0], mi.MConstant)
+        assert returns[0].operands[0].value == 35
+
+    def test_large_trip_count_not_unrolled(self):
+        graph = spec_graph(LOOP_SOURCE, "f", [50])
+        assert run_unrolling(graph) == 0
+
+    def test_unknown_bound_not_unrolled(self):
+        source = self.SHORT_LOOP.replace("i < 5", "i < a")
+        graph = spec_graph(source, "f", None, rotate=True)
+        assert run_unrolling(graph) == 0
+
+    def test_calls_in_body_not_unrolled(self):
+        source = """
+        function f(g) {
+          var s = 0;
+          for (var i = 0; i < 4; i++) s += g(i);
+          return s;
+        }
+        """
+        _top, code = compile_and_profile(source + "f(function(x){ someGlobal = x; return x; });", "f")
+        rotate_loops(code)
+        graph = build_mir(code, feedback=code.feedback)
+        specialize_types(graph)
+        run_constant_propagation(graph)
+        run_dce(graph)
+        assert run_unrolling(graph) == 0
+
+    def test_unrolled_stores_and_guards_work(self):
+        source = """
+        function fill(a) {
+          for (var i = 0; i < 4; i++) a[i] = i * 10;
+          return a[3];
+        }
+        var arr = [0, 0, 0, 0];
+        var r = 0;
+        for (var k = 0; k < 30; k++) r = fill(arr);
+        print(r, arr.join(","));
+        """
+        expected = Interpreter().run_source(source)
+        printed, _engine = run_engine(source, UNROLL_CFG, **FAST)
+        assert printed == expected
+
+    def test_end_to_end_all_suites_still_correct(self):
+        # The extensions must preserve every benchmark's output.
+        from repro.workloads import ALL_SUITES
+
+        benchmark = ALL_SUITES["sunspider"][0]
+        expected = Interpreter().run_source(benchmark.source)
+        printed, _engine = run_engine(benchmark.source, EXTENDED)
+        assert printed == expected
+
+
+class TestExtendedConfig:
+    def test_extended_describe(self):
+        assert "OverflowElim" in EXTENDED.describe()
+        assert "LoopUnroll" in EXTENDED.describe()
+
+    def test_paper_configs_exclude_extensions(self):
+        from repro.engine.config import PAPER_CONFIGS
+
+        for config in PAPER_CONFIGS:
+            assert not config.overflow_elim
+            assert not config.unroll

@@ -1,0 +1,318 @@
+"""Interpreter semantics tests: the executable spec of the JS subset."""
+
+import pytest
+
+from repro.errors import JSRangeError, JSReferenceError, JSTypeError
+from repro.jsvm.interpreter import Interpreter
+
+
+def run(source):
+    return Interpreter().run_source(source)
+
+
+def run1(source):
+    out = run(source)
+    assert len(out) == 1
+    return out[0]
+
+
+class TestBasics:
+    def test_arithmetic(self):
+        assert run1("print(1 + 2 * 3 - 4 / 2);") == "5"
+
+    def test_string_ops(self):
+        assert run1("print('a' + 'b' + 1);") == "ab1"
+
+    def test_variables(self):
+        assert run1("var x = 2; x = x * 10; print(x);") == "20"
+
+    def test_compound_assignment(self):
+        assert run1("var x = 8; x -= 3; x *= 2; x %= 7; print(x);") == "3"
+
+    def test_shift_compound(self):
+        assert run1("var x = 1; x <<= 4; x >>= 1; print(x);") == "8"
+
+    def test_conditional_expression(self):
+        assert run1("print(1 < 2 ? 'y' : 'n');") == "y"
+
+    def test_sequence_expression(self):
+        assert run1("var x = (1, 2, 3); print(x);") == "3"
+
+    def test_print_multiple(self):
+        assert run1("print(1, 'a', true);") == "1 a true"
+
+
+class TestControlFlow:
+    def test_if_else_chain(self):
+        source = """
+        function grade(n) {
+          if (n >= 90) return "A";
+          else if (n >= 80) return "B";
+          else return "C";
+        }
+        print(grade(95), grade(85), grade(10));
+        """
+        assert run(source) == ["A B C"]
+
+    def test_while(self):
+        assert run1("var i = 0, s = 0; while (i < 5) { s += i; i++; } print(s);") == "10"
+
+    def test_do_while_runs_once(self):
+        assert run1("var i = 10; do i++; while (i < 5); print(i);") == "11"
+
+    def test_for(self):
+        assert run1("var s = 0; for (var i = 1; i <= 4; i++) s += i; print(s);") == "10"
+
+    def test_for_without_clauses(self):
+        assert run1("var i = 0; for (;;) { i++; if (i > 3) break; } print(i);") == "4"
+
+    def test_break(self):
+        assert run1("var i = 0; while (true) { if (i == 3) break; i++; } print(i);") == "3"
+
+    def test_continue(self):
+        source = "var s = 0; for (var i = 0; i < 10; i++) { if (i % 2) continue; s += i; } print(s);"
+        assert run1(source) == "20"
+
+    def test_nested_loops_break_inner(self):
+        source = """
+        var count = 0;
+        for (var i = 0; i < 3; i++)
+          for (var j = 0; j < 10; j++) { if (j == 2) break; count++; }
+        print(count);
+        """
+        assert run1(source) == "6"
+
+    def test_while_continue(self):
+        source = "var i = 0, s = 0; while (i < 6) { i++; if (i % 2) continue; s += i; } print(s);"
+        assert run1(source) == "12"
+
+
+class TestFunctions:
+    def test_recursion(self):
+        assert run1("function f(n) { return n < 2 ? n : f(n-1) + f(n-2); } print(f(10));") == "55"
+
+    def test_mutual_recursion(self):
+        source = """
+        function isEven(n) { return n == 0 ? true : isOdd(n - 1); }
+        function isOdd(n) { return n == 0 ? false : isEven(n - 1); }
+        print(isEven(10), isOdd(7));
+        """
+        assert run1(source) == "true true"
+
+    def test_missing_args_are_undefined(self):
+        assert run1("function f(a, b) { return typeof b; } print(f(1));") == "undefined"
+
+    def test_extra_args_dropped(self):
+        assert run1("function f(a) { return a; } print(f(1, 2, 3));") == "1"
+
+    def test_first_class_functions(self):
+        source = "function ap(f, x) { return f(x); } function sq(x) { return x*x; } print(ap(sq, 7));"
+        assert run1(source) == "49"
+
+    def test_closure_counter(self):
+        source = """
+        function mk() { var c = 0; return function() { c++; return c; }; }
+        var a = mk(), b = mk();
+        a(); a();
+        print(a(), b());
+        """
+        assert run1(source) == "3 1"
+
+    def test_closure_shares_cell(self):
+        source = """
+        function mk() {
+          var v = 0;
+          return [function() { v += 10; }, function() { return v; }];
+        }
+        var pair = mk();
+        pair[0](); pair[0]();
+        print(pair[1]());
+        """
+        assert run1(source) == "20"
+
+    def test_too_much_recursion(self):
+        with pytest.raises(JSRangeError):
+            run("function f() { return f(); } f();")
+
+    def test_call_non_function(self):
+        with pytest.raises(JSTypeError):
+            run("var x = 3; x();")
+
+    def test_function_returns_undefined_by_default(self):
+        assert run1("function f() {} print(f());") == "undefined"
+
+
+class TestObjectsAndArrays:
+    def test_object_literal_and_access(self):
+        assert run1("var o = {a: 1, b: {c: 2}}; print(o.a + o.b.c);") == "3"
+
+    def test_property_write(self):
+        assert run1("var o = {}; o.x = 5; o['y'] = 6; print(o.x * o.y);") == "30"
+
+    def test_array_literal(self):
+        assert run1("var a = [1, 2, 3]; print(a[0] + a[2], a.length);") == "4 3"
+
+    def test_array_growth(self):
+        assert run1("var a = []; a[4] = 1; print(a.length, typeof a[0]);") == "5 undefined"
+
+    def test_array_methods(self):
+        source = """
+        var a = [3, 1, 2];
+        a.push(4);
+        print(a.join("-"), a.pop(), a.length, a.indexOf(1), a.slice(1).join(""));
+        """
+        assert run1(source) == "3-1-2-4 4 3 1 12"
+
+    def test_array_reverse_concat(self):
+        assert run1("print([1,2].concat([3], 4).reverse().join(''));") == "4321"
+
+    def test_array_shift_unshift(self):
+        assert run1("var a = [2,3]; a.unshift(1); print(a.shift(), a.join(''));") == "1 23"
+
+    def test_array_sort_default(self):
+        assert run1("print([10, 9, 1].sort().join(','));") == "1,10,9"
+
+    def test_array_sort_comparator(self):
+        assert run1("print([10, 9, 1].sort(function(a,b){return a-b;}).join(','));") == "1,9,10"
+
+    def test_delete_via_undefined_read(self):
+        assert run1("var o = {}; print(o.missing);") == "undefined"
+
+    def test_this_in_method(self):
+        source = "var o = {v: 7, get: function() { return this.v; }}; print(o.get());"
+        assert run1(source) == "7"
+
+    def test_new_constructor(self):
+        source = """
+        function Point(x, y) { this.x = x; this.y = y; }
+        var p = new Point(3, 4);
+        print(p.x + p.y, typeof p);
+        """
+        assert run1(source) == "7 object"
+
+    def test_new_returning_object(self):
+        source = "function F() { return {v: 1}; } print(new F().v);"
+        assert run1(source) == "1"
+
+    def test_in_operator(self):
+        assert run1("var o = {k: 1}; print('k' in o, 'z' in o, 0 in [5]);") == "true false true"
+
+
+class TestStrings:
+    def test_methods(self):
+        source = """
+        var s = "Hello World";
+        print(s.length, s.charAt(0), s.charCodeAt(1), s.indexOf("World"),
+              s.substring(0, 5), s.toLowerCase(), s.split(" ").length);
+        """
+        assert run1(source) == "11 H 101 6 Hello hello world 2"
+
+    def test_index_access(self):
+        assert run1("print('abc'[1], typeof 'abc'[9]);") == "b undefined"
+
+    def test_concat_builds(self):
+        assert run1("var s = ''; for (var i = 0; i < 3; i++) s += i; print(s);") == "012"
+
+    def test_replace_and_substr(self):
+        assert run1("print('aXbXc'.replace('X', '-'), 'abcdef'.substr(2, 3));") == "a-bXc cde"
+
+    def test_number_to_string_radix(self):
+        assert run1("print((255).toString(16), (8).toString(2));") == "ff 1000"
+
+    def test_from_char_code(self):
+        assert run1("print(String.fromCharCode(72, 105));") == "Hi"
+
+
+class TestBuiltins:
+    def test_math(self):
+        assert run1("print(Math.floor(2.7), Math.max(1, 5, 3), Math.abs(-2), Math.pow(2, 8));") == "2 5 2 256"
+
+    def test_math_sqrt_and_constants(self):
+        out = run1("print(Math.sqrt(16), Math.PI > 3.14 && Math.PI < 3.15);")
+        assert out == "4 true"
+
+    def test_math_random_deterministic(self):
+        first = run("print(Math.random());")
+        second = run("print(Math.random());")
+        assert first == second  # seeded LCG
+
+    def test_parse_int_float(self):
+        assert run1("print(parseInt('42px'), parseInt('ff', 16), parseFloat('2.5x'));") == "42 255 2.5"
+
+    def test_is_nan(self):
+        assert run1("print(isNaN(NaN), isNaN(1), isFinite(Infinity));") == "true false false"
+
+    def test_array_constructor(self):
+        assert run1("print(new Array(3).length, Array(1, 2).join(''));") == "3 12"
+
+    def test_string_conversion(self):
+        assert run1("print(String(42) + '!', (1.5).toFixed(1));") == "42! 1.5"
+
+    def test_reference_error(self):
+        with pytest.raises(JSReferenceError):
+            run("print(definitelyMissing);")
+
+
+class TestTypeSystemCorners:
+    def test_typeof_all(self):
+        source = "print(typeof 1, typeof 'a', typeof true, typeof undefined, typeof null, typeof {}, typeof [], typeof print);"
+        assert run1(source) == "number string boolean undefined object object object function"
+
+    def test_nan_propagation(self):
+        assert run1("var x = 0 / 0; print(x == x, x != x);") == "false true"
+
+    def test_negative_zero_division(self):
+        assert run1("print(1 / -0.0);") == "-Infinity"
+
+    def test_int_double_boundary(self):
+        assert run1("print(2147483647 + 1);") == "2147483648"
+
+    def test_string_number_weirdness(self):
+        assert run1("print('5' + 3, '5' - 3);") == "53 2"
+
+    def test_equality_table_sample(self):
+        assert run1("print(null == undefined, null === undefined, 0 == '', 0 == '0');") == "true false true true"
+
+    def test_postfix_vs_prefix(self):
+        assert run1("var i = 5; var a = i++; var b = ++i; print(a, b, i);") == "5 7 7"
+
+    def test_update_on_member(self):
+        assert run1("var o = {n: 1}; o.n++; ++o.n; print(o.n);") == "3"
+
+    def test_update_on_element(self):
+        assert run1("var a = [1]; a[0]++; print(a[0]++, a[0]);") == "2 3"
+
+    def test_compound_on_element_evaluates_once(self):
+        source = """
+        var calls = 0;
+        function idx() { calls++; return 0; }
+        var a = [10];
+        a[idx()] += 5;
+        print(a[0], calls);
+        """
+        assert run1(source) == "15 1"
+
+
+class TestDelete:
+    def test_delete_property(self):
+        assert run1("var o = {a: 1, b: 2}; print(delete o.a, 'a' in o, o.b);") == "true false 2"
+
+    def test_delete_missing_property(self):
+        assert run1("var o = {}; print(delete o.nothing);") == "true"
+
+    def test_delete_yields_true_for_non_members(self):
+        assert run1("var x = 1; print(delete x, x);") == "true 1"
+
+    def test_deleting_function_stays_interpreted(self):
+        # DELPROP is NotCompilable: the engine must fall back cleanly.
+        from repro import Engine, FULL_SPEC
+
+        source = """
+        function wipe(o) { delete o.k; return 'k' in o; }
+        var r = true;
+        for (var i = 0; i < 40; i++) r = wipe({k: 1});
+        print(r);
+        """
+        engine = Engine(config=FULL_SPEC, hot_call_threshold=3)
+        assert engine.run_source(source) == ["false"]
+        assert engine.stats.not_compilable

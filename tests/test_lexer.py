@@ -1,0 +1,159 @@
+"""Unit tests for the lexer."""
+
+import pytest
+
+from repro.errors import JSSyntaxError
+from repro.jsvm.lexer import tokenize
+from repro.jsvm.tokens import TokenType
+
+
+def kinds(source):
+    return [t.type for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert values("42") == [42]
+
+    def test_zero(self):
+        assert values("0") == [0]
+
+    def test_float(self):
+        assert values("3.25") == [3.25]
+
+    def test_float_exponent(self):
+        assert values("1e3") == [1000]
+
+    def test_float_negative_exponent(self):
+        assert values("1e-2") == [0.01]
+
+    def test_float_exponent_plus(self):
+        assert values("2.5e+2") == [250]
+
+    def test_hex(self):
+        assert values("0xff") == [255]
+
+    def test_hex_upper(self):
+        assert values("0XFF") == [255]
+
+    def test_leading_dot(self):
+        assert values(".5") == [0.5]
+
+    def test_trailing_dot(self):
+        assert values("1.") == [1]
+
+    def test_integral_float_normalizes_to_int(self):
+        assert values("4.0") == [4]
+        assert type(values("4.0")[0]) is int
+
+    def test_huge_integer_becomes_double(self):
+        result = values("4294967296")[0]
+        assert type(result) is float
+
+    def test_malformed_hex(self):
+        with pytest.raises(JSSyntaxError):
+            tokenize("0x")
+
+    def test_number_then_dot_method(self):
+        # "1 .toString" style member access after a number
+        tokens = tokenize("x.e")  # e after dot must not parse as exponent
+        assert tokens[2].value == "e"
+
+
+class TestStrings:
+    def test_double_quoted(self):
+        assert values('"hi"') == ["hi"]
+
+    def test_single_quoted(self):
+        assert values("'hi'") == ["hi"]
+
+    def test_escapes(self):
+        assert values(r'"\n\t\\"') == ["\n\t\\"]
+
+    def test_quote_escape(self):
+        assert values(r'"a\"b"') == ['a"b']
+
+    def test_hex_escape(self):
+        assert values(r'"\x41"') == ["A"]
+
+    def test_unicode_escape(self):
+        assert values(r'"A"') == ["A"]
+
+    def test_unknown_escape_passes_through(self):
+        assert values(r'"\q"') == ["q"]
+
+    def test_unterminated(self):
+        with pytest.raises(JSSyntaxError):
+            tokenize('"abc')
+
+    def test_newline_in_string(self):
+        with pytest.raises(JSSyntaxError):
+            tokenize('"a\nb"')
+
+    def test_empty_string(self):
+        assert values('""') == [""]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert values("1 // two\n2") == [1, 2]
+
+    def test_block_comment(self):
+        assert values("1 /* x */ 2") == [1, 2]
+
+    def test_multiline_block_comment(self):
+        assert values("1 /* a\nb\nc */ 2") == [1, 2]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(JSSyntaxError):
+            tokenize("1 /* oops")
+
+
+class TestPunctuators:
+    def test_longest_match(self):
+        assert values("a >>>= b") == ["a", ">>>=", "b"]
+
+    def test_shift_vs_relational(self):
+        assert values("a >> b >>> c") == ["a", ">>", "b", ">>>", "c"]
+
+    def test_strict_equality(self):
+        assert values("a === b !== c") == ["a", "===", "b", "!==", "c"]
+
+    def test_increments(self):
+        assert values("++x--") == ["++", "x", "--"]
+
+    def test_compound_assign(self):
+        assert values("x <<= 1") == ["x", "<<=", 1]
+
+    def test_unexpected_character(self):
+        with pytest.raises(JSSyntaxError):
+            tokenize("a # b")
+
+
+class TestIdentifiersAndKeywords:
+    def test_keyword(self):
+        token = tokenize("while")[0]
+        assert token.type == TokenType.KEYWORD
+
+    def test_identifier(self):
+        token = tokenize("whileLoop")[0]
+        assert token.type == TokenType.IDENT
+
+    def test_dollar_and_underscore(self):
+        assert values("$x _y") == ["$x", "_y"]
+
+    def test_digits_in_identifier(self):
+        assert values("v42") == ["v42"]
+
+
+class TestPositions:
+    def test_line_tracking(self):
+        tokens = tokenize("a\nbb\n  c")
+        assert [(t.line, t.column) for t in tokens[:-1]] == [(1, 1), (2, 1), (3, 3)]
+
+    def test_eof_token(self):
+        assert kinds("")[-1] == TokenType.EOF

@@ -1,0 +1,166 @@
+"""Tests for lowering, register allocation and native code generation."""
+
+from repro.engine.config import BASELINE, FULL_SPEC
+from repro.jsvm.bytecode import Op
+from repro.lir.lowering import lower_graph
+from repro.lir.native import generate_native
+from repro.lir.regalloc import NUM_REGS, allocate_registers, build_intervals
+from repro.mir.builder import build_mir
+from repro.mir.specializer import specialize_types
+from repro.opts.pass_manager import optimize
+
+from tests.helpers import compile_and_profile
+
+
+def lowered(source, name=None, config=BASELINE, param_values=None):
+    _top, code = compile_and_profile(source, name)
+    if not config.param_spec:
+        param_values = None
+    graph = build_mir(code, feedback=code.feedback, param_values=param_values)
+    optimize(graph, config)
+    return graph
+
+
+class TestLowering:
+    def test_phis_become_moves(self):
+        graph = lowered(
+            "function f(n) { var s = 0; for (var i = 0; i < n; i++) s += i; return s; } f(5);"
+        )
+        lir = lower_graph(graph)
+        ops = [i.op for i in lir.instructions]
+        assert "move" in ops
+        assert not any(op == "phi" for op in ops)
+
+    def test_entry_is_index_zero(self):
+        graph = lowered("function f(a) { return a; } f(1);")
+        lir = lower_graph(graph)
+        assert lir.block_starts[graph.entry.id] == 0
+
+    def test_guards_have_snapshots(self):
+        graph = lowered("function f(a, b) { return a + b; } f(1, 2);")
+        lir = lower_graph(graph)
+        guards = [i for i in lir.instructions if i.snapshot is not None]
+        assert guards
+        for guard in guards:
+            assert guard.snapshot.pc >= 0
+
+    def test_conditional_edges_get_trampolines(self):
+        # `if` without `else`: the test's false edge reaches the join
+        # block (which has phis) directly, so the phi moves need an
+        # edge trampoline.
+        source = """
+        function f(c, n) {
+          var x = 0;
+          for (var i = 0; i < n; i++) { if (c) x += 1; }
+          return x;
+        }
+        f(true, 3);
+        """
+        graph = lowered(source)
+        lir = lower_graph(graph)
+        edge_blocks = [k for k in lir.block_starts if isinstance(k, str)]
+        assert edge_blocks, "branch edge into a phi block needs a trampoline"
+
+    def test_jump_targets_resolve(self):
+        graph = lowered("function f(n) { while (n > 0) n--; return n; } f(3);")
+        native, _stats = generate_native(graph)
+        for instruction in native.instructions:
+            if instruction.targets is not None:
+                for target in instruction.targets:
+                    assert 0 <= target < len(native.instructions)
+
+
+class TestRegisterAllocation:
+    def test_locations_total(self):
+        graph = lowered("function f(a, b, c) { return a * b + c; } f(1, 2, 3);")
+        lir = lower_graph(graph)
+        allocation = allocate_registers(lir)
+        for vreg in range(lir.num_vregs):
+            assert allocation.location_of(vreg) >= 0
+
+    def test_no_spills_for_tiny_function(self):
+        graph = lowered("function f(a) { return a + 1; } f(1);")
+        lir = lower_graph(graph)
+        allocation = allocate_registers(lir)
+        assert allocation.num_spills == 0
+
+    def test_high_pressure_spills(self):
+        # 12 simultaneously-live values cannot fit 8 registers.
+        body = "; ".join("var v%d = a + %d" % (i, i) for i in range(12))
+        total = " + ".join("v%d" % i for i in range(12))
+        source = "function f(a) { %s; return %s; } f(1);" % (body, total)
+        graph = lowered(source)
+        lir = lower_graph(graph)
+        allocation = allocate_registers(lir)
+        assert allocation.num_spills > 0
+        assert allocation.num_slots > 0
+
+    def test_interval_covers_loop(self):
+        # A value live across a back edge must span the whole loop.
+        source = """
+        function f(n, k) {
+          var s = 0;
+          for (var i = 0; i < n; i++) s += k;
+          return s;
+        }
+        f(5, 7);
+        """
+        graph = lowered(source)
+        lir = lower_graph(graph)
+        intervals = build_intervals(lir)
+        by_vreg = {interval.vreg: interval for interval in intervals}
+        # Every instruction's sources must lie inside their interval.
+        for position, instruction in enumerate(lir.instructions):
+            for vreg in instruction.srcs:
+                interval = by_vreg[vreg]
+                assert interval.start <= position <= interval.end
+
+    def test_disjoint_intervals_share_registers(self):
+        graph = lowered("function f(a) { var x = a + 1; var y = x + 1; return y; } f(1);")
+        lir = lower_graph(graph)
+        allocation = allocate_registers(lir)
+        used = set(
+            loc for loc in allocation.locations.values() if loc < NUM_REGS
+        )
+        # A straight dependency chain fits the register file with room
+        # to spare and never spills.
+        assert allocation.num_spills == 0
+        assert len(used) < lir.num_vregs
+
+
+class TestNativeCode:
+    def test_size_metric(self):
+        graph = lowered("function f(a, b) { return a + b; } f(1, 2);")
+        native, stats = generate_native(graph)
+        assert native.size == len(native.instructions) > 0
+        assert stats["lir_instructions"] >= native.size
+
+    def test_specialized_code_smaller(self):
+        source = """
+        function kernel(a, b, n) {
+          var s = 0;
+          for (var i = 0; i < n; i++) s += (a * i + b) & 255;
+          return s;
+        }
+        kernel(3, 5, 50);
+        """
+        base_graph = lowered(source, "kernel", BASELINE)
+        spec_graph = lowered(source, "kernel", FULL_SPEC, param_values=[3, 5, 50])
+        base_native, _ = generate_native(base_graph)
+        spec_native, _ = generate_native(spec_graph)
+        assert spec_native.size < base_native.size
+
+    def test_disassemble_smoke(self):
+        graph = lowered("function f(a) { return a; } f(1);")
+        native, _ = generate_native(graph)
+        assert "return" in native.disassemble()
+
+    def test_snapshot_locations_resolved(self):
+        graph = lowered("function f(a, b) { return a + b; } f(1, 2);")
+        native, _ = generate_native(graph)
+        for instruction in native.instructions:
+            if instruction.snapshot is not None:
+                assert instruction.snapshot.locations is not None
+                assert len(instruction.snapshot.locations) == len(
+                    instruction.snapshot.vregs
+                )

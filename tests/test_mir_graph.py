@@ -1,0 +1,183 @@
+"""Unit tests for MIR instruction/def-use/graph primitives."""
+
+import pytest
+
+from repro.errors import CompilerError
+from repro.jsvm.bytecode import Op
+from repro.mir.graph import MIRGraph
+from repro.mir.instructions import (
+    MBinaryArithI,
+    MConstant,
+    MGoto,
+    MPhi,
+    MReturn,
+    MTest,
+    ResumePoint,
+)
+from repro.mir.types import MIRType
+from repro.mir.verifier import verify_graph
+
+
+class FakeCode(object):
+    name = "<fake>"
+
+
+def tiny_graph():
+    """entry -> body -> return c1 + c2"""
+    graph = MIRGraph(FakeCode())
+    entry = graph.new_block()
+    graph.entry = entry
+    c1 = entry.append(MConstant(1))
+    c2 = entry.append(MConstant(2))
+    add = entry.append(MBinaryArithI(Op.ADD, c1, c2))
+    entry.append(MReturn(add))
+    return graph, entry, c1, c2, add
+
+
+class TestDefUse:
+    def test_uses_registered(self):
+        _graph, _entry, c1, c2, add = tiny_graph()
+        assert any(consumer is add for consumer, _ in c1.uses)
+        assert any(consumer is add for consumer, _ in c2.uses)
+
+    def test_replace_all_uses(self):
+        graph, entry, c1, _c2, add = tiny_graph()
+        c9 = entry.insert_before(add, MConstant(9))
+        c1.replace_all_uses_with(c9)
+        assert add.operands[0] is c9
+        assert not c1.has_uses()
+        assert any(consumer is add for consumer, _ in c9.uses)
+
+    def test_replace_with_self_is_noop(self):
+        _graph, _entry, c1, _c2, add = tiny_graph()
+        c1.replace_all_uses_with(c1)
+        assert add.operands[0] is c1
+
+    def test_remove_instruction_releases_operands(self):
+        graph, entry, c1, c2, add = tiny_graph()
+        ret = entry.instructions[-1]
+        entry.remove_instruction(ret)
+        entry.remove_instruction(add)
+        assert not c1.has_uses()
+        assert not c2.has_uses()
+
+    def test_set_operand_updates_uses(self):
+        _graph, entry, c1, c2, add = tiny_graph()
+        add.set_operand(0, c2)
+        assert not c1.has_uses()
+        assert len([u for u, _ in c2.uses if u is add]) == 2
+
+    def test_resume_point_counts_as_use(self):
+        graph, entry, c1, c2, add = tiny_graph()
+        resume = ResumePoint(0, ResumePoint.MODE_AT, [c1], [], [c2])
+        add.attach_resume_point(resume)
+        assert len(c1.uses) == 2  # add operand + resume point
+        add.release_operands()
+        assert not c1.has_uses()
+
+    def test_resume_point_layout(self):
+        _graph, _entry, c1, c2, add = tiny_graph()
+        resume = ResumePoint(5, ResumePoint.MODE_AFTER, [c1, c2], [add], [c1])
+        assert resume.args == [c1, c2]
+        assert resume.locals == [add]
+        assert resume.stack == [c1]
+
+
+class TestPhis:
+    def test_phi_operands_align_with_predecessors(self):
+        graph = MIRGraph(FakeCode())
+        a = graph.new_block()
+        b = graph.new_block()
+        join = graph.new_block()
+        graph.entry = a
+        phi = MPhi(MIRType.INT32)
+        join.add_phi(phi)
+        ca = a.append(MConstant(1))
+        cb = b.append(MConstant(2))
+        join.add_predecessor(a)
+        phi.add_input(ca)
+        join.add_predecessor(b)
+        phi.add_input(cb)
+        assert len(phi.operands) == len(join.predecessors)
+
+    def test_remove_predecessor_trims_phi(self):
+        graph = MIRGraph(FakeCode())
+        a = graph.new_block()
+        b = graph.new_block()
+        join = graph.new_block()
+        phi = MPhi(MIRType.INT32)
+        join.add_phi(phi)
+        ca = a.append(MConstant(1))
+        cb = b.append(MConstant(2))
+        join.add_predecessor(a)
+        phi.add_input(ca)
+        join.add_predecessor(b)
+        phi.add_input(cb)
+        join.remove_predecessor(a)
+        assert phi.operands == [cb]
+        assert not ca.has_uses()
+        # The remaining use is re-indexed to position 0.
+        assert (phi, 0) in cb.uses
+
+
+class TestVerifier:
+    def test_valid_graph_passes(self):
+        graph, _entry, _c1, _c2, _add = tiny_graph()
+        verify_graph(graph)
+
+    def test_missing_terminator_caught(self):
+        graph = MIRGraph(FakeCode())
+        block = graph.new_block()
+        graph.entry = block
+        block.append(MConstant(1))
+        with pytest.raises(CompilerError):
+            verify_graph(graph)
+
+    def test_phi_operand_count_mismatch_caught(self):
+        graph, entry, c1, _c2, _add = tiny_graph()
+        other = graph.new_block()
+        phi = MPhi(MIRType.INT32)
+        other.add_phi(phi)
+        phi.add_input(c1)  # one operand, zero predecessors
+        other.append(MReturn(c1))
+        with pytest.raises(CompilerError):
+            verify_graph(graph)
+
+    def test_edge_symmetry_caught(self):
+        graph, entry, _c1, _c2, _add = tiny_graph()
+        orphan = graph.new_block()
+        orphan.append(MReturn(entry.instructions[0]))
+        # entry -> orphan edge without predecessor registration
+        entry.remove_instruction(entry.instructions[-1])
+        entry.append(MGoto(orphan))
+        with pytest.raises(CompilerError):
+            verify_graph(graph)
+
+
+class TestCongruence:
+    def test_constants_congruent_by_value(self):
+        a, b = MConstant(5), MConstant(5)
+        a.id, b.id = 1, 2
+        assert a.congruence_key() == b.congruence_key()
+
+    def test_int_float_constants_differ(self):
+        a, b = MConstant(5), MConstant(5.0)
+        a.id, b.id = 1, 2
+        assert a.congruence_key() != b.congruence_key()
+
+    def test_arith_congruence_includes_op(self):
+        c1, c2 = MConstant(1), MConstant(2)
+        c1.id, c2.id = 1, 2
+        add = MBinaryArithI(Op.ADD, c1, c2)
+        sub = MBinaryArithI(Op.SUB, c1, c2)
+        add.id, sub.id = 3, 4
+        assert add.congruence_key() != sub.congruence_key()
+
+    def test_effectful_not_congruent(self):
+        from repro.mir.instructions import MCall
+
+        c = MConstant(1)
+        c.id = 1
+        call = MCall(c, c, [])
+        call.id = 2
+        assert call.congruence_key() is None

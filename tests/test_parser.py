@@ -1,0 +1,262 @@
+"""Unit tests for the parser."""
+
+import pytest
+
+from repro.errors import JSSyntaxError
+from repro.jsvm import ast_nodes as ast
+from repro.jsvm.parser import parse
+
+
+def parse_expr(text):
+    program = parse(text + ";")
+    assert len(program.body) == 1
+    return program.body[0].expression
+
+
+def parse_stmt(text):
+    program = parse(text)
+    assert len(program.body) == 1
+    return program.body[0]
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        node = parse_expr("1 + 2 * 3")
+        assert node.operator == "+"
+        assert node.right.operator == "*"
+
+    def test_left_associativity(self):
+        node = parse_expr("1 - 2 - 3")
+        assert node.operator == "-"
+        assert node.left.operator == "-"
+
+    def test_parentheses(self):
+        node = parse_expr("(1 + 2) * 3")
+        assert node.operator == "*"
+        assert node.left.operator == "+"
+
+    def test_bitwise_precedence(self):
+        # | binds loosest, then ^, then &
+        node = parse_expr("a | b ^ c & d")
+        assert node.operator == "|"
+        assert node.right.operator == "^"
+        assert node.right.right.operator == "&"
+
+    def test_equality_vs_relational(self):
+        node = parse_expr("a == b < c")
+        assert node.operator == "=="
+        assert node.right.operator == "<"
+
+    def test_shift(self):
+        node = parse_expr("a << b + 1")
+        assert node.operator == "<<"
+        assert node.right.operator == "+"
+
+    def test_logical_short_circuit_shape(self):
+        node = parse_expr("a && b || c")
+        assert isinstance(node, ast.Logical)
+        assert node.operator == "||"
+        assert node.left.operator == "&&"
+
+    def test_conditional(self):
+        node = parse_expr("a ? b : c")
+        assert isinstance(node, ast.Conditional)
+
+    def test_nested_conditional(self):
+        node = parse_expr("a ? b : c ? d : e")
+        assert isinstance(node.alternate, ast.Conditional)
+
+    def test_assignment_right_associative(self):
+        node = parse_expr("a = b = 1")
+        assert isinstance(node.value, ast.Assignment)
+
+    def test_compound_assignment(self):
+        node = parse_expr("a += 2")
+        assert node.operator == "+"
+
+    def test_assignment_to_member(self):
+        node = parse_expr("a.b = 1")
+        assert isinstance(node.target, ast.Member)
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(JSSyntaxError):
+            parse("1 = 2;")
+
+    def test_unary_chain(self):
+        node = parse_expr("!!x")
+        assert node.operator == "!"
+        assert node.operand.operator == "!"
+
+    def test_typeof(self):
+        node = parse_expr("typeof x")
+        assert node.operator == "typeof"
+
+    def test_prefix_update(self):
+        node = parse_expr("++x")
+        assert isinstance(node, ast.Update)
+        assert node.prefix
+
+    def test_postfix_update(self):
+        node = parse_expr("x--")
+        assert isinstance(node, ast.Update)
+        assert not node.prefix
+
+    def test_update_requires_target(self):
+        with pytest.raises(JSSyntaxError):
+            parse("++1;")
+
+    def test_call_chain(self):
+        node = parse_expr("f(1)(2)")
+        assert isinstance(node, ast.Call)
+        assert isinstance(node.callee, ast.Call)
+
+    def test_member_dot(self):
+        node = parse_expr("a.b.c")
+        assert node.property == "c"
+        assert node.object.property == "b"
+
+    def test_member_computed(self):
+        node = parse_expr("a[i + 1]")
+        assert node.computed
+
+    def test_member_keyword_property(self):
+        node = parse_expr("a.in")
+        assert node.property == "in"
+
+    def test_method_call(self):
+        node = parse_expr("a.push(1, 2)")
+        assert isinstance(node.callee, ast.Member)
+        assert len(node.arguments) == 2
+
+    def test_new_with_args(self):
+        node = parse_expr("new Point(1, 2)")
+        assert isinstance(node, ast.New)
+        assert len(node.arguments) == 2
+
+    def test_new_without_args(self):
+        node = parse_expr("new Thing")
+        assert isinstance(node, ast.New)
+        assert node.arguments == []
+
+    def test_array_literal(self):
+        node = parse_expr("[1, 2, 3]")
+        assert len(node.elements) == 3
+
+    def test_empty_array(self):
+        assert parse_expr("[]").elements == []
+
+    def test_object_literal(self):
+        node = parse_expr("({a: 1, 'b': 2, 3: 4})")
+        keys = [k for k, _v in node.properties]
+        assert keys == ["a", "b", "3"]
+
+    def test_function_expression(self):
+        node = parse_expr("(function f(x) { return x; })")
+        assert isinstance(node, ast.FunctionExpression)
+        assert node.name == "f"
+
+    def test_anonymous_function_expression(self):
+        node = parse_expr("(function (x) { return x; })")
+        assert node.name is None
+
+    def test_sequence(self):
+        node = parse_expr("(a, b, c)")
+        assert isinstance(node, ast.Sequence)
+        assert len(node.expressions) == 3
+
+    def test_this(self):
+        node = parse_expr("this.x")
+        assert isinstance(node.object, ast.ThisExpression)
+
+    def test_in_operator(self):
+        node = parse_expr('"k" in obj')
+        assert node.operator == "in"
+
+    def test_void(self):
+        node = parse_expr("void 0")
+        assert node.operator == "void"
+
+
+class TestStatements:
+    def test_var_multiple(self):
+        node = parse_stmt("var a = 1, b, c = 3;")
+        assert [name for name, _ in node.declarations] == ["a", "b", "c"]
+        assert node.declarations[1][1] is None
+
+    def test_let_parses_as_var(self):
+        node = parse_stmt("let a = 1;")
+        assert isinstance(node, ast.VarDecl)
+
+    def test_if_else(self):
+        node = parse_stmt("if (a) b; else c;")
+        assert node.alternate is not None
+
+    def test_dangling_else(self):
+        node = parse_stmt("if (a) if (b) c; else d;")
+        assert node.alternate is None
+        assert node.consequent.alternate is not None
+
+    def test_while(self):
+        node = parse_stmt("while (x) x--;")
+        assert isinstance(node, ast.While)
+
+    def test_do_while(self):
+        node = parse_stmt("do x--; while (x);")
+        assert isinstance(node, ast.DoWhile)
+
+    def test_for_full(self):
+        node = parse_stmt("for (var i = 0; i < 10; i++) f(i);")
+        assert node.init is not None
+        assert node.test is not None
+        assert node.update is not None
+
+    def test_for_empty_clauses(self):
+        node = parse_stmt("for (;;) break;")
+        assert node.init is None
+        assert node.test is None
+        assert node.update is None
+
+    def test_function_decl(self):
+        node = parse_stmt("function f(a, b) { return a + b; }")
+        assert isinstance(node, ast.FunctionDecl)
+        assert node.params == ["a", "b"]
+
+    def test_return_without_value(self):
+        node = parse(("function f() { return; }")).body[0]
+        assert node.body[0].argument is None
+
+    def test_return_value_on_next_line_asi(self):
+        # ASI: `return` followed by a newline returns undefined.
+        node = parse("function f() { return\n1; }").body[0]
+        assert node.body[0].argument is None
+
+    def test_break_continue(self):
+        program = parse("while (1) { break; continue; }")
+        body = program.body[0].body.body
+        assert isinstance(body[0], ast.Break)
+        assert isinstance(body[1], ast.Continue)
+
+    def test_empty_statement(self):
+        assert isinstance(parse_stmt(";"), ast.Empty)
+
+    def test_block(self):
+        node = parse_stmt("{ 1; 2; }")
+        assert isinstance(node, ast.Block)
+        assert len(node.body) == 2
+
+    def test_asi_newline(self):
+        program = parse("var a = 1\nvar b = 2")
+        assert len(program.body) == 2
+
+    def test_missing_semicolon_same_line(self):
+        with pytest.raises(JSSyntaxError):
+            parse("var a = 1 var b = 2")
+
+    def test_unterminated_block(self):
+        with pytest.raises(JSSyntaxError):
+            parse("{ 1;")
+
+    def test_nested_functions(self):
+        program = parse("function o() { function i() { return 1; } return i; }")
+        inner = program.body[0].body[0]
+        assert isinstance(inner, ast.FunctionDecl)

@@ -1,0 +1,110 @@
+"""Tests for the optimization pipeline driver and its cost accounting."""
+
+from repro.engine.config import BASELINE, FULL_SPEC, OptConfig
+from repro.engine.jit import compile_function
+from repro.mir.builder import build_mir
+from repro.opts.pass_manager import optimize
+
+from tests.helpers import compile_and_profile
+
+SOURCE = """
+function kernel(a, n) {
+  var s = 0;
+  for (var i = 0; i < n; i++) s += (a * i) & 255;
+  return s;
+}
+kernel(7, 40);
+"""
+
+
+def fresh_graph(param_values=None):
+    _top, code = compile_and_profile(SOURCE, "kernel")
+    return build_mir(code, feedback=code.feedback, param_values=param_values)
+
+
+class TestPassGating:
+    def test_baseline_runs_no_configurable_passes(self):
+        work = optimize(fresh_graph(), BASELINE)
+        assert "constprop" not in work.units
+        assert "dce" not in work.units
+        assert "bounds_check" not in work.units
+        assert "inlining" not in work.units
+        # Baseline IonMonkey passes always run.
+        assert "type_specialization" in work.units
+        assert "gvn" in work.units
+        assert "licm" in work.units
+
+    def test_full_config_runs_everything(self):
+        work = optimize(fresh_graph(param_values=[7, 40]), FULL_SPEC)
+        for name in ("type_specialization", "gvn", "constprop", "dce", "licm", "bounds_check"):
+            assert name in work.units, name
+
+    def test_inlining_needs_specialized_graph(self):
+        work = optimize(fresh_graph(param_values=None), FULL_SPEC)
+        assert "inlining" not in work.units
+
+    def test_loop_inversion_cost_charged_when_flagged(self):
+        work = optimize(fresh_graph(), BASELINE, loop_inversion_applied=True)
+        assert "loop_inversion" in work.units
+
+    def test_work_units_positive(self):
+        work = optimize(fresh_graph(), FULL_SPEC)
+        assert work.total_units > 0
+        assert all(units > 0 for units in work.units.values())
+
+
+class TestCompileFunction:
+    def test_param_values_ignored_without_param_spec(self):
+        _top, code = compile_and_profile(SOURCE, "kernel")
+        result = compile_function(
+            code, BASELINE, feedback=code.feedback, param_values=[7, 40]
+        )
+        assert not result.native.meta["specialized"]
+
+    def test_specialized_metadata(self):
+        _top, code = compile_and_profile(SOURCE, "kernel")
+        result = compile_function(
+            code, FULL_SPEC, feedback=code.feedback, param_values=[7, 40]
+        )
+        assert result.native.meta["specialized"]
+        assert result.native.meta["specialized_args"] == [7, 40]
+
+    def test_keep_graph(self):
+        _top, code = compile_and_profile(SOURCE, "kernel")
+        result = compile_function(code, BASELINE, feedback=code.feedback, keep_graph=True)
+        assert result.graph is not None
+        result = compile_function(code, BASELINE, feedback=code.feedback)
+        assert result.graph is None
+
+    def test_codegen_stats_present(self):
+        _top, code = compile_and_profile(SOURCE, "kernel")
+        result = compile_function(code, BASELINE, feedback=code.feedback)
+        assert result.codegen_stats["lir_instructions"] > 0
+        assert result.codegen_stats["intervals"] > 0
+
+
+class TestGraphSurgery:
+    def test_merge_blocks(self):
+        from repro.opts.dce import merge_blocks
+        from repro.mir.verifier import verify_graph
+
+        graph = fresh_graph()
+        before = len(graph.blocks)
+        merged = merge_blocks(graph)
+        verify_graph(graph)
+        assert merged >= 0
+        assert len(graph.blocks) == before - merged
+
+    def test_compact_removes_unreachable(self):
+        from repro.mir.instructions import MGoto
+        from repro.mir.verifier import verify_graph
+
+        graph = fresh_graph()
+        # Manufacture an unreachable block.
+        dead = graph.new_block()
+        goto = MGoto(graph.entry)
+        dead.append(goto)
+        graph.entry.add_predecessor(dead)
+        removed = graph.compact()
+        assert removed >= 1
+        verify_graph(graph)

@@ -1,0 +1,168 @@
+"""Tests for the host runtime: globals and builtin methods."""
+
+import math
+
+import pytest
+
+from repro.errors import JSReferenceError, JSTypeError
+from repro.jsvm.interpreter import Interpreter
+from repro.jsvm.runtime import Runtime
+
+
+def run1(source):
+    out = Interpreter().run_source(source)
+    assert len(out) == 1
+    return out[0]
+
+
+class TestGlobals:
+    def test_get_set_has(self):
+        runtime = Runtime()
+        runtime.set_global("x", 42)
+        assert runtime.get_global("x") == 42
+        assert runtime.has_global("x")
+        assert not runtime.has_global("y")
+
+    def test_missing_global_raises(self):
+        with pytest.raises(JSReferenceError):
+            Runtime().get_global("nope")
+
+    def test_nan_infinity_constants(self):
+        assert run1("print(typeof NaN, typeof Infinity, typeof undefined);") == (
+            "number number undefined"
+        )
+
+
+class TestMathObject:
+    def test_trig(self):
+        out = run1("print(Math.sin(0), Math.cos(0), Math.atan2(0, 1));")
+        assert out == "0 1 0"
+
+    def test_sqrt_negative_is_nan(self):
+        assert run1("print(Math.sqrt(-1));") == "NaN"
+
+    def test_log_domains(self):
+        assert run1("print(Math.log(0), Math.log(-1));") == "-Infinity NaN"
+
+    def test_round_half_up(self):
+        assert run1("print(Math.round(2.5), Math.round(-2.5), Math.round(2.4));") == "3 -2 2"
+
+    def test_min_max_nan(self):
+        assert run1("print(Math.max(1, NaN));") == "NaN"
+
+    def test_min_max_empty(self):
+        assert run1("print(Math.max(), Math.min());") == "-Infinity Infinity"
+
+    def test_pow_edge(self):
+        assert run1("print(Math.pow(0, 0), Math.pow(2, -1));") == "1 0.5"
+
+    def test_constants(self):
+        assert run1("print(Math.E > 2.7 && Math.E < 2.8, Math.SQRT2 > 1.41);") == "true true"
+
+    def test_random_in_unit_interval(self):
+        out = run1(
+            "var ok = true; for (var i = 0; i < 100; i++) { var r = Math.random(); if (r < 0 || r >= 1) ok = false; } print(ok);"
+        )
+        assert out == "true"
+
+
+class TestStringMethods:
+    def test_char_code_out_of_range(self):
+        assert run1("print('ab'.charCodeAt(9));") == "NaN"
+
+    def test_char_at_out_of_range(self):
+        assert run1("print('ab'.charAt(9) === '');") == "true"
+
+    def test_substring_swaps_arguments(self):
+        assert run1("print('hello'.substring(4, 1));") == "ell"
+
+    def test_substring_clamps(self):
+        assert run1("print('hi'.substring(-5, 99));") == "hi"
+
+    def test_split_empty_separator(self):
+        assert run1("print('abc'.split('').length);") == "3"
+
+    def test_split_no_separator(self):
+        assert run1("print('a b'.split().length);") == "1"
+
+    def test_index_of_with_start(self):
+        assert run1("print('aXaX'.indexOf('X', 2));") == "3"
+
+    def test_last_index_of(self):
+        assert run1("print('aXaX'.lastIndexOf('X'));") == "3"
+
+    def test_slice_negative(self):
+        assert run1("print('hello'.slice(1, 3));") == "el"
+
+    def test_replace_first_only(self):
+        assert run1("print('aaa'.replace('a', 'b'));") == "baa"
+
+    def test_method_on_wrong_receiver_raises(self):
+        runtime = Runtime()
+        method = runtime.string_methods["charAt"]
+        with pytest.raises(JSTypeError):
+            method(42, [0])
+
+
+class TestArrayMethods:
+    def test_join_default_comma(self):
+        assert run1("print([1, 2].join());") == "1,2"
+
+    def test_join_skips_nullish(self):
+        assert run1("print([1, null, undefined, 2].join('-'));") == "1---2"
+
+    def test_index_of_strict(self):
+        assert run1("print([1, '1'].indexOf('1'));") == "1"
+
+    def test_slice_range(self):
+        assert run1("print([0,1,2,3,4].slice(1, 3).join(''));") == "12"
+
+    def test_concat_flattens_arrays_one_level(self):
+        assert run1("print([1].concat([2, 3], 4).length);") == "4"
+
+    def test_sort_is_in_place_and_returns(self):
+        assert run1("var a = [3,1,2]; print(a.sort() === a, a.join(''));") == "true 123"
+
+    def test_push_returns_new_length(self):
+        assert run1("var a = []; print(a.push(1, 2, 3));") == "3"
+
+    def test_shift_empty(self):
+        assert run1("print(typeof [].shift());") == "undefined"
+
+
+class TestNumberMethods:
+    def test_to_string_radix_2(self):
+        assert run1("print((10).toString(2));") == "1010"
+
+    def test_to_string_negative(self):
+        assert run1("print((-255).toString(16));") == "-ff"
+
+    def test_to_fixed(self):
+        assert run1("print((3.14159).toFixed(2));") == "3.14"
+
+
+class TestParseFunctions:
+    def test_parse_int_sign(self):
+        assert run1("print(parseInt('-42'), parseInt('+7'));") == "-42 7"
+
+    def test_parse_int_empty_is_nan(self):
+        assert run1("print(parseInt(''));") == "NaN"
+
+    def test_parse_float_exponent(self):
+        assert run1("print(parseFloat('1.5e2'));") == "150"
+
+    def test_parse_float_trailing_garbage(self):
+        assert run1("print(parseFloat('2.5abc'));") == "2.5"
+
+
+class TestPrintCapture:
+    def test_printed_accumulates(self):
+        interp = Interpreter()
+        interp.run_source("print(1); print(2);")
+        assert interp.runtime.printed == ["1", "2"]
+
+    def test_shared_output_list(self):
+        shared = []
+        runtime = Runtime(output=shared)
+        Interpreter(runtime=runtime).run_source("print('x');")
+        assert shared == ["x"]

@@ -1,0 +1,62 @@
+"""Tests for the specialization cache, including the §6 capacity extension."""
+
+from repro import FULL_SPEC, Engine
+
+from tests.conftest import FAST
+
+ALTERNATING = """
+function f(a) { return a * 3 + 1; }
+var s = 0;
+for (var i = 0; i < 60; i++) s += f(i % 2 ? 10 : 20);
+print(s);
+"""
+
+THREE_WAY = """
+function f(a) { return a * 3 + 1; }
+var s = 0;
+for (var i = 0; i < 60; i++) s += f(i % 3);
+print(s);
+"""
+
+
+def run(source, capacity):
+    engine = Engine(config=FULL_SPEC, spec_cache_capacity=capacity, **FAST)
+    printed = engine.run_source(source)
+    return printed, engine
+
+
+class TestCapacityOne:
+    """The paper's policy: one binary, deopt on the second set."""
+
+    def test_alternating_args_deoptimize(self):
+        printed, engine = run(ALTERNATING, 1)
+        assert printed == [str(sum((i % 2 and 10 or 20) * 3 + 1 for i in range(60)))]
+        assert engine.stats.deoptimized_functions
+        assert engine.stats.invalidations == 1
+
+
+class TestLargerCapacity:
+    def test_capacity_two_keeps_both_specializations(self):
+        printed1, engine1 = run(ALTERNATING, 1)
+        printed2, engine2 = run(ALTERNATING, 2)
+        assert printed1 == printed2
+        # With room for both argument sets, nothing deoptimizes...
+        assert not engine2.stats.deoptimized_functions
+        # ...and the hot loop runs specialized code throughout, which
+        # the cycle ledger reflects.
+        assert engine2.stats.total_cycles <= engine1.stats.total_cycles
+
+    def test_capacity_two_still_deopts_on_third_set(self):
+        printed, engine = run(THREE_WAY, 2)
+        assert engine.stats.deoptimized_functions
+        assert printed == [str(sum((i % 3) * 3 + 1 for i in range(60)))]
+
+    def test_capacity_four_holds_three_sets(self):
+        printed, engine = run(THREE_WAY, 4)
+        assert not engine.stats.deoptimized_functions
+        summary = engine.stats.summary()
+        assert summary["specialized"] >= 1
+
+    def test_outputs_identical_across_capacities(self):
+        outputs = [run(THREE_WAY, capacity)[0] for capacity in (1, 2, 4, 8)]
+        assert all(output == outputs[0] for output in outputs)

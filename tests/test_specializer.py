@@ -1,0 +1,167 @@
+"""Tests for baseline type specialization (generic MIR → typed MIR)."""
+
+from repro.jsvm.bytecompiler import compile_source
+from repro.mir import instructions as mi
+from repro.mir.builder import build_mir
+from repro.mir.specializer import specialize_types
+from repro.mir.types import MIRType
+from repro.mir.verifier import verify_graph
+
+from tests.helpers import compile_and_profile, count, instrs
+
+
+def typed_graph(source, name=None, param_values=None):
+    _top, code = compile_and_profile(source, name)
+    graph = build_mir(code, feedback=code.feedback, param_values=param_values)
+    specialize_types(graph)
+    verify_graph(graph)
+    return graph
+
+
+class TestArithmetic:
+    def test_int_add_specializes(self):
+        graph = typed_graph("function f(a, b) { return a + b; } f(1, 2);")
+        assert count(graph, mi.MBinaryArithI) == 1
+        assert count(graph, mi.MBinaryV) == 0
+
+    def test_double_add_specializes(self):
+        graph = typed_graph("function f(a, b) { return a + b; } f(1.5, 2.5);")
+        assert count(graph, mi.MBinaryArithD) == 1
+
+    def test_mixed_int_double_widens(self):
+        graph = typed_graph("function f(a, b) { return a + b; } f(1, 2.5);")
+        assert count(graph, mi.MBinaryArithD) == 1
+        assert count(graph, mi.MToDouble) >= 1
+
+    def test_string_concat(self):
+        graph = typed_graph("function f(a, b) { return a + b; } f('x', 'y');")
+        assert count(graph, mi.MConcat) == 1
+
+    def test_division_always_double(self):
+        graph = typed_graph("function f(a, b) { return a / b; } f(6, 3);")
+        arith = instrs(graph, mi.MBinaryArithD)
+        assert len(arith) == 1
+
+    def test_polymorphic_stays_generic(self):
+        graph = typed_graph("function f(a) { return a + a; } f(1); f('s');")
+        assert count(graph, mi.MBinaryV) == 1
+
+    def test_bitops_specialize(self):
+        graph = typed_graph("function f(a) { return (a & 7) | (a << 2) ^ (a >> 1); } f(9);")
+        assert count(graph, mi.MBitOpI) == 5
+        assert count(graph, mi.MBinaryV) == 0
+
+    def test_ushr_is_guard(self):
+        graph = typed_graph("function f(a) { return a >>> 1; } f(9);")
+        bitops = instrs(graph, mi.MBitOpI)
+        assert bitops[0].is_guard
+
+    def test_bitnot_becomes_xor(self):
+        graph = typed_graph("function f(a) { return ~a; } f(9);")
+        assert count(graph, mi.MBitOpI) == 1
+        assert count(graph, mi.MUnaryV) == 0
+
+    def test_neg_int_guard(self):
+        graph = typed_graph("function f(a) { return -a; } f(9);")
+        assert count(graph, mi.MNegI) == 1
+
+    def test_tonum_identity_removed(self):
+        graph = typed_graph("function f(a) { a++; return a; } f(9);")
+        assert count(graph, mi.MUnaryV) == 0
+
+
+class TestComparisons:
+    def test_int_compare(self):
+        graph = typed_graph("function f(a, b) { return a < b; } f(1, 2);")
+        compares = instrs(graph, mi.MCompare)
+        assert len(compares) == 1
+        assert compares[0].kind == "i"
+
+    def test_string_compare(self):
+        graph = typed_graph("function f(a, b) { return a < b; } f('a', 'b');")
+        assert instrs(graph, mi.MCompare)[0].kind == "s"
+
+    def test_double_compare_widens(self):
+        graph = typed_graph("function f(a, b) { return a <= b; } f(1.5, 2);")
+        assert instrs(graph, mi.MCompare)[0].kind == "d"
+
+    def test_mixed_equality_stays_generic(self):
+        graph = typed_graph("function f(a, b) { return a == b; } f(1, 'x');")
+        assert count(graph, mi.MBinaryV) == 1
+
+
+class TestLoopTyping:
+    def test_loop_counter_becomes_int32(self):
+        graph = typed_graph(
+            "function f(n) { var s = 0; for (var i = 0; i < n; i++) s += i; return s; } f(10);"
+        )
+        phis = instrs(graph, mi.MPhi)
+        assert phis, "loop should have phis"
+        assert all(phi.type == MIRType.INT32 for phi in phis)
+        assert count(graph, mi.MBinaryV) == 0
+
+    def test_loop_with_double_accumulator(self):
+        graph = typed_graph(
+            "function f(n) { var s = 0.5; for (var i = 0; i < n; i++) s += 1; return s; } f(3);"
+        )
+        types = {phi.slot: phi.type for phi in instrs(graph, mi.MPhi)}
+        assert MIRType.DOUBLE in types.values()
+        assert MIRType.INT32 in types.values()
+
+
+class TestElementAccess:
+    SOURCE = """
+    function f(a, i) { return a[i]; }
+    f([1, 2, 3], 1);
+    """
+
+    def test_typed_load_gets_bounds_check(self):
+        graph = typed_graph(self.SOURCE)
+        assert count(graph, mi.MBoundsCheck) == 1
+        assert count(graph, mi.MLoadElement) == 1
+        assert count(graph, mi.MArrayLength) == 1
+        assert count(graph, mi.MGetElemV) == 0
+
+    def test_bounds_check_inherits_resume(self):
+        graph = typed_graph(self.SOURCE)
+        check = instrs(graph, mi.MBoundsCheck)[0]
+        assert check.resume_point is not None
+        assert check.resume_point.mode == "at"
+
+    def test_store_specializes(self):
+        graph = typed_graph("function f(a, i, v) { a[i] = v; } f([1], 0, 2);")
+        assert count(graph, mi.MStoreElement) == 1
+        assert count(graph, mi.MSetElemV) == 0
+
+    def test_string_receiver_stays_generic(self):
+        graph = typed_graph("function f(s, i) { return s[i]; } f('abc', 1);")
+        assert count(graph, mi.MGetElemV) == 1
+
+
+class TestPropertyAccess:
+    def test_array_length(self):
+        graph = typed_graph("function f(a) { return a.length; } f([1, 2]);")
+        assert count(graph, mi.MArrayLength) == 1
+        assert count(graph, mi.MGetPropV) == 0
+
+    def test_string_length(self):
+        graph = typed_graph("function f(s) { return s.length; } f('abc');")
+        assert count(graph, mi.MStringLength) == 1
+
+    def test_object_property(self):
+        graph = typed_graph("function f(o) { return o.x; } f({x: 1});")
+        assert count(graph, mi.MLoadProperty) == 1
+
+    def test_object_store(self):
+        graph = typed_graph("function f(o, v) { o.x = v; } f({x: 1}, 2);")
+        assert count(graph, mi.MStoreProperty) == 1
+
+
+class TestSpecializedParams:
+    def test_constant_params_type_the_body(self):
+        # With param spec the constants carry precise types even
+        # without useful feedback.
+        source = "function f(a, b) { return a * b; } f(3, 4);"
+        graph = typed_graph(source, param_values=[3, 4])
+        assert count(graph, mi.MBinaryArithI) == 1
+        assert count(graph, mi.MUnbox) == 0  # no guards needed on constants

@@ -1,0 +1,154 @@
+"""Tests for the telemetry layer (profiler, histograms, code size)."""
+
+from repro.jsvm.interpreter import Interpreter
+from repro.telemetry.histograms import (
+    CallProfiler,
+    FIGURE4_CATEGORIES,
+    histogram,
+    percent_histogram,
+    type_distribution,
+)
+
+
+def profile_source(source):
+    profiler = CallProfiler()
+    Interpreter(profiler=profiler).run_source(source)
+    return profiler
+
+
+class TestCallProfiler:
+    def test_counts_calls(self):
+        profiler = profile_source(
+            "function f() { return 1; } f(); f(); f();"
+        )
+        profile = list(profiler.profiles.values())[0]
+        assert profile.call_count == 3
+
+    def test_distinct_argument_sets(self):
+        profiler = profile_source(
+            "function f(x) { return x; } f(1); f(1); f(2); f('a');"
+        )
+        profile = list(profiler.profiles.values())[0]
+        assert profile.call_count == 4
+        assert profile.distinct_argument_sets == 3
+        assert not profile.monomorphic
+
+    def test_monomorphic_detection(self):
+        profiler = profile_source("function f(x) { return x; } f(5); f(5); f(5);")
+        profile = list(profiler.profiles.values())[0]
+        assert profile.monomorphic
+
+    def test_object_identity_in_argument_sets(self):
+        profiler = profile_source(
+            """
+            function f(o) { return o; }
+            var a = {};
+            f(a); f(a); f({});
+            """
+        )
+        profile = list(profiler.profiles.values())[0]
+        assert profile.distinct_argument_sets == 2
+
+    def test_per_closure_profiles(self):
+        # Two closures of the same code profile separately (the paper
+        # counts functions, not scripts).
+        profiler = profile_source(
+            """
+            function mk() { return function(x) { return x; }; }
+            var f = mk(), g = mk();
+            f(1); g(2); g(3);
+            """
+        )
+        counts = sorted(
+            p.call_count for p in profiler.profiles.values() if p.name == "<anonymous>"
+        )
+        assert counts == [1, 2]
+
+    def test_fractions(self):
+        profiler = profile_source(
+            """
+            function once() { return 1; }
+            function twice() { return 2; }
+            once(); twice(); twice();
+            """
+        )
+        assert abs(profiler.fraction_called_once() - 0.5) < 1e-9
+        assert profiler.fraction_single_argument_set() == 1.0
+
+    def test_first_arg_tags(self):
+        profiler = profile_source("function f(a, b) { return a; } f(1, 'x');")
+        profile = list(profiler.profiles.values())[0]
+        assert profile.first_arg_tags == ("int", "string")
+
+    def test_histograms(self):
+        profiler = profile_source(
+            "function a() {} function b() {} a(); b(); b();"
+        )
+        calls = profiler.call_count_histogram()
+        assert calls[1] == 1 and calls[2] == 1
+
+    def test_synthetic_recording(self):
+        profiler = CallProfiler()
+        profiler.record_synthetic_call("fn0", ("set", 0), ("object",), name="site.fn0")
+        profiler.record_synthetic_call("fn0", ("set", 0), ("object",))
+        profiler.record_synthetic_call("fn0", ("set", 1), ("object",))
+        profile = profiler.profiles["fn0"]
+        assert profile.call_count == 3
+        assert profile.distinct_argument_sets == 2
+
+
+class TestHistogramHelpers:
+    def test_histogram(self):
+        assert histogram([1, 1, 2]) == {1: 2, 2: 1}
+
+    def test_percent_histogram(self):
+        result = percent_histogram([1, 1, 2, 2])
+        assert result[1] == 0.5 and result[2] == 0.5
+
+    def test_type_distribution_has_all_categories(self):
+        dist = type_distribution(["int", "int", "string"])
+        assert set(dist) == set(FIGURE4_CATEGORIES)
+        assert abs(dist["int"] - 2 / 3.0) < 1e-9
+        assert dist["object"] == 0.0
+
+    def test_empty_distribution(self):
+        dist = type_distribution([])
+        assert all(v == 0.0 for v in dist.values())
+
+
+class TestCodeSizeReport:
+    def test_average_reduction(self):
+        from repro import BASELINE, FULL_SPEC, Engine
+        from repro.telemetry.codesize import CodeSizeReport
+
+        source = """
+        function kernel(a, b) {
+          var s = 0;
+          for (var i = 0; i < 200; i++) s += (a * i + b) & 255;
+          return s;
+        }
+        var t = 0;
+        for (var r = 0; r < 40; r++) t += kernel(3, 5);
+        print(t);
+        """
+        base = Engine(config=BASELINE, hot_call_threshold=3)
+        base.run_source(source)
+        spec = Engine(config=FULL_SPEC, hot_call_threshold=3)
+        spec.run_source(source)
+        # code ids differ between runs (fresh compiles): align by name.
+        report = CodeSizeReport(base, spec)
+        # Whole-engine report matches code ids; the bench-level study
+        # matches by name.  Here both engines compiled the same script
+        # object? No - separate compile_source calls.  Just check the
+        # raw data is present and positive.
+        assert base.stats.code_sizes
+        assert spec.stats.code_sizes
+        base_kernel = [
+            s for cid, s in base.stats.code_sizes.items()
+            if base.stats.function_names[cid] == "kernel"
+        ][0]
+        spec_kernel = [
+            s for cid, s in spec.stats.code_sizes.items()
+            if spec.stats.function_names[cid] == "kernel"
+        ][0]
+        assert spec_kernel < base_kernel
