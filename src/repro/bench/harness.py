@@ -12,6 +12,7 @@ import math
 
 from repro.engine.config import BASELINE, PAPER_CONFIGS
 from repro.engine.runtime_engine import Engine
+from repro.telemetry.tracing import Tracer
 
 
 class BenchmarkRun(object):
@@ -30,9 +31,10 @@ class BenchmarkRun(object):
         "specialized",
         "successful",
         "deoptimized",
+        "trace_events",
     )
 
-    def __init__(self, benchmark, config, engine, output):
+    def __init__(self, benchmark, config, engine, output, tracer=None):
         stats = engine.stats
         self.benchmark = benchmark.name
         self.config = config.name
@@ -46,13 +48,22 @@ class BenchmarkRun(object):
         self.specialized = set(stats.specialized_functions)
         self.successful = set(stats.successfully_specialized)
         self.deoptimized = set(stats.deoptimized_functions)
+        #: JIT event stream (docs/TRACING.md) when the run was traced.
+        self.trace_events = list(tracer.events) if tracer is not None else None
 
 
-def run_benchmark(benchmark, config, engine_kwargs=None):
-    """Run one benchmark under one configuration; returns BenchmarkRun."""
-    engine = Engine(config=config, **(engine_kwargs or {}))
+def run_benchmark(benchmark, config, engine_kwargs=None, trace=False, trace_channels=None):
+    """Run one benchmark under one configuration; returns BenchmarkRun.
+
+    With ``trace``, the engine runs with a fresh event tracer
+    (optionally narrowed to ``trace_channels``) and the returned run
+    carries the event stream in ``trace_events`` — any Figure 9
+    configuration can be traced this way.
+    """
+    tracer = Tracer(channels=trace_channels) if trace else None
+    engine = Engine(config=config, tracer=tracer, **(engine_kwargs or {}))
     output = engine.run_source(benchmark.source)
-    return BenchmarkRun(benchmark, config, engine, output)
+    return BenchmarkRun(benchmark, config, engine, output, tracer=tracer)
 
 
 class SweepResult(object):
@@ -73,22 +84,36 @@ class SweepResult(object):
         return self.runs[config_name][benchmark_name]
 
 
-def run_suite_sweep(suite_name, suite, configs=None, engine_kwargs=None, verify=True):
+def run_suite_sweep(
+    suite_name,
+    suite,
+    configs=None,
+    engine_kwargs=None,
+    verify=True,
+    trace=False,
+    trace_channels=None,
+):
     """Run every benchmark under baseline + every configuration.
 
     With ``verify``, every configuration's printed output must equal
     the baseline's (the correctness oracle built into the harness).
+    With ``trace``, every run records its JIT event stream on
+    ``BenchmarkRun.trace_events``.
     """
     configs = configs if configs is not None else PAPER_CONFIGS
     sweep = SweepResult(suite_name)
     baseline_runs = {}
     for benchmark in suite:
-        run = run_benchmark(benchmark, BASELINE, engine_kwargs)
+        run = run_benchmark(
+            benchmark, BASELINE, engine_kwargs, trace=trace, trace_channels=trace_channels
+        )
         baseline_runs[benchmark.name] = run
         sweep.add(run)
     for config in configs:
         for benchmark in suite:
-            run = run_benchmark(benchmark, config, engine_kwargs)
+            run = run_benchmark(
+                benchmark, config, engine_kwargs, trace=trace, trace_channels=trace_channels
+            )
             if verify and run.output != baseline_runs[benchmark.name].output:
                 raise AssertionError(
                     "%s under %s printed %r, baseline printed %r"

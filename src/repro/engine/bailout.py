@@ -1,0 +1,30 @@
+"""Bailout introspection: turn a guard failure into trace-event fields.
+
+A :class:`repro.lir.executor.Bailout` carries everything the engine
+needs to resume interpretation (frame values, resume pc and mode) plus
+the provenance the tracing layer reports: which guard op failed, why,
+the failing instruction's index in the native stream, and the id of
+the resume point (snapshot) the frame was rebuilt from.  Resume-point
+ids are assigned in native emission order by
+:func:`repro.lir.native.generate_native`, so they are stable across
+identical compilations and a trace can be cross-referenced against
+``python -m repro disasm`` output.
+"""
+
+
+def describe_bailout(bail):
+    """Extract the ``bailout.guard`` trace-event fields from ``bail``.
+
+    Returns a dict with ``reason``, ``guard_op``, ``resume_pc``,
+    ``resume_mode``, ``resume_point`` (the snapshot's emission-order id)
+    and ``native_index`` (the faulting native instruction's index).
+    """
+    snapshot = bail.snapshot
+    return {
+        "reason": bail.reason,
+        "guard_op": bail.guard_op,
+        "resume_pc": bail.pc,
+        "resume_mode": bail.mode,
+        "resume_point": None if snapshot is None else snapshot.snapshot_id,
+        "native_index": bail.native_index,
+    }

@@ -15,13 +15,15 @@ from repro.opts.pass_manager import optimize
 class CompileResult(object):
     """A finished compilation plus its cost-model inputs."""
 
-    __slots__ = ("native", "work", "codegen_stats", "graph")
+    __slots__ = ("native", "work", "codegen_stats", "graph", "mir_instructions")
 
-    def __init__(self, native, work, codegen_stats, graph):
+    def __init__(self, native, work, codegen_stats, graph, mir_instructions=None):
         self.native = native
         self.work = work
         self.codegen_stats = codegen_stats
         self.graph = graph
+        #: Size of the optimized MIR graph (for the compile trace).
+        self.mir_instructions = mir_instructions
 
 
 def compile_function(
@@ -35,12 +37,14 @@ def compile_function(
     osr_locals=None,
     generic=False,
     keep_graph=False,
+    tracer=None,
 ):
     """Compile ``code`` under ``config``.
 
     ``param_values`` (plus ``this_value``) activates parameter
     specialization; ``osr_pc`` adds the OSR entry block; ``generic``
     disables type speculation entirely (used after repeated bailouts).
+    ``tracer`` receives per-pass ``pass.run`` events (docs/TRACING.md).
     Raises :class:`NotCompilable` for functions the JIT refuses.
     """
     if not config.param_spec:
@@ -56,6 +60,14 @@ def compile_function(
         osr_locals=osr_locals,
         generic=generic,
     )
-    work = optimize(graph, config, loop_inversion_applied=config.loop_inversion)
+    work = optimize(
+        graph, config, loop_inversion_applied=config.loop_inversion, tracer=tracer
+    )
     native, codegen_stats = generate_native(graph)
-    return CompileResult(native, work, codegen_stats, graph if keep_graph else None)
+    return CompileResult(
+        native,
+        work,
+        codegen_stats,
+        graph if keep_graph else None,
+        mir_instructions=graph.num_instructions(),
+    )

@@ -19,6 +19,7 @@ type-feedback updates, and a repeated-bailout escape hatch that
 recompiles without type speculation.
 """
 
+from repro.engine.bailout import describe_bailout
 from repro.engine.config import BASELINE, CostModel
 from repro.engine.jit import compile_function
 from repro.engine.stats import EngineStats
@@ -99,12 +100,20 @@ class Engine(object):
         osr_backedge_threshold=OSR_BACKEDGE_THRESHOLD,
         bailout_limit=BAILOUT_LIMIT,
         spec_cache_capacity=1,
+        tracer=None,
     ):
         self.config = config
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.stats = EngineStats(self.cost_model)
-        self.interpreter = Interpreter(runtime=runtime, engine=self, profiler=profiler)
+        #: Optional structured event tracer (repro.telemetry.tracing);
+        #: None (the default) means no events and zero overhead.
+        self.tracer = tracer
+        self.interpreter = Interpreter(
+            runtime=runtime, engine=self, profiler=profiler, tracer=tracer
+        )
         self.executor = NativeExecutor(self.interpreter, self.cost_model)
+        if tracer is not None:
+            tracer.bind_clock(self.trace_clock)
         self.states = {}
         self.hot_call_threshold = hot_call_threshold
         self.osr_backedge_threshold = osr_backedge_threshold
@@ -135,6 +144,25 @@ class Engine(object):
         self.stats.native_cycles = self.executor.cycles
         self.stats.native_instructions = self.executor.instructions_executed
 
+    def trace_clock(self):
+        """The deterministic cycle clock trace events are stamped with.
+
+        Same composition as ``EngineStats.total_cycles`` but computed
+        from the live counters (``finish`` only folds them in at the
+        end of a run), so it is monotonically non-decreasing over the
+        whole execution.
+        """
+        cost = self.cost_model
+        stats = self.stats
+        return (
+            self.interpreter.ops_executed * cost.interp_op
+            + stats.interp_calls * cost.interp_call
+            + self.executor.cycles
+            + stats.compile_cycles
+            + stats.bailout_cycles
+            + stats.invalidation_cycles
+        )
+
     # -- state -------------------------------------------------------------------
 
     def _state(self, code):
@@ -154,6 +182,19 @@ class Engine(object):
         code = function.code
         state = self._state(code)
         state.call_count += 1
+        tracer = self.tracer
+        if (
+            tracer is not None
+            and state.call_count == self.hot_call_threshold
+            and not state.not_compilable
+        ):
+            tracer.emit(
+                "interp",
+                "hot_call",
+                fn=code.name,
+                code_id=code.code_id,
+                calls=state.call_count,
+            )
         if state.not_compilable:
             self.stats.interp_calls += 1
             return False, None
@@ -166,6 +207,15 @@ class Engine(object):
             if native.meta["specialized"]:
                 key = _spec_key(this_value, args)
                 if key == state.spec_key:
+                    if tracer is not None:
+                        tracer.emit(
+                            "cache",
+                            "hit",
+                            fn=code.name,
+                            code_id=code.code_id,
+                            key=repr(key),
+                            primary=True,
+                        )
                     return True, self._run_call(state, function, this_value, args)
                 cached = state.spec_cache.get(key)
                 if cached is not None:
@@ -173,14 +223,32 @@ class Engine(object):
                     # possible with capacity > 1, the §6 extension).
                     state.native, state.osr_state_key = cached
                     state.spec_key = key
+                    if tracer is not None:
+                        tracer.emit(
+                            "cache",
+                            "hit",
+                            fn=code.name,
+                            code_id=code.code_id,
+                            key=repr(key),
+                            primary=False,
+                        )
                     return True, self._run_call(state, function, this_value, args)
+                if tracer is not None:
+                    tracer.emit(
+                        "cache",
+                        "miss",
+                        fn=code.name,
+                        code_id=code.code_id,
+                        key=repr(key),
+                        entries=len(state.spec_cache),
+                    )
                 if len(state.spec_cache) < self.spec_cache_capacity:
                     # Room for another specialized binary.
                     if self._compile(state, function, this_value, args, osr_frame=None):
                         return True, self._run_call(state, function, this_value, args)
                 # §4: one distinct argument set too many — discard,
                 # mark, recompile in IonMonkey's traditional mode.
-                self._discard_specialized(state)
+                self._discard_specialized(state, "new-args")
             else:
                 return True, self._run_call(state, function, this_value, args)
 
@@ -205,6 +273,16 @@ class Engine(object):
         if state.not_compilable:
             return None
         state.backedge_count += 1
+        tracer = self.tracer
+        if tracer is not None and state.backedge_count == self.osr_backedge_threshold:
+            tracer.emit(
+                "osr",
+                "trip",
+                fn=code.name,
+                code_id=code.code_id,
+                backedges=state.backedge_count,
+                target_pc=target_pc,
+            )
         if state.backedge_count < self.osr_backedge_threshold:
             # A cached binary with a matching OSR entry can be re-entered
             # cheaply even below the compile threshold.
@@ -221,7 +299,7 @@ class Engine(object):
             # matches this frame (e.g. we bailed out mid-loop and the
             # locals moved on).  Per the §4 policy this is a different
             # input: discard, mark, and recompile generically below.
-            self._discard_specialized(state)
+            self._discard_specialized(state, "osr-state-mismatch")
             native = None
             needs_osr_compile = True
         if needs_osr_compile:
@@ -236,6 +314,15 @@ class Engine(object):
                 state, frame.function, frame.this_value, frame.args, osr_frame=(target_pc, frame)
             ):
                 return None
+        if tracer is not None:
+            tracer.emit(
+                "osr",
+                "enter",
+                fn=code.name,
+                code_id=code.code_id,
+                osr_pc=target_pc,
+                backedges=state.backedge_count,
+            )
         return self._run_osr(state, frame, target_pc)
 
     def _can_reenter_osr(self, state, frame, target_pc):
@@ -252,6 +339,7 @@ class Engine(object):
 
     def _compile(self, state, function, this_value, args, osr_frame):
         code = state.code
+        tracer = self.tracer
         specialize = (
             self.config.param_spec
             and not state.never_specialize
@@ -264,6 +352,16 @@ class Engine(object):
             osr_pc, frame = osr_frame
             osr_args = list(frame.args)
             osr_locals = list(frame.locals)
+        if tracer is not None:
+            tracer.emit(
+                "compile",
+                "start",
+                fn=code.name,
+                code_id=code.code_id,
+                reason="osr" if osr_frame is not None else "call",
+                attempt_specialize=specialize,
+                generic=state.force_generic,
+            )
         try:
             result = compile_function(
                 code,
@@ -275,15 +373,33 @@ class Engine(object):
                 osr_args=osr_args,
                 osr_locals=osr_locals,
                 generic=state.force_generic,
+                tracer=tracer,
             )
         except NotCompilable:
             state.not_compilable = True
             self.stats.not_compilable.add(code.code_id)
+            if tracer is not None:
+                tracer.emit("compile", "reject", fn=code.name, code_id=code.code_id)
             return False
         state.native = result.native
-        self.stats.record_compile(
+        compile_cycles = self.stats.record_compile(
             code, result.native, result.work.total_units, result.codegen_stats, osr_pc is not None
         )
+        if tracer is not None:
+            tracer.emit(
+                "compile",
+                "finish",
+                fn=code.name,
+                code_id=code.code_id,
+                specialized=result.native.meta["specialized"],
+                osr=osr_pc is not None,
+                mir_instructions=result.mir_instructions,
+                lir_instructions=result.codegen_stats["lir_instructions"],
+                native_size=result.native.size,
+                intervals=result.codegen_stats["intervals"],
+                spills=result.codegen_stats["spills"],
+                cycles=compile_cycles,
+            )
         if result.native.meta["specialized"]:
             self.stats.specialized_functions.add(code.code_id)
             state.spec_key = _spec_key(this_value, args)
@@ -291,12 +407,48 @@ class Engine(object):
                 _osr_key(osr_args, osr_locals) if osr_pc is not None else None
             )
             state.spec_cache[state.spec_key] = (state.native, state.osr_state_key)
+            if tracer is not None:
+                tracer.emit(
+                    "specialize",
+                    "specialized",
+                    fn=code.name,
+                    code_id=code.code_id,
+                    key=repr(state.spec_key),
+                    args=list(args),
+                    osr=osr_pc is not None,
+                )
+                tracer.emit(
+                    "cache",
+                    "store",
+                    fn=code.name,
+                    code_id=code.code_id,
+                    key=repr(state.spec_key),
+                    entries=len(state.spec_cache),
+                )
         else:
             state.spec_key = None
             state.osr_state_key = None
+            if tracer is not None and self.config.param_spec:
+                tracer.emit(
+                    "specialize",
+                    "generic",
+                    fn=code.name,
+                    code_id=code.code_id,
+                    never_specialize=state.never_specialize,
+                    force_generic=state.force_generic,
+                )
         return True
 
-    def _discard_specialized(self, state):
+    def _discard_specialized(self, state, reason):
+        if self.tracer is not None:
+            self.tracer.emit(
+                "deopt",
+                "discard",
+                fn=state.code.name,
+                code_id=state.code.code_id,
+                reason=reason,
+                dropped=len(state.spec_cache),
+            )
         state.native = None
         state.spec_key = None
         state.osr_state_key = None
@@ -352,6 +504,16 @@ class Engine(object):
         """Account a bailout and feed the observation back into typing."""
         self.stats.record_bailout()
         state.bailout_count += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "bailout",
+                "guard",
+                fn=state.code.name,
+                code_id=state.code.code_id,
+                count=state.bailout_count,
+                **describe_bailout(bail)
+            )
         feedback = state.code.feedback
         if feedback is not None:
             if bail.mode == "after":
@@ -363,6 +525,14 @@ class Engine(object):
             state.native = None
             state.force_generic = True
             self.stats.record_invalidation()
+            if tracer is not None:
+                tracer.emit(
+                    "deopt",
+                    "force_generic",
+                    fn=state.code.name,
+                    code_id=state.code.code_id,
+                    bailouts=state.bailout_count,
+                )
 
 
 def run_program(source, config=BASELINE, cost_model=None, profiler=None, engine_kwargs=None):

@@ -80,11 +80,15 @@ class Frame(object):
 class Interpreter(object):
     """Executes bytecode; the VM's always-available tier."""
 
-    def __init__(self, runtime=None, engine=None, profiler=None):
+    def __init__(self, runtime=None, engine=None, profiler=None, tracer=None):
         self.runtime = runtime if runtime is not None else Runtime()
         self.runtime.interpreter = self
         self.engine = engine
         self.profiler = profiler
+        #: Optional JIT event tracer (see repro.telemetry.tracing); the
+        #: engine assigns its own tracer here so the ``interp`` channel
+        #: can record guest calls.  None means zero tracing overhead.
+        self.tracer = tracer
         self.call_depth = 0
         #: Count of bytecode instructions dispatched (for the cost model).
         self.ops_executed = 0
@@ -115,6 +119,15 @@ class Interpreter(object):
         """Call a guest function, giving the JIT first refusal."""
         if self.profiler is not None:
             self.profiler.record_call(function, args)
+        tracer = self.tracer
+        if tracer is not None and tracer.wants("interp"):
+            tracer.emit(
+                "interp",
+                "call",
+                fn=function.code.name,
+                code_id=function.code.code_id,
+                nargs=len(args),
+            )
         if self.engine is not None:
             handled, result = self.engine.try_native_call(function, this_value, args)
             if handled:

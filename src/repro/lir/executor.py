@@ -54,6 +54,10 @@ class Bailout(Exception):
         #: For "after"-mode guards: the correct value the interpreter
         #: would have produced (already appended to ``stack``).
         self.actual = actual
+        #: Index of the faulting instruction in the native stream,
+        #: annotated by the executor as the exception unwinds (the
+        #: tracing layer reports it alongside the resume-point id).
+        self.native_index = None
 
 
 def _matches(value, mirtype):
@@ -311,6 +315,11 @@ class NativeExecutor(object):
                     return values[srcs[0]]
                 else:
                     raise CompilerError("native executor: unknown op %r" % op)
+        except Bailout as bail:
+            # `pc` already advanced past the faulting instruction.
+            if bail.native_index is None:
+                bail.native_index = pc - 1
+            raise
         finally:
             self.cycles += cycles
             self.instructions_executed += executed

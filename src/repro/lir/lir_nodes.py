@@ -16,7 +16,7 @@ class Snapshot(object):
     register allocation :attr:`locations` holds their assigned places.
     """
 
-    __slots__ = ("pc", "mode", "num_args", "num_locals", "vregs", "locations")
+    __slots__ = ("pc", "mode", "num_args", "num_locals", "vregs", "locations", "snapshot_id")
 
     def __init__(self, pc, mode, num_args, num_locals, vregs):
         self.pc = pc
@@ -25,6 +25,10 @@ class Snapshot(object):
         self.num_locals = num_locals
         self.vregs = vregs
         self.locations = None
+        #: Emission-order id within the owning binary, assigned by
+        #: ``generate_native``; bailout traces report it so a guard can
+        #: be cross-referenced against the disassembly.
+        self.snapshot_id = None
 
     def __repr__(self):
         return "Snapshot(pc=%d, %s, %d vregs)" % (self.pc, self.mode, len(self.vregs))

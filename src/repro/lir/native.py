@@ -250,6 +250,14 @@ def generate_native(graph):
             if index not in removable
         ]
 
+    # Number the guard snapshots in emission order: the stable
+    # "resume-point id" bailout traces report (docs/TRACING.md).
+    next_snapshot_id = 0
+    for instruction in instructions:
+        if instruction.snapshot is not None:
+            instruction.snapshot.snapshot_id = next_snapshot_id
+            next_snapshot_id += 1
+
     native = NativeCode(
         graph.code,
         instructions,

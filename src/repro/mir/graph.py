@@ -165,6 +165,15 @@ class MIRGraph(object):
     def num_instructions(self):
         return sum(len(block.phis) + len(block.instructions) for block in self.blocks)
 
+    def num_guards(self):
+        """Count instructions that may bail out (the pass-trace metric)."""
+        return sum(
+            1
+            for block in self.blocks
+            for instruction in block.instructions
+            if instruction.is_guard
+        )
+
     # -- surgery ---------------------------------------------------------------------
 
     def remove_block(self, block):

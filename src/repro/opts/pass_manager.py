@@ -29,25 +29,54 @@ from repro.opts.bounds_check import run_bounds_check_elimination
 
 
 class PassWork(object):
-    """Per-pass work units and outcome counts for one compilation."""
+    """Per-pass work units and outcome counts for one compilation.
 
-    def __init__(self):
+    With a tracer subscribed to the ``pass`` channel, every charge also
+    emits a ``pass.run`` event carrying the graph's instruction and
+    guard counts sampled at pass boundaries (the "before" counts are
+    the previous pass's "after" counts).
+    """
+
+    def __init__(self, graph=None, tracer=None):
         self.units = {}  # pass name -> instructions visited
         self.results = {}  # pass name -> pass-specific result
+        self._tracer = (
+            tracer if (tracer is not None and tracer.wants("pass")) else None
+        )
+        if self._tracer is not None and graph is not None:
+            self._counts = (graph.num_instructions(), graph.num_guards())
+        else:
+            self._counts = None
 
     def charge(self, name, graph, result=None):
         self.units[name] = self.units.get(name, 0) + graph.num_instructions()
         if result is not None:
             self.results[name] = result
+        if self._tracer is not None:
+            before = self._counts if self._counts is not None else (None, None)
+            after = (graph.num_instructions(), graph.num_guards())
+            self._counts = after
+            self._tracer.emit(
+                "pass",
+                "run",
+                fn=graph.code.name,
+                name=name,
+                instructions_before=before[0],
+                instructions_after=after[0],
+                guards_before=before[1],
+                guards_after=after[1],
+                units=after[0],
+                result=result,
+            )
 
     @property
     def total_units(self):
         return sum(self.units.values())
 
 
-def optimize(graph, config, loop_inversion_applied=False):
+def optimize(graph, config, loop_inversion_applied=False, tracer=None):
     """Run the configured pipeline on ``graph``; returns PassWork."""
-    work = PassWork()
+    work = PassWork(graph, tracer)
 
     if loop_inversion_applied:
         # The rotation itself ran on the bytecode; bill its walk here.

@@ -1,5 +1,6 @@
 """Telemetry: the measurement apparatus behind the paper's Section 2
-histograms and the Section 4 code-size study."""
+histograms and the Section 4 code-size study, plus the structured JIT
+event tracer ("spew") documented in docs/TRACING.md."""
 
 from repro.telemetry.histograms import (
     CallProfiler,
@@ -8,6 +9,16 @@ from repro.telemetry.histograms import (
     type_distribution,
 )
 from repro.telemetry.codesize import CodeSizeReport
+from repro.telemetry.tracing import (
+    CHANNELS,
+    EVENT_SCHEMA,
+    Tracer,
+    format_timeline,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
 
 __all__ = [
     "CallProfiler",
@@ -15,4 +26,12 @@ __all__ = [
     "percent_histogram",
     "type_distribution",
     "CodeSizeReport",
+    "CHANNELS",
+    "EVENT_SCHEMA",
+    "Tracer",
+    "format_timeline",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
 ]

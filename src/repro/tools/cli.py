@@ -3,16 +3,20 @@
 Subcommands::
 
     python -m repro run script.js [--config all] [--stats]
+    python -m repro trace script.js [--channels compile,deopt] [--jsonl f] [--chrome f]
     python -m repro profile script.js
     python -m repro disasm script.js --function f [--config all]
     python -m repro bench --suite sunspider [--configs PS,PS+CP,all]
     python -m repro configs
 
-``run`` executes a guest script under the JIT; ``profile`` prints the
-Section 2-style call histogram for it; ``disasm`` shows a function's
-optimized MIR and native code; ``bench`` runs a suite sweep and prints
-its Figure 9 row; ``configs`` lists the available optimization
-configurations.
+``run`` executes a guest script under the JIT; ``trace`` runs a script
+or a named benchmark (e.g. ``sunspider/bitops-bits-in-byte``) with the
+JIT event tracer on and prints the per-function timeline, optionally
+writing JSONL and Chrome ``trace_event`` files (see docs/TRACING.md);
+``profile`` prints the Section 2-style call histogram; ``disasm`` shows
+a function's optimized MIR and native code; ``bench`` runs a suite
+sweep and prints its Figure 9 row; ``configs`` lists the available
+optimization configurations.
 """
 
 import argparse
@@ -59,6 +63,80 @@ def cmd_run(args, out):
         out.write("\n-- engine stats (%s) --\n" % config.describe())
         for key, value in sorted(engine.stats.summary().items()):
             out.write("%-18s %s\n" % (key, value))
+    return 0
+
+
+def _resolve_workload(spec):
+    """Turn a trace workload spec into guest source.
+
+    ``spec`` is a script path (or ``-`` for stdin), a
+    ``suite/benchmark`` pair, or a bare benchmark name searched across
+    all suites.
+    """
+    import os
+
+    if spec == "-" or os.path.exists(spec):
+        return _read_source(spec)
+    from repro.workloads import ALL_SUITES
+
+    if "/" in spec:
+        suite_name, _, bench_name = spec.partition("/")
+        suite = ALL_SUITES.get(suite_name)
+        if suite is None:
+            raise SystemExit(
+                "unknown suite %r; available: %s"
+                % (suite_name, ", ".join(sorted(ALL_SUITES)))
+            )
+        for benchmark in suite:
+            if benchmark.name == bench_name:
+                return benchmark.source
+        raise SystemExit(
+            "no benchmark %r in %s; available: %s"
+            % (bench_name, suite_name, ", ".join(b.name for b in suite))
+        )
+    for suite in ALL_SUITES.values():
+        for benchmark in suite:
+            if benchmark.name == spec:
+                return benchmark.source
+    raise SystemExit(
+        "workload %r is neither a file nor a known benchmark "
+        "(try e.g. sunspider/bitops-bits-in-byte)" % spec
+    )
+
+
+def cmd_trace(args, out):
+    """``repro trace``: run a workload with the JIT event tracer on."""
+    from repro.telemetry.tracing import (
+        Tracer,
+        format_timeline,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    config = _resolve_config(args.config)
+    channels = args.channels.split(",") if args.channels else None
+    try:
+        tracer = Tracer(channels=channels)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    source = _resolve_workload(args.workload)
+    engine = Engine(config=config, tracer=tracer)
+    engine.run_source(source)
+    if args.jsonl:
+        write_jsonl(tracer.events, args.jsonl)
+        out.write("wrote %d events to %s\n" % (len(tracer.events), args.jsonl))
+    if args.chrome:
+        write_chrome_trace(tracer.events, args.chrome)
+        out.write(
+            "wrote Chrome trace to %s (load in chrome://tracing or Perfetto)\n"
+            % args.chrome
+        )
+    if not args.no_timeline:
+        out.write(format_timeline(tracer.events, limit=args.limit) + "\n")
+    out.write(
+        "-- %d events under %s (clock: model cycles) --\n"
+        % (len(tracer.events), config.describe())
+    )
     return 0
 
 
@@ -205,6 +283,32 @@ def build_parser():
         "--cache-capacity", type=int, default=1, help="specialized binaries kept per function"
     )
     run.set_defaults(handler=cmd_run)
+
+    trace = sub.add_parser(
+        "trace", help="run a workload with JIT event tracing (docs/TRACING.md)"
+    )
+    trace.add_argument(
+        "workload",
+        help="script path, -, suite/benchmark (e.g. sunspider/bitops-bits-in-byte), "
+        "or a bare benchmark name",
+    )
+    trace.add_argument("--config", default="all", help="optimization config (see `configs`)")
+    trace.add_argument(
+        "--channels",
+        help="comma-separated channel subset (default: all): compile,specialize,"
+        "deopt,bailout,cache,osr,pass,interp",
+    )
+    trace.add_argument("--jsonl", metavar="PATH", help="write events as JSON Lines")
+    trace.add_argument(
+        "--chrome", metavar="PATH", help="write a Chrome trace_event file (Perfetto)"
+    )
+    trace.add_argument(
+        "--no-timeline", action="store_true", help="skip the stdout timeline"
+    )
+    trace.add_argument(
+        "--limit", type=int, default=None, help="max timeline rows per function"
+    )
+    trace.set_defaults(handler=cmd_trace)
 
     profile = sub.add_parser("profile", help="print the call/argument-set profile")
     profile.add_argument("script")

@@ -79,6 +79,50 @@ class TestDisasm:
             run_cli(["disasm", script, "--function", "nope"])
 
 
+class TestTrace:
+    def test_trace_timeline(self, script):
+        code, output = run_cli(["trace", script])
+        assert code == 0
+        assert "compile.start" in output
+        assert "specialize.specialized" in output
+        assert "events under" in output
+
+    def test_channel_filter(self, script):
+        _code, output = run_cli(["trace", script, "--channels", "cache"])
+        assert "cache.store" in output
+        assert "compile.start" not in output
+
+    def test_jsonl_and_chrome_outputs(self, script, tmp_path):
+        import json
+
+        jsonl = tmp_path / "trace.jsonl"
+        chrome = tmp_path / "trace.json"
+        code, _output = run_cli(
+            ["trace", script, "--jsonl", str(jsonl), "--chrome", str(chrome),
+             "--no-timeline"]
+        )
+        assert code == 0
+        lines = jsonl.read_text().splitlines()
+        assert lines and all("ts" in json.loads(line) for line in lines)
+        trace = json.loads(chrome.read_text())
+        assert trace["traceEvents"]
+
+    def test_suite_benchmark_workload(self):
+        code, output = run_cli(
+            ["trace", "sunspider/bitops-bits-in-byte", "--limit", "5"]
+        )
+        assert code == 0
+        assert "bitsinbyte" in output
+
+    def test_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            run_cli(["trace", "octane/nonexistent"])
+
+    def test_unknown_channel(self, script):
+        with pytest.raises(SystemExit):
+            run_cli(["trace", script, "--channels", "warpdrive"])
+
+
 class TestConfigs:
     def test_lists_all(self):
         _code, output = run_cli(["configs"])

@@ -54,8 +54,68 @@ def test_design_and_experiments_exist():
     import os
 
     root = os.path.join(os.path.dirname(repro.__file__), "..", "..")
-    for filename in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
+    for filename in (
+        "README.md",
+        "DESIGN.md",
+        "EXPERIMENTS.md",
+        os.path.join("docs", "TRACING.md"),
+        os.path.join("docs", "STATS.md"),
+    ):
         path = os.path.join(root, filename)
         assert os.path.exists(path), "%s missing" % filename
         with open(path) as handle:
             assert len(handle.read()) > 500, "%s suspiciously short" % filename
+
+
+def _parse_tracing_doc():
+    """Extract the documented event schema from docs/TRACING.md.
+
+    The document describes each event as a ``#### `channel.event```
+    heading followed by a ``Fields: `a`, `b`, ...`` line; this parser
+    is deliberately strict about that shape so the doc cannot drift
+    into an unparseable format either.
+    """
+    import os
+    import re
+
+    path = os.path.join(
+        os.path.dirname(repro.__file__), "..", "..", "docs", "TRACING.md"
+    )
+    with open(path) as handle:
+        text = handle.read()
+    documented = {}
+    pattern = re.compile(
+        r"^#### `(\w+)\.(\w+)`\n+Fields: (.+)$", re.MULTILINE
+    )
+    for channel, event, fields_line in pattern.findall(text):
+        fields = tuple(re.findall(r"`(\w+)`", fields_line))
+        documented.setdefault(channel, {})[event] = fields
+    return documented, text
+
+
+def test_tracing_doc_matches_event_schema():
+    """docs/TRACING.md and the code's EVENT_SCHEMA agree exactly."""
+    from repro.telemetry.tracing import CHANNELS, EVENT_SCHEMA
+
+    documented, text = _parse_tracing_doc()
+
+    assert set(documented) == set(EVENT_SCHEMA), (
+        "channels documented but not in code: %s; in code but undocumented: %s"
+        % (
+            sorted(set(documented) - set(EVENT_SCHEMA)),
+            sorted(set(EVENT_SCHEMA) - set(documented)),
+        )
+    )
+    for channel, events in EVENT_SCHEMA.items():
+        assert set(documented[channel]) == set(events), (
+            "channel %r: documented events %s != code events %s"
+            % (channel, sorted(documented[channel]), sorted(events))
+        )
+        for event, fields in events.items():
+            assert documented[channel][event] == tuple(fields), (
+                "%s.%s: documented fields %s != code fields %s"
+                % (channel, event, documented[channel][event], tuple(fields))
+            )
+    # The channel list in the prose must name every channel too.
+    for channel in CHANNELS:
+        assert "`%s`" % channel in text, "channel %r missing from prose" % channel

@@ -40,6 +40,15 @@ def test_deopt_lifecycle():
     assert "never-specialize mark: True" in result.stdout
 
 
+def test_trace_deopt():
+    result = run_example("trace_deopt.py")
+    assert result.returncode == 0, result.stderr
+    assert "deopt.discard" in result.stdout
+    assert "specialize.generic" in result.stdout
+    assert "bailout.guard" in result.stdout
+    assert "Chrome trace:" in result.stdout
+
+
 @pytest.mark.slow
 def test_web_profile():
     result = run_example("web_profile.py")
