@@ -3,7 +3,9 @@
 :mod:`repro.bench.harness` runs suites under optimization
 configurations and aggregates the Figure 9 tables;
 :mod:`repro.bench.figures` regenerates the Section 2 histograms and the
-Figure 10 code-size study.  The runnable entry points live in the
+Figure 10 code-size study; :mod:`repro.bench.wallclock` measures host
+wall-clock seconds of the executor backends and feeds the perf gate
+(``tools/perf_gate.py``).  The runnable entry points live in the
 repository's ``benchmarks/`` directory.
 """
 
@@ -23,8 +25,20 @@ from repro.bench.figures import (
     policy_stats,
     recompilation_stats,
 )
+from repro.bench.wallclock import (
+    check_gate,
+    format_wallclock,
+    load_wallclock_json,
+    run_wallclock,
+    write_wallclock_json,
+)
 
 __all__ = [
+    "check_gate",
+    "format_wallclock",
+    "load_wallclock_json",
+    "run_wallclock",
+    "write_wallclock_json",
     "BenchmarkRun",
     "SweepResult",
     "run_benchmark",

@@ -1,0 +1,192 @@
+"""Wall-clock comparison of executor backends (host-level benching).
+
+Everything else in :mod:`repro.bench` measures *model* cycles — the
+deterministic currency of the paper's figures, identical on every
+machine.  This module instead measures real seconds: it exists to
+prove that the closure-compiled backend (``repro.lir.closures``)
+actually buys host performance over the reference decode loop, and to
+keep that proof from regressing.
+
+Protocol: each suite is run end-to-end (compilation, interpretation
+and native execution included — the honest cost of the engine) under
+each backend, best-of-``repeats`` wall-clock seconds.  The headline
+metric is the per-suite **speedup** ``simple_seconds /
+closure_seconds`` and its geometric mean.  Speedups are ratios of two
+measurements taken on the same machine moments apart, so they are
+comparable across hosts — which is what lets ``tools/perf_gate.py``
+gate on a checked-in baseline (``BENCH_wallclock.json``) with a
+tolerance, instead of gating on absolute seconds.
+"""
+
+import json
+import math
+import time
+
+from repro.engine.config import FULL_SPEC
+from repro.engine.runtime_engine import Engine
+from repro.workloads import ALL_SUITES
+
+#: Backends compared by default: the reference decode loop vs the
+#: closure-compiled blocks.
+DEFAULT_BACKENDS = ("simple", "closure")
+
+
+def measure_suite(suite, backend, config=FULL_SPEC, repeats=3):
+    """Time one full pass of ``suite`` under ``backend``.
+
+    Returns ``{"seconds", "native_instructions", "interp_ops"}`` with
+    best-of-``repeats`` seconds (the standard way to strip scheduler
+    noise from a deterministic workload) and the per-pass simulated
+    work counters, which are backend-invariant and let reports quote
+    simulated instructions per host second.
+    """
+    best = None
+    native_instructions = 0
+    interp_ops = 0
+    for _ in range(repeats):
+        native_instructions = 0
+        interp_ops = 0
+        start = time.perf_counter()
+        for benchmark in suite:
+            engine = Engine(config=config, executor_backend=backend)
+            engine.run_source(benchmark.source)
+            native_instructions += engine.executor.instructions_executed
+            interp_ops += engine.interpreter.ops_executed
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return {
+        "seconds": best,
+        "native_instructions": native_instructions,
+        "interp_ops": interp_ops,
+    }
+
+
+def run_wallclock(suites=None, repeats=3, config=FULL_SPEC, backends=DEFAULT_BACKENDS):
+    """Run the wall-clock comparison; returns the results dict.
+
+    ``suites`` maps suite name to benchmark list (default: all three
+    paper suites).  The returned dict is what ``BENCH_wallclock.json``
+    holds::
+
+        {"protocol": {...},
+         "suites": {name: {"<backend>_seconds": s, ...,
+                           "speedup": simple/closure,
+                           "sim_instructions": work,
+                           "<backend>_sips": work/s}},
+         "geomean_speedup": g}
+    """
+    if suites is None:
+        suites = ALL_SUITES
+    results = {
+        "protocol": {
+            "config": config.name,
+            "repeats": repeats,
+            "backends": list(backends),
+            "metric": "best-of-repeats wall-clock seconds per full suite pass",
+        },
+        "suites": {},
+    }
+    speedups = []
+    for name, suite in suites.items():
+        row = {}
+        for backend in backends:
+            measured = measure_suite(suite, backend, config=config, repeats=repeats)
+            row["%s_seconds" % backend] = round(measured["seconds"], 4)
+            work = measured["native_instructions"] + measured["interp_ops"]
+            row["sim_instructions"] = work
+            row["%s_sips" % backend] = int(work / measured["seconds"])
+        if "simple" in backends and "closure" in backends:
+            row["speedup"] = round(
+                row["simple_seconds"] / row["closure_seconds"], 4
+            )
+            speedups.append(row["speedup"])
+        results["suites"][name] = row
+    if speedups:
+        results["geomean_speedup"] = round(
+            math.exp(sum(math.log(s) for s in speedups) / len(speedups)), 4
+        )
+    return results
+
+
+def format_wallclock(results):
+    """Human-readable table for one :func:`run_wallclock` result."""
+    lines = []
+    lines.append(
+        "-- executor backend wall clock (config: %s, best of %d) --"
+        % (results["protocol"]["config"], results["protocol"]["repeats"])
+    )
+    lines.append(
+        "%-12s %10s %10s %9s %14s" % ("suite", "simple s", "closure s", "speedup", "closure sips")
+    )
+    for name, row in results["suites"].items():
+        lines.append(
+            "%-12s %10.2f %10.2f %8.2fx %14s"
+            % (
+                name,
+                row["simple_seconds"],
+                row["closure_seconds"],
+                row.get("speedup", float("nan")),
+                "{:,}".format(row["closure_sips"]),
+            )
+        )
+    if "geomean_speedup" in results:
+        lines.append("geomean speedup: %.2fx" % results["geomean_speedup"])
+    return "\n".join(lines)
+
+
+def write_wallclock_json(results, path):
+    """Write ``results`` as the checked-in ``BENCH_wallclock.json``."""
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_wallclock_json(path):
+    """Load a results file written by :func:`write_wallclock_json`."""
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def check_gate(current, baseline, tolerance=0.15):
+    """Compare a fresh run against the checked-in baseline.
+
+    Returns a list of failure strings, empty when the gate passes.
+    Only *speedup ratios* are compared — they are machine-independent,
+    unlike seconds — and a suite fails when its ratio fell more than
+    ``tolerance`` (fractional) below the baseline's.  Suites added
+    since the baseline pass trivially; suites missing from the current
+    run fail loudly.
+    """
+    failures = []
+    for name, base_row in baseline.get("suites", {}).items():
+        base_speedup = base_row.get("speedup")
+        if base_speedup is None:
+            continue
+        current_row = current.get("suites", {}).get(name)
+        if current_row is None or "speedup" not in current_row:
+            failures.append("suite %s: present in baseline but not measured" % name)
+            continue
+        floor = base_speedup * (1.0 - tolerance)
+        if current_row["speedup"] < floor:
+            failures.append(
+                "suite %s: speedup %.2fx fell below %.2fx "
+                "(baseline %.2fx - %d%% tolerance)"
+                % (
+                    name,
+                    current_row["speedup"],
+                    floor,
+                    base_speedup,
+                    round(tolerance * 100),
+                )
+            )
+    base_geo = baseline.get("geomean_speedup")
+    cur_geo = current.get("geomean_speedup")
+    if base_geo is not None and cur_geo is not None:
+        floor = base_geo * (1.0 - tolerance)
+        if cur_geo < floor:
+            failures.append(
+                "geomean: speedup %.2fx fell below %.2fx (baseline %.2fx)"
+                % (cur_geo, floor, base_geo)
+            )
+    return failures

@@ -19,6 +19,8 @@ type-feedback updates, and a repeated-bailout escape hatch that
 recompiles without type speculation.
 """
 
+import os
+
 from repro.engine.bailout import describe_bailout
 from repro.engine.config import BASELINE, CostModel
 from repro.engine.jit import compile_function
@@ -28,6 +30,7 @@ from repro.jsvm.bytecompiler import compile_source
 from repro.jsvm.feedback import TypeFeedback
 from repro.jsvm.interpreter import Frame, Interpreter
 from repro.jsvm.values import arguments_key, value_key
+from repro.lir.closures import ClosureExecutor
 from repro.lir.executor import Bailout, NativeExecutor
 from repro.opts.loop_inversion import rotate_loops
 
@@ -37,6 +40,35 @@ HOT_CALL_THRESHOLD = 10
 OSR_BACKEDGE_THRESHOLD = 100
 #: Give up on type speculation after this many bailouts.
 BAILOUT_LIMIT = 8
+
+#: The selectable native-executor backends.  Both are bit-identical in
+#: every observable (stats, cycles, output, traces; docs/PERF.md);
+#: "closure" pre-compiles each binary into bound Python closures and is
+#: the default, "simple" is the reference re-decoding interpreter loop.
+EXECUTOR_BACKENDS = {"simple": NativeExecutor, "closure": ClosureExecutor}
+
+#: Environment override for the executor backend (``REPRO_EXECUTOR=simple``
+#: is the escape hatch if the closure backend ever misbehaves).
+EXECUTOR_ENV_VAR = "REPRO_EXECUTOR"
+
+#: Backend used when neither the constructor argument nor the
+#: environment variable picks one.
+DEFAULT_EXECUTOR_BACKEND = "closure"
+
+
+def resolve_executor_backend(name=None):
+    """Pick the executor backend: explicit arg > $REPRO_EXECUTOR > default.
+
+    Returns the backend name; raises ``ValueError`` for unknown names.
+    """
+    if name is None:
+        name = os.environ.get(EXECUTOR_ENV_VAR) or DEFAULT_EXECUTOR_BACKEND
+    if name not in EXECUTOR_BACKENDS:
+        raise ValueError(
+            "unknown executor backend %r; available: %s"
+            % (name, ", ".join(sorted(EXECUTOR_BACKENDS)))
+        )
+    return name
 
 
 class FunctionState(object):
@@ -101,6 +133,7 @@ class Engine(object):
         bailout_limit=BAILOUT_LIMIT,
         spec_cache_capacity=1,
         tracer=None,
+        executor_backend=None,
     ):
         self.config = config
         self.cost_model = cost_model if cost_model is not None else CostModel()
@@ -111,7 +144,12 @@ class Engine(object):
         self.interpreter = Interpreter(
             runtime=runtime, engine=self, profiler=profiler, tracer=tracer
         )
-        self.executor = NativeExecutor(self.interpreter, self.cost_model)
+        #: Which native-executor backend runs compiled binaries; both
+        #: are observably identical (docs/PERF.md), "closure" is fast.
+        self.executor_backend = resolve_executor_backend(executor_backend)
+        self.executor = EXECUTOR_BACKENDS[self.executor_backend](
+            self.interpreter, self.cost_model
+        )
         if tracer is not None:
             tracer.bind_clock(self.trace_clock)
         self.states = {}

@@ -170,6 +170,10 @@ class CodeObject(object):
         #: Type feedback attached by the JIT engine once the function
         #: is warm; None while cold (zero profiling overhead when cold).
         self.feedback = None
+        #: Threaded handler table, built lazily by the interpreter's
+        #: dispatch loop; reset by any pass that rewrites
+        #: ``instructions`` (loop rotation).
+        self.threaded = None
         self.code_id = CodeObject._next_id
         CodeObject._next_id = CodeObject._next_id + 1
 

@@ -177,191 +177,23 @@ class Interpreter(object):
 
     def _run(self, frame, pc, stack):
         code = frame.code
-        instructions = code.instructions
-        constants = code.constants
-        names = code.names
-        runtime = self.runtime
-        feedback = code.feedback
-        push = stack.append
-        pop = stack.pop
+        table = code.threaded
+        if table is None:
+            table = build_threaded(code)
+            code.threaded = table
+        ctx = _DispatchContext(self, frame, stack, code.feedback)
+        # Threaded dispatch: each step is one table index and one call
+        # of a pre-bound handler — no opcode compare chain, no operand
+        # table indirection (arguments are pre-resolved at table-build
+        # time: constants and names are fetched once, not per pass).
+        # The live ``ops_executed`` increment stays here so the trace
+        # clock ticks per bytecode op exactly as before.
         while True:
-            instr = instructions[pc]
-            op = instr.op
+            handler, arg = table[pc]
             self.ops_executed += 1
-            pc += 1
-            if op == Op.CONST:
-                push(constants[instr.arg])
-            elif op == Op.GETLOCAL:
-                push(frame.locals[instr.arg])
-            elif op == Op.SETLOCAL:
-                frame.locals[instr.arg] = pop()
-            elif op == Op.GETARG:
-                push(frame.args[instr.arg])
-            elif op == Op.SETARG:
-                frame.args[instr.arg] = pop()
-            elif op == Op.GETGLOBAL:
-                value = runtime.get_global(names[instr.arg])
-                if feedback is not None:
-                    feedback.record_site(pc - 1, value)
-                push(value)
-            elif op == Op.SETGLOBAL:
-                runtime.set_global(names[instr.arg], pop())
-            elif op == Op.GETCELL:
-                push(frame.cells[instr.arg].value)
-            elif op == Op.SETCELL:
-                frame.cells[instr.arg].value = pop()
-            elif op == Op.GETFREE:
-                push(frame.closure[instr.arg].value)
-            elif op == Op.SETFREE:
-                frame.closure[instr.arg].value = pop()
-            elif op == Op.GETTHIS:
-                push(frame.this_value)
-            elif op == Op.UNDEF:
-                push(UNDEFINED)
-            elif op == Op.POP:
-                pop()
-            elif op == Op.DUP:
-                push(stack[-1])
-            elif op == Op.SWAP:
-                stack[-1], stack[-2] = stack[-2], stack[-1]
-            elif op == Op.JUMP:
-                target = instr.arg
-                if target < pc - 1:
-                    outcome = self._backedge(frame, target, stack)
-                    if outcome is not None:
-                        kind, payload = outcome
-                        if kind == "return":
-                            return payload
-                        pc, stack = payload
-                        push = stack.append
-                        pop = stack.pop
-                        continue
-                pc = target
-            elif op == Op.IFFALSE:
-                value = pop()
-                if not to_boolean(value):
-                    target = instr.arg
-                    if target < pc - 1:
-                        outcome = self._backedge(frame, target, stack)
-                        if outcome is not None:
-                            kind, payload = outcome
-                            if kind == "return":
-                                return payload
-                            pc, stack = payload
-                            push = stack.append
-                            pop = stack.pop
-                            continue
-                    pc = target
-            elif op == Op.IFTRUE:
-                value = pop()
-                if to_boolean(value):
-                    target = instr.arg
-                    if target < pc - 1:
-                        outcome = self._backedge(frame, target, stack)
-                        if outcome is not None:
-                            kind, payload = outcome
-                            if kind == "return":
-                                return payload
-                            pc, stack = payload
-                            push = stack.append
-                            pop = stack.pop
-                            continue
-                    pc = target
-            elif op == Op.ADD:
-                right = pop()
-                stack[-1] = operations.js_add(stack[-1], right)
-            elif op == Op.SUB:
-                right = pop()
-                stack[-1] = operations.js_sub(stack[-1], right)
-            elif op == Op.MUL:
-                right = pop()
-                stack[-1] = operations.js_mul(stack[-1], right)
-            elif op in _BINARY_DISPATCH:
-                right = pop()
-                stack[-1] = operations.binary_op(op, stack[-1], right)
-            elif op in _UNARY_DISPATCH:
-                stack[-1] = operations.unary_op(op, stack[-1])
-            elif op == Op.NEWARRAY:
-                count = instr.arg
-                if count:
-                    elements = stack[-count:]
-                    del stack[-count:]
-                else:
-                    elements = []
-                push(JSArray(elements))
-            elif op == Op.NEWOBJECT:
-                count = instr.arg
-                obj = JSObject()
-                if count:
-                    flat = stack[-2 * count :]
-                    del stack[-2 * count :]
-                    for index in range(count):
-                        obj.set(to_js_string(flat[2 * index]), flat[2 * index + 1])
-                push(obj)
-            elif op == Op.GETPROP:
-                receiver = pop()
-                value = self.get_property(receiver, names[instr.arg])
-                if feedback is not None:
-                    feedback.record_site(pc - 1, value)
-                    feedback.record_recv(pc - 1, receiver)
-                push(value)
-            elif op == Op.SETPROP:
-                value = pop()
-                target = pop()
-                operations.set_property(target, names[instr.arg], value)
-                push(value)
-            elif op == Op.GETELEM:
-                index = pop()
-                value = operations.get_element(stack[-1], index, runtime)
-                if feedback is not None:
-                    feedback.record_site(pc - 1, value)
-                    feedback.record_recv(pc - 1, stack[-1])
-                stack[-1] = value
-            elif op == Op.SETELEM:
-                value = pop()
-                index = pop()
-                target = pop()
-                if feedback is not None:
-                    feedback.record_recv(pc - 1, target)
-                operations.set_element(target, index, value)
-                push(value)
-            elif op == Op.DELPROP:
-                target = pop()
-                if isinstance(target, JSObject):
-                    target.delete(names[instr.arg])
-                push(True)
-            elif op == Op.SELF:
-                push(frame.function)
-            elif op == Op.CLOSURE:
-                push(self.make_closure(constants[instr.arg], frame))
-            elif op == Op.CALL:
-                count = instr.arg
-                if count:
-                    args = stack[-count:]
-                    del stack[-count:]
-                else:
-                    args = []
-                this_value = pop()
-                callee = pop()
-                value = self.call_value(callee, this_value, args)
-                if feedback is not None:
-                    feedback.record_site(pc - 1, value)
-                push(value)
-            elif op == Op.NEW:
-                count = instr.arg
-                if count:
-                    args = stack[-count:]
-                    del stack[-count:]
-                else:
-                    args = []
-                callee = pop()
-                push(self.construct(callee, args))
-            elif op == Op.RETURN:
-                return pop()
-            elif op == Op.RETURN_UNDEF:
-                return UNDEFINED
-            else:
-                raise CompilerError("unknown opcode %r" % op)
+            pc = handler(ctx, pc + 1, arg)
+            if pc < 0:
+                return ctx.return_value
 
     def _backedge(self, frame, target, stack):
         """Give the engine an OSR opportunity on a loop back edge.
@@ -412,3 +244,395 @@ _BINARY_DISPATCH = frozenset(
 )
 
 _UNARY_DISPATCH = frozenset([Op.NEG, Op.POS, Op.NOT, Op.BITNOT, Op.TYPEOF, Op.TONUM])
+
+
+# -- threaded dispatch ---------------------------------------------------------
+#
+# Each CodeObject lazily gets a handler table parallel to its
+# instruction list: entry ``pc`` is ``(handler, arg)`` where ``arg``
+# has already been resolved as far as possible (the constant itself for
+# CONST/CLOSURE, the name string for global/property ops, the opcode
+# for the generic binary/unary handlers).  A handler is called as
+# ``handler(ctx, pc, arg)`` with ``pc`` already advanced past the
+# instruction — matching the reference loop, whose feedback sites key
+# on ``pc - 1`` — and returns the next pc, negative meaning "frame
+# done, result in ``ctx.return_value``".  Every handler body is a
+# transliteration of the corresponding if/elif arm of the historical
+# decode loop; semantics (feedback recording, backedge/OSR handling,
+# the live ops_executed clock) are unchanged.
+
+
+class _DispatchContext(object):
+    """Per-activation state threaded through bytecode handlers."""
+
+    __slots__ = ("interp", "frame", "stack", "feedback", "return_value")
+
+    def __init__(self, interp, frame, stack, feedback):
+        self.interp = interp
+        self.frame = frame
+        self.stack = stack
+        self.feedback = feedback
+        self.return_value = None
+
+
+def _op_const(ctx, pc, value):
+    ctx.stack.append(value)
+    return pc
+
+
+def _op_getlocal(ctx, pc, arg):
+    ctx.stack.append(ctx.frame.locals[arg])
+    return pc
+
+
+def _op_setlocal(ctx, pc, arg):
+    ctx.frame.locals[arg] = ctx.stack.pop()
+    return pc
+
+
+def _op_getarg(ctx, pc, arg):
+    ctx.stack.append(ctx.frame.args[arg])
+    return pc
+
+
+def _op_setarg(ctx, pc, arg):
+    ctx.frame.args[arg] = ctx.stack.pop()
+    return pc
+
+
+def _op_getglobal(ctx, pc, name):
+    value = ctx.interp.runtime.get_global(name)
+    feedback = ctx.feedback
+    if feedback is not None:
+        feedback.record_site(pc - 1, value)
+    ctx.stack.append(value)
+    return pc
+
+
+def _op_setglobal(ctx, pc, name):
+    ctx.interp.runtime.set_global(name, ctx.stack.pop())
+    return pc
+
+
+def _op_getcell(ctx, pc, arg):
+    ctx.stack.append(ctx.frame.cells[arg].value)
+    return pc
+
+
+def _op_setcell(ctx, pc, arg):
+    ctx.frame.cells[arg].value = ctx.stack.pop()
+    return pc
+
+
+def _op_getfree(ctx, pc, arg):
+    ctx.stack.append(ctx.frame.closure[arg].value)
+    return pc
+
+
+def _op_setfree(ctx, pc, arg):
+    ctx.frame.closure[arg].value = ctx.stack.pop()
+    return pc
+
+
+def _op_getthis(ctx, pc, arg):
+    ctx.stack.append(ctx.frame.this_value)
+    return pc
+
+
+def _op_undef(ctx, pc, arg):
+    ctx.stack.append(UNDEFINED)
+    return pc
+
+
+def _op_pop(ctx, pc, arg):
+    ctx.stack.pop()
+    return pc
+
+
+def _op_dup(ctx, pc, arg):
+    stack = ctx.stack
+    stack.append(stack[-1])
+    return pc
+
+
+def _op_swap(ctx, pc, arg):
+    stack = ctx.stack
+    stack[-1], stack[-2] = stack[-2], stack[-1]
+    return pc
+
+
+def _take_backedge(ctx, pc, target):
+    """Shared backward-jump tail for JUMP/IFFALSE/IFTRUE handlers.
+
+    Gives the engine its OSR opportunity; on native completion stores
+    the return value and signals frame exit, on a resume-state handoff
+    rebinds the activation's stack and continues at the resume pc.
+    """
+    if target < pc - 1:
+        outcome = ctx.interp._backedge(ctx.frame, target, ctx.stack)
+        if outcome is not None:
+            kind, payload = outcome
+            if kind == "return":
+                ctx.return_value = payload
+                return -1
+            pc, stack = payload
+            ctx.stack = stack
+            return pc
+    return target
+
+
+def _op_jump(ctx, pc, target):
+    return _take_backedge(ctx, pc, target)
+
+
+def _op_iffalse(ctx, pc, target):
+    if not to_boolean(ctx.stack.pop()):
+        return _take_backedge(ctx, pc, target)
+    return pc
+
+
+def _op_iftrue(ctx, pc, target):
+    if to_boolean(ctx.stack.pop()):
+        return _take_backedge(ctx, pc, target)
+    return pc
+
+
+def _op_add(ctx, pc, arg):
+    stack = ctx.stack
+    right = stack.pop()
+    stack[-1] = operations.js_add(stack[-1], right)
+    return pc
+
+
+def _op_sub(ctx, pc, arg):
+    stack = ctx.stack
+    right = stack.pop()
+    stack[-1] = operations.js_sub(stack[-1], right)
+    return pc
+
+
+def _op_mul(ctx, pc, arg):
+    stack = ctx.stack
+    right = stack.pop()
+    stack[-1] = operations.js_mul(stack[-1], right)
+    return pc
+
+
+def _op_binary(ctx, pc, op):
+    stack = ctx.stack
+    right = stack.pop()
+    stack[-1] = operations.binary_op(op, stack[-1], right)
+    return pc
+
+
+def _op_unary(ctx, pc, op):
+    stack = ctx.stack
+    stack[-1] = operations.unary_op(op, stack[-1])
+    return pc
+
+
+def _op_newarray(ctx, pc, count):
+    stack = ctx.stack
+    if count:
+        elements = stack[-count:]
+        del stack[-count:]
+    else:
+        elements = []
+    stack.append(JSArray(elements))
+    return pc
+
+
+def _op_newobject(ctx, pc, count):
+    stack = ctx.stack
+    obj = JSObject()
+    if count:
+        flat = stack[-2 * count :]
+        del stack[-2 * count :]
+        for index in range(count):
+            obj.set(to_js_string(flat[2 * index]), flat[2 * index + 1])
+    stack.append(obj)
+    return pc
+
+
+def _op_getprop(ctx, pc, name):
+    stack = ctx.stack
+    receiver = stack.pop()
+    value = ctx.interp.get_property(receiver, name)
+    feedback = ctx.feedback
+    if feedback is not None:
+        feedback.record_site(pc - 1, value)
+        feedback.record_recv(pc - 1, receiver)
+    stack.append(value)
+    return pc
+
+
+def _op_setprop(ctx, pc, name):
+    stack = ctx.stack
+    value = stack.pop()
+    target = stack.pop()
+    operations.set_property(target, name, value)
+    stack.append(value)
+    return pc
+
+
+def _op_getelem(ctx, pc, arg):
+    stack = ctx.stack
+    index = stack.pop()
+    value = operations.get_element(stack[-1], index, ctx.interp.runtime)
+    feedback = ctx.feedback
+    if feedback is not None:
+        feedback.record_site(pc - 1, value)
+        feedback.record_recv(pc - 1, stack[-1])
+    stack[-1] = value
+    return pc
+
+
+def _op_setelem(ctx, pc, arg):
+    stack = ctx.stack
+    value = stack.pop()
+    index = stack.pop()
+    target = stack.pop()
+    feedback = ctx.feedback
+    if feedback is not None:
+        feedback.record_recv(pc - 1, target)
+    operations.set_element(target, index, value)
+    stack.append(value)
+    return pc
+
+
+def _op_delprop(ctx, pc, name):
+    stack = ctx.stack
+    target = stack.pop()
+    if isinstance(target, JSObject):
+        target.delete(name)
+    stack.append(True)
+    return pc
+
+
+def _op_self(ctx, pc, arg):
+    ctx.stack.append(ctx.frame.function)
+    return pc
+
+
+def _op_closure(ctx, pc, code):
+    ctx.stack.append(ctx.interp.make_closure(code, ctx.frame))
+    return pc
+
+
+def _op_call(ctx, pc, count):
+    stack = ctx.stack
+    if count:
+        args = stack[-count:]
+        del stack[-count:]
+    else:
+        args = []
+    this_value = stack.pop()
+    callee = stack.pop()
+    value = ctx.interp.call_value(callee, this_value, args)
+    feedback = ctx.feedback
+    if feedback is not None:
+        feedback.record_site(pc - 1, value)
+    stack.append(value)
+    return pc
+
+
+def _op_new(ctx, pc, count):
+    stack = ctx.stack
+    if count:
+        args = stack[-count:]
+        del stack[-count:]
+    else:
+        args = []
+    callee = stack.pop()
+    stack.append(ctx.interp.construct(callee, args))
+    return pc
+
+
+def _op_return(ctx, pc, arg):
+    ctx.return_value = ctx.stack.pop()
+    return -1
+
+
+def _op_return_undef(ctx, pc, arg):
+    ctx.return_value = UNDEFINED
+    return -1
+
+
+def _op_unknown(ctx, pc, op):
+    raise CompilerError("unknown opcode %r" % op)
+
+
+#: opcode -> (handler, arg resolution); "raw" passes ``instr.arg``
+#: through, "const" pre-fetches ``constants[arg]``, "name" pre-fetches
+#: ``names[arg]``, "op" passes the opcode itself (generic handlers).
+_HANDLERS = {
+    Op.CONST: (_op_const, "const"),
+    Op.GETLOCAL: (_op_getlocal, "raw"),
+    Op.SETLOCAL: (_op_setlocal, "raw"),
+    Op.GETARG: (_op_getarg, "raw"),
+    Op.SETARG: (_op_setarg, "raw"),
+    Op.GETGLOBAL: (_op_getglobal, "name"),
+    Op.SETGLOBAL: (_op_setglobal, "name"),
+    Op.GETCELL: (_op_getcell, "raw"),
+    Op.SETCELL: (_op_setcell, "raw"),
+    Op.GETFREE: (_op_getfree, "raw"),
+    Op.SETFREE: (_op_setfree, "raw"),
+    Op.GETTHIS: (_op_getthis, "raw"),
+    Op.UNDEF: (_op_undef, "raw"),
+    Op.POP: (_op_pop, "raw"),
+    Op.DUP: (_op_dup, "raw"),
+    Op.SWAP: (_op_swap, "raw"),
+    Op.JUMP: (_op_jump, "raw"),
+    Op.IFFALSE: (_op_iffalse, "raw"),
+    Op.IFTRUE: (_op_iftrue, "raw"),
+    Op.ADD: (_op_add, "raw"),
+    Op.SUB: (_op_sub, "raw"),
+    Op.MUL: (_op_mul, "raw"),
+    Op.NEWARRAY: (_op_newarray, "raw"),
+    Op.NEWOBJECT: (_op_newobject, "raw"),
+    Op.GETPROP: (_op_getprop, "name"),
+    Op.SETPROP: (_op_setprop, "name"),
+    Op.GETELEM: (_op_getelem, "raw"),
+    Op.SETELEM: (_op_setelem, "raw"),
+    Op.DELPROP: (_op_delprop, "name"),
+    Op.SELF: (_op_self, "raw"),
+    Op.CLOSURE: (_op_closure, "const"),
+    Op.CALL: (_op_call, "raw"),
+    Op.NEW: (_op_new, "raw"),
+    Op.RETURN: (_op_return, "raw"),
+    Op.RETURN_UNDEF: (_op_return_undef, "raw"),
+}
+for _op in _BINARY_DISPATCH:
+    _HANDLERS[_op] = (_op_binary, "op")
+for _op in _UNARY_DISPATCH:
+    _HANDLERS[_op] = (_op_unary, "op")
+del _op
+
+
+def build_threaded(code):
+    """Build the threaded handler table for ``code``.
+
+    One ``(handler, resolved_arg)`` pair per instruction.  Cached on
+    ``code.threaded`` by the dispatch loop; any pass that rewrites the
+    instruction list (loop rotation) resets that cache.  Unknown
+    opcodes get a raising handler so malformed streams still fail at
+    execution time, exactly like the decode loop they replace.
+    """
+    constants = code.constants
+    names = code.names
+    table = []
+    for instr in code.instructions:
+        entry = _HANDLERS.get(instr.op)
+        if entry is None:
+            table.append((_op_unknown, instr.op))
+            continue
+        handler, resolution = entry
+        if resolution == "raw":
+            table.append((handler, instr.arg))
+        elif resolution == "const":
+            table.append((handler, constants[instr.arg]))
+        elif resolution == "name":
+            table.append((handler, names[instr.arg]))
+        else:
+            table.append((handler, instr.op))
+    return table

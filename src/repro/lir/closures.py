@@ -1,0 +1,553 @@
+"""Closure-compiled native execution: the fast executor backend.
+
+The reference :class:`~repro.lir.executor.NativeExecutor` re-decodes
+every instruction on every execution: an attribute load for the
+opcode, a ~40-arm if/elif dispatch, operand-index indirection.  This
+module applies the paper's thesis to our own host instead — specialize
+executable code on the values known at compile time.  Here *compile
+time* is native-code assembly and the known values are the instruction
+stream itself: each basic block is translated once into straight-line
+Python source — operand locations, immediates, property names, guard
+constants and jump targets inlined as literals — compiled with
+``exec`` into a pre-bound closure, and cached on the
+:class:`NativeCode`.  Executing the binary is then just::
+
+    pc = handlers[pc](values, ctx)
+
+one Python call per *block*, with zero per-instruction decoding or
+dispatch inside it.
+
+Cycle and instruction accounting is block-granular on the fast path:
+the driver adds the block's precomputed instruction count and summed
+static cost (the same assembly-time per-instruction costs the
+reference backend charges) after each block completes.  For exactness
+under guards and guest errors, every generated block maintains a
+one-word progress marker (``_i``) and publishes it on any exception,
+letting the driver charge exactly the instructions the reference
+backend would have charged — up to and including the faulting one —
+and stamp ``Bailout.native_index`` with the faulting instruction's
+absolute index.
+
+Semantics are bit-identical to the reference backend by construction:
+every generated statement is a transliteration of the corresponding
+if/elif arm, guards raise the same :class:`Bailout` with the same
+frame reconstruction, and cycles accumulate in locals folded into the
+executor's counters only on frame exit, so mid-run trace timestamps
+match too (``python -m repro bench --wallclock`` measures the
+wall-clock difference; the differential test suite proves stats,
+cycles, printed output and trace streams match).
+"""
+
+from repro.errors import CompilerError
+from repro.jsvm import operations
+from repro.jsvm.bytecode import Op
+from repro.jsvm.interpreter import MAX_CALL_DEPTH
+from repro.jsvm.objects import JSArray, JSObject
+from repro.jsvm.values import (
+    INT32_MAX,
+    INT32_MIN,
+    UNDEFINED,
+    JSFunction,
+    normalize_number,
+    to_boolean,
+    type_of,
+)
+from repro.lir.executor import Bailout, NativeExecutor, _compare, _matches
+from repro.lir.regalloc import NUM_REGS
+from repro.mir.types import MIRType
+
+#: Indices into the per-call ``ctx`` list every block closure receives.
+#: Kept as a plain list (not an object) so generated code pays a single
+#: C-level index instead of attribute lookups.  ``CTX_FAULT`` holds the
+#: in-block offset of the instruction that raised, published by the
+#: faulting block for the driver's exact partial accounting.
+(
+    CTX_THIS,
+    CTX_ARGS,
+    CTX_FUNCTION,
+    CTX_OSR_ARGS,
+    CTX_OSR_LOCALS,
+    CTX_RESULT,
+    CTX_FAULT,
+) = range(7)
+
+#: Sentinel pc returned by ``return`` blocks; the driver loop treats
+#: any negative pc as "frame finished, result in ``ctx[CTX_RESULT]``".
+RETURN_PC = -1
+
+#: Ops that terminate a basic block.
+_TERMINATORS = frozenset(["goto", "test", "return"])
+
+#: Comparison operators whose Python operator matches guest semantics
+#: exactly for every specialized ``compare`` kind (NaN compares false,
+#: ``!=`` true, under both).
+_COMPARE_PY = {
+    Op.LT: "<",
+    Op.LE: "<=",
+    Op.GT: ">",
+    Op.GE: ">=",
+    Op.EQ: "==",
+    Op.STRICTEQ: "==",
+    Op.NE: "!=",
+    Op.STRICTNE: "!=",
+}
+
+
+class _Binder(object):
+    """Names runtime objects for the generated module's namespace.
+
+    Codegen inlines what it can as source literals; everything else
+    (snapshots, code objects, odd floats...) is bound to a fresh
+    ``_kN`` name resolved through the exec namespace — the moral
+    equivalent of a constant pool referenced rip-relative.
+    """
+
+    def __init__(self, namespace):
+        self.namespace = namespace
+
+    def bind(self, value):
+        """Bind ``value`` into the namespace; returns its name."""
+        name = "_k%d" % len(self.namespace)
+        self.namespace[name] = value
+        return name
+
+    def lit(self, value):
+        """Source text evaluating to ``value`` (literal when safe)."""
+        if value is None or value is True or value is False:
+            return repr(value)
+        kind = type(value)
+        if kind is int or kind is str:
+            return repr(value)
+        if kind is float:
+            # NaN/inf have no literal spelling; -0.0 and friends do.
+            if value != value or value in (float("inf"), float("-inf")):
+                return self.bind(value)
+            return repr(value)
+        return self.bind(value)
+
+
+def _emit(out, index, instruction, binder):
+    """Append the statement(s) for one instruction to ``out``.
+
+    Each emitted fragment is a transliteration of the matching if/elif
+    arm of :meth:`NativeExecutor.run` with every operand location
+    inlined (negative locations index the immediate pool, exactly as
+    in the reference executor's value array).  Scratch names ``_t``,
+    ``_x``, ``_y`` are block-local and never live across instructions.
+    """
+    op = instruction.op
+    srcs = instruction.srcs
+    dest = instruction.dest
+    extra = instruction.extra
+    snap = instruction.snapshot
+
+    def v(loc):
+        return "_v[%d]" % loc
+
+    def d():
+        return "_v[%d]" % dest
+
+    def snap_name():
+        return binder.bind(snap)
+
+    if op == "move":
+        out.append("%s = %s" % (d(), v(srcs[0])))
+    elif op == "const":
+        # Normally folded into the immediate pool; kept for unfolded
+        # streams (hand-built natives in tests).
+        out.append("%s = %s" % (d(), binder.lit(extra)))
+    elif op == "getarg":
+        if extra == -1:
+            out.append("%s = _c[0]" % d())
+        else:
+            out.append("_t = _c[1]")
+            out.append(
+                "%s = _t[%d] if %d < len(_t) else _UNDEF" % (d(), extra, extra)
+            )
+    elif op == "osrvalue":
+        kind, arg_index = extra
+        slot = CTX_OSR_ARGS if kind == "arg" else CTX_OSR_LOCALS
+        out.append("%s = _c[%d][%d]" % (d(), slot, arg_index))
+    elif op == "self":
+        out.append("%s = _c[2]" % d())
+    elif op in ("add_i", "sub_i"):
+        sign = "+" if op == "add_i" else "-"
+        if snap is None:
+            out.append("%s = %s %s %s" % (d(), v(srcs[0]), sign, v(srcs[1])))
+        else:
+            out.append("_t = %s %s %s" % (v(srcs[0]), sign, v(srcs[1])))
+            out.append("if _t > 2147483647 or _t < -2147483648:")
+            out.append(
+                "    _bail(_v, %s, 'overflow', %r, float(_t))" % (snap_name(), op)
+            )
+            out.append("%s = _t" % d())
+    elif op == "mul_i":
+        if snap is None:
+            out.append("%s = %s * %s" % (d(), v(srcs[0]), v(srcs[1])))
+        else:
+            name = snap_name()
+            out.append("_x = %s" % v(srcs[0]))
+            out.append("_y = %s" % v(srcs[1]))
+            out.append("_t = _x * _y")
+            out.append("if _t > 2147483647 or _t < -2147483648:")
+            out.append("    _bail(_v, %s, 'overflow', 'mul_i', float(_t))" % name)
+            out.append("if _t == 0 and (_x < 0 or _y < 0):")
+            # JS: (-n) * 0 is -0, a double; the int path bails.
+            out.append("    _bail(_v, %s, 'negative zero', 'mul_i', -0.0)" % name)
+            out.append("%s = _t" % d())
+    elif op == "neg_i":
+        if snap is None:
+            out.append("%s = -%s" % (d(), v(srcs[0])))
+        else:
+            name = snap_name()
+            out.append("_t = %s" % v(srcs[0]))
+            out.append("if _t == 0:")
+            out.append("    _bail(_v, %s, 'negative zero', 'neg_i', -0.0)" % name)
+            out.append("if _t == -2147483648:")
+            out.append("    _bail(_v, %s, 'overflow', 'neg_i', -float(_t))" % name)
+            out.append("%s = -_t" % d())
+    elif op in ("add_d", "sub_d", "mul_d"):
+        sign = {"add_d": "+", "sub_d": "-", "mul_d": "*"}[op]
+        out.append(
+            "%s = _normalize(%s %s %s)" % (d(), v(srcs[0]), sign, v(srcs[1]))
+        )
+    elif op == "div_d":
+        out.append("%s = _js_div(%s, %s)" % (d(), v(srcs[0]), v(srcs[1])))
+    elif op == "mod_d":
+        out.append("%s = _js_mod(%s, %s)" % (d(), v(srcs[0]), v(srcs[1])))
+    elif op == "neg_d":
+        out.append("%s = -%s" % (d(), v(srcs[0])))
+    elif op == "bitop_i":
+        call = "_binary(%s, %s, %s)" % (binder.lit(extra), v(srcs[0]), v(srcs[1]))
+        if snap is None:
+            out.append("%s = %s" % (d(), call))
+        else:
+            out.append("_t = %s" % call)
+            out.append("if type(_t) is not int:")
+            # ">>>" producing a value beyond int32.
+            out.append(
+                "    _bail(_v, %s, 'uint32 overflow', 'bitop_i', _t)" % snap_name()
+            )
+            out.append("%s = _t" % d())
+    elif op == "toint32":
+        out.append("%s = _to_int32(%s)" % (d(), v(srcs[0])))
+    elif op == "todouble":
+        out.append("%s = float(%s)" % (d(), v(srcs[0])))
+    elif op == "concat":
+        out.append("%s = %s + %s" % (d(), v(srcs[0]), v(srcs[1])))
+    elif op == "compare":
+        cmp_op, kind = extra
+        py = _COMPARE_PY.get(cmp_op)
+        if py is not None:
+            # Python's operators agree with _compare for every kind,
+            # including doubles: NaN makes <,<=,>,>=,== false and !=
+            # true under both semantics.
+            out.append("%s = %s %s %s" % (d(), v(srcs[0]), py, v(srcs[1])))
+        else:
+            out.append(
+                "%s = _cmp(%s, %s, %s, %s)"
+                % (d(), binder.lit(cmp_op), binder.lit(kind), v(srcs[0]), v(srcs[1]))
+            )
+    elif op == "binary_v":
+        out.append(
+            "%s = _binary(%s, %s, %s)" % (d(), binder.lit(extra), v(srcs[0]), v(srcs[1]))
+        )
+    elif op == "unary_v":
+        out.append("%s = _unary(%s, %s)" % (d(), binder.lit(extra), v(srcs[0])))
+    elif op == "not":
+        out.append("%s = not _to_boolean(%s)" % (d(), v(srcs[0])))
+    elif op == "typeof":
+        out.append("%s = _type_of(%s)" % (d(), v(srcs[0])))
+    elif op == "unbox":
+        name = snap_name()
+        out.append("_t = %s" % v(srcs[0]))
+        if extra == MIRType.DOUBLE:
+            out.append("_x = type(_t)")
+            out.append("if _x is not float and _x is not int:")
+            out.append("    _bail(_v, %s, 'type guard', 'unbox', _t)" % name)
+            out.append("%s = float(_t) if _x is int else _t" % d())
+        else:
+            _emit_type_check(out, extra, name, "type guard", "unbox", binder)
+            out.append("%s = _t" % d())
+    elif op == "typebarrier":
+        out.append("_t = %s" % v(srcs[0]))
+        if extra != MIRType.VALUE:
+            _emit_type_check(
+                out, extra, snap_name(), "type barrier", "typebarrier", binder
+            )
+        out.append("%s = _t" % d())
+    elif op == "checkoverrecursed":
+        out.append("if _interp.call_depth >= %d:" % MAX_CALL_DEPTH)
+        out.append(
+            "    _bail(_v, %s, 'over-recursed', 'checkoverrecursed')" % snap_name()
+        )
+    elif op == "arraylength":
+        out.append("%s = len(%s.elements)" % (d(), v(srcs[0])))
+    elif op == "stringlength":
+        out.append("%s = len(%s)" % (d(), v(srcs[0])))
+    elif op == "boundscheck":
+        out.append("_t = %s" % v(srcs[0]))
+        out.append("if _t < 0 or _t >= %s:" % v(srcs[1]))
+        out.append(
+            "    _bail(_v, %s, 'bounds check', 'boundscheck')" % snap_name()
+        )
+    elif op == "loadelement":
+        out.append("%s = %s.elements[%s]" % (d(), v(srcs[0]), v(srcs[1])))
+    elif op == "storeelement":
+        out.append("%s.elements[%s] = %s" % (v(srcs[0]), v(srcs[1]), v(srcs[2])))
+    elif op == "getelem_v":
+        out.append(
+            "%s = _get_element(%s, %s, _runtime)" % (d(), v(srcs[0]), v(srcs[1]))
+        )
+    elif op == "setelem_v":
+        out.append(
+            "_set_element(%s, %s, %s)" % (v(srcs[0]), v(srcs[1]), v(srcs[2]))
+        )
+    elif op == "loadprop":
+        out.append("%s = %s.get(%s)" % (d(), v(srcs[0]), binder.lit(extra)))
+    elif op == "storeprop":
+        out.append("%s.set(%s, %s)" % (v(srcs[0]), binder.lit(extra), v(srcs[1])))
+    elif op == "getprop_v":
+        out.append("%s = _get_property(%s, %s)" % (d(), v(srcs[0]), binder.lit(extra)))
+    elif op == "setprop_v":
+        out.append(
+            "_set_property(%s, %s, %s)" % (v(srcs[0]), binder.lit(extra), v(srcs[1]))
+        )
+    elif op == "loadglobal":
+        out.append("%s = _get_global(%s)" % (d(), binder.lit(extra)))
+    elif op == "storeglobal":
+        out.append("_set_global(%s, %s)" % (binder.lit(extra), v(srcs[0])))
+    elif op == "newarray":
+        out.append("%s = _JSArray([%s])" % (d(), ", ".join(v(loc) for loc in srcs)))
+    elif op == "newobject":
+        out.append("_t = _JSObject()")
+        for key, loc in zip(extra, srcs):
+            out.append("_t.set(%s, %s)" % (binder.lit(key), v(loc)))
+        out.append("%s = _t" % d())
+    elif op == "lambda":
+        out.append("%s = _JSFunction(%s, ())" % (d(), binder.bind(extra)))
+    elif op == "call":
+        out.append(
+            "%s = _call_value(%s, %s, [%s])"
+            % (d(), v(srcs[0]), v(srcs[1]), ", ".join(v(loc) for loc in srcs[2:]))
+        )
+    elif op == "new":
+        out.append(
+            "%s = _construct(%s, [%s])"
+            % (d(), v(srcs[0]), ", ".join(v(loc) for loc in srcs[1:]))
+        )
+    elif op == "goto":
+        out.append("return %d" % instruction.targets[0])
+    elif op == "test":
+        t0, t1 = instruction.targets
+        out.append("_t = %s" % v(srcs[0]))
+        out.append("if _t is True:")
+        out.append("    return %d" % t0)
+        out.append("if _t is False:")
+        out.append("    return %d" % t1)
+        out.append("return %d if _to_boolean(_t) else %d" % (t0, t1))
+    elif op == "return":
+        out.append("_c[%d] = %s" % (CTX_RESULT, v(srcs[0])))
+        out.append("return %d" % RETURN_PC)
+    else:
+        raise CompilerError("closure backend: unknown op %r" % op)
+
+
+def _emit_type_check(out, expected, snap_ref, reason, guard_op, binder):
+    """Emit the guard test for unbox/typebarrier on scratch ``_t``.
+
+    Specializes the common primitive expectations to a single C-level
+    ``type`` identity test (matching :func:`_matches` exactly — note
+    ``bool`` is not int32); rarer object expectations fall back to the
+    shared :func:`_matches` predicate.
+    """
+    if expected == MIRType.INT32:
+        out.append("if type(_t) is not int:")
+    elif expected == MIRType.BOOLEAN:
+        out.append("if type(_t) is not bool:")
+    elif expected == MIRType.STRING:
+        out.append("if type(_t) is not str:")
+    elif expected == MIRType.DOUBLE:
+        out.append("if type(_t) is not float and type(_t) is not int:")
+    else:
+        out.append("if not _matches(_t, %s):" % binder.bind(expected))
+    out.append("    _bail(_v, %s, %r, %r, _t)" % (snap_ref, reason, guard_op))
+
+
+def _block_leaders(native):
+    """Indices that start a basic block: entries, jump targets, and
+    the successor of every control-flow instruction."""
+    instructions = native.instructions
+    leaders = {native.entry_index}
+    if native.osr_index is not None:
+        leaders.add(native.osr_index)
+    for index, instruction in enumerate(instructions):
+        if instruction.targets is not None:
+            leaders.update(instruction.targets)
+        if instruction.op in _TERMINATORS and index + 1 < len(instructions):
+            leaders.add(index + 1)
+    return sorted(leader for leader in leaders if 0 <= leader < len(instructions))
+
+
+def compile_closures(native, executor):
+    """Translate ``native`` into one pre-bound closure per basic block.
+
+    Returns ``(handlers, counts, sums, prefix)``:
+
+    - ``handlers[pc]`` for each block-leader ``pc`` is a callable
+      ``block(values, ctx) -> next_pc`` executing the whole block
+      (non-leader entries are ``None``; the driver never reaches them
+      because every jump target is a leader);
+    - ``counts[pc]``/``sums[pc]`` are the block's instruction count and
+      summed static cycle cost, charged by the driver per completed
+      block;
+    - ``prefix[pc]`` is the block's inclusive cycle prefix-sum, used on
+      exceptions to charge exactly through the faulting instruction.
+
+    All four are cached on the :class:`NativeCode` by the caller, so
+    translation is paid once per binary and invalidated exactly when
+    the engine discards the binary (deoptimization drops the object).
+    """
+    instructions = native.instructions
+    costs = native.cost_table(executor.cost_model)
+    interpreter = executor.interpreter
+    runtime = executor.runtime
+
+    namespace = {
+        "_UNDEF": UNDEFINED,
+        "_bail": executor._bail,
+        "_interp": interpreter,
+        "_runtime": runtime,
+        "_normalize": normalize_number,
+        "_js_div": operations.js_div,
+        "_js_mod": operations.js_mod,
+        "_binary": operations.binary_op,
+        "_unary": operations.unary_op,
+        "_to_int32": operations.to_int32,
+        "_to_boolean": to_boolean,
+        "_type_of": type_of,
+        "_cmp": _compare,
+        "_matches": _matches,
+        "_get_element": operations.get_element,
+        "_set_element": operations.set_element,
+        "_get_property": interpreter.get_property,
+        "_set_property": operations.set_property,
+        "_get_global": runtime.get_global,
+        "_set_global": runtime.set_global,
+        "_call_value": interpreter.call_value,
+        "_construct": interpreter.construct,
+        "_JSArray": JSArray,
+        "_JSObject": JSObject,
+        "_JSFunction": JSFunction,
+    }
+    binder = _Binder(namespace)
+
+    leaders = _block_leaders(native)
+    leader_set = set(leaders)
+    size = len(instructions)
+    handlers = [None] * size
+    counts = [0] * size
+    sums = [0] * size
+    prefix = [None] * size
+
+    source = []
+    for leader in leaders:
+        body = []
+        index = leader
+        while True:
+            body.append(index)
+            if instructions[index].op in _TERMINATORS:
+                fallthrough = None
+                break
+            if index + 1 >= size or index + 1 in leader_set:
+                fallthrough = index + 1
+                break
+            index += 1
+
+        lines = ["def _b%d(_v, _c):" % leader, "    _i = 0", "    try:"]
+        for offset, instr_index in enumerate(body):
+            if offset:
+                lines.append("        _i = %d" % offset)
+            stmts = []
+            _emit(stmts, instr_index, instructions[instr_index], binder)
+            lines.extend("        " + stmt for stmt in stmts)
+        if fallthrough is not None:
+            lines.append("        return %d" % fallthrough)
+        # Publish how far the block got before re-raising: the driver
+        # charges exactly through the faulting instruction, as the
+        # reference backend does.
+        lines.append("    except BaseException:")
+        lines.append("        _c[%d] = _i" % CTX_FAULT)
+        lines.append("        raise")
+        source.append("\n".join(lines))
+
+        counts[leader] = len(body)
+        running = 0
+        block_prefix = []
+        for instr_index in body:
+            running += costs[instr_index]
+            block_prefix.append(running)
+        sums[leader] = running
+        prefix[leader] = block_prefix
+
+    exec(compile("\n\n".join(source), "<closure-backend %s>" % native.code.name, "exec"), namespace)
+    for leader in leaders:
+        handlers[leader] = namespace["_b%d" % leader]
+    return handlers, counts, sums, prefix
+
+
+class ClosureExecutor(NativeExecutor):
+    """The closure-compiled backend (``executor_backend="closure"``).
+
+    Shares bailout reconstruction and the cumulative cycle/instruction
+    counters with the reference executor; only the dispatch strategy
+    differs.  ``EngineStats``, cycle counts, printed output and trace
+    streams are bit-identical to the reference backend.
+    """
+
+    def run(self, native, function, this_value, args, entry="entry", osr_args=None, osr_locals=None):
+        """Execute ``native`` via its compiled block closures.
+
+        Raises :class:`Bailout` when a guard fails, exactly like the
+        reference backend.
+        """
+        cache = native.closure_cache
+        if cache is not None and cache[0] is self:
+            _, handlers, counts, sums, prefix = cache
+        else:
+            # Paid once per binary (per executor): translate and bind.
+            handlers, counts, sums, prefix = compile_closures(native, self)
+            native.closure_cache = (self, handlers, counts, sums, prefix)
+        values = [UNDEFINED] * (NUM_REGS + native.num_slots) + native.immediates
+        if entry == "osr":
+            if native.osr_index is None:
+                raise CompilerError("native code for %s has no OSR entry" % native.code.name)
+            pc = native.osr_index
+        else:
+            pc = native.entry_index
+        ctx = [this_value, args, function, osr_args, osr_locals, None, 0]
+
+        cycles = 0
+        executed = 0
+        try:
+            while True:
+                next_pc = handlers[pc](values, ctx)
+                executed += counts[pc]
+                cycles += sums[pc]
+                if next_pc >= 0:
+                    pc = next_pc
+                else:
+                    return ctx[CTX_RESULT]
+        except BaseException as exc:
+            # The faulting block published its progress in CTX_FAULT;
+            # charge exactly through the faulting instruction, whose
+            # absolute index is the block leader plus that offset.
+            fault = ctx[CTX_FAULT]
+            executed += fault + 1
+            cycles += prefix[pc][fault]
+            if isinstance(exc, Bailout) and exc.native_index is None:
+                exc.native_index = pc + fault
+            raise
+        finally:
+            self.cycles += cycles
+            self.instructions_executed += executed

@@ -21,6 +21,7 @@ import math
 from repro.errors import CompilerError
 from repro.jsvm import operations
 from repro.jsvm.bytecode import Op
+from repro.jsvm.interpreter import MAX_CALL_DEPTH
 from repro.jsvm.objects import JSArray, JSObject
 from repro.jsvm.values import (
     INT32_MAX,
@@ -32,6 +33,7 @@ from repro.jsvm.values import (
     to_boolean,
     type_of,
 )
+from repro.lir.native import CHECKED_ARITH
 from repro.lir.regalloc import NUM_REGS
 from repro.mir.types import MIRType
 
@@ -81,9 +83,9 @@ def _matches(value, mirtype):
     return False
 
 
-#: Int ops whose guard is an overflow/negative-zero check priced at
-#: one extra cycle (cleared by the overflow-elimination extension).
-_CHECKED_ARITH = frozenset(["add_i", "sub_i", "mul_i", "neg_i", "bitop_i"])
+#: Back-compat alias: the checked-arith set moved to ``lir.native`` so
+#: assembly-time cost precomputation and executors share one source.
+_CHECKED_ARITH = CHECKED_ARITH
 
 
 class NativeExecutor(object):
@@ -126,9 +128,10 @@ class NativeExecutor(object):
         # instruction immediates, free of register pressure).
         values = [UNDEFINED] * (NUM_REGS + native.num_slots) + native.immediates
         instructions = native.instructions
-        cost = self.cost_model
-        costs = cost.native_costs
-        spill_price = cost.spill_access
+        # Per-pc cycle prices, precomputed at assembly time: the
+        # dispatch loop pays one list index instead of a dict lookup,
+        # a checked-arith test and a spill scan per instruction.
+        static_costs = native.cost_table(self.cost_model)
         interpreter = self.interpreter
         runtime = self.runtime
 
@@ -148,17 +151,7 @@ class NativeExecutor(object):
                 srcs = instruction.srcs
                 dest = instruction.dest
                 executed += 1
-                cycles += costs.get(op, 1)
-                if instruction.snapshot is not None and op in _CHECKED_ARITH:
-                    # The overflow/negative-zero check itself (x86: a
-                    # `jo` after the operation).  Overflow-check
-                    # elimination removes exactly this cycle.
-                    cycles += 1
-                if dest is not None and dest >= NUM_REGS:
-                    cycles += spill_price
-                for loc in srcs:
-                    if loc >= NUM_REGS:
-                        cycles += spill_price
+                cycles += static_costs[pc]
                 pc += 1
 
                 if op == "move":
@@ -251,8 +244,6 @@ class NativeExecutor(object):
                         self._bail(values, instruction.snapshot, "type barrier", op, value)
                     values[dest] = value
                 elif op == "checkoverrecursed":
-                    from repro.jsvm.interpreter import MAX_CALL_DEPTH
-
                     if interpreter.call_depth >= MAX_CALL_DEPTH:
                         self._bail(values, instruction.snapshot, "over-recursed", op)
                 elif op == "arraylength":

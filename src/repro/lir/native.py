@@ -15,6 +15,58 @@ from repro.lir.lir_nodes import LInstruction
 from repro.lir.regalloc import NUM_REGS, allocate_registers
 from repro.lir.lowering import lower_graph
 
+#: Int ops whose guard is an overflow/negative-zero check priced at
+#: one extra cycle (cleared by the overflow-elimination extension).
+CHECKED_ARITH = frozenset(["add_i", "sub_i", "mul_i", "neg_i", "bitop_i"])
+
+#: Default cost model instance, created lazily (importing it at module
+#: scope would cycle through ``repro.engine``).
+_DEFAULT_COST_MODEL = None
+
+
+def _default_cost_model():
+    global _DEFAULT_COST_MODEL
+    if _DEFAULT_COST_MODEL is None:
+        from repro.engine.config import CostModel
+
+        _DEFAULT_COST_MODEL = CostModel()
+    return _DEFAULT_COST_MODEL
+
+
+def static_instruction_cost(instruction, cost_model):
+    """Cycle price of one execution of ``instruction``.
+
+    Every component is statically known once operands have physical
+    locations: the base opcode price, the one-cycle overflow-check
+    surcharge on guarded int arithmetic (an x86 ``jo`` after the
+    operation), and the spill price for each operand or result living
+    in a stack slot.  Negative source locations index the immediate
+    pool — instruction-encoded constants, free of memory traffic.
+    """
+    cost = cost_model.native_costs.get(instruction.op, cost_model.native_op)
+    if instruction.snapshot is not None and instruction.op in CHECKED_ARITH:
+        cost += 1
+    dest = instruction.dest
+    if dest is not None and dest >= NUM_REGS:
+        cost += cost_model.spill_access
+    for loc in instruction.srcs:
+        if loc >= NUM_REGS:
+            cost += cost_model.spill_access
+    return cost
+
+
+def annotate_static_costs(instructions, cost_model=None):
+    """Stamp ``static_cost`` on every finalized native instruction.
+
+    Runs once at assembly time (the tail of :func:`generate_native`),
+    so no executor ever recomputes per-step dict lookups or spill
+    scans in its dispatch loop.
+    """
+    if cost_model is None:
+        cost_model = _default_cost_model()
+    for instruction in instructions:
+        instruction.static_cost = static_instruction_cost(instruction, cost_model)
+
 
 class NativeCode(object):
     """One compiled binary for a guest function."""
@@ -33,6 +85,30 @@ class NativeCode(object):
         self.immediates = list(immediates)
         #: Free-form compilation metadata (specialized args, stats...).
         self.meta = meta if meta is not None else {}
+        #: Executor caches, paid once per binary: the per-pc cycle
+        #: table (keyed by cost model) and the closure backend's
+        #: compiled handlers (keyed by executor).  Both die with the
+        #: binary, so invalidation is the engine discarding it.
+        self._cost_table = None
+        self._cost_table_model = None
+        self.closure_cache = None
+
+    def cost_table(self, cost_model):
+        """Per-pc cycle prices under ``cost_model``, cached.
+
+        Assembly already stamps ``static_cost`` using the default
+        model; this recomputes only for a different model instance and
+        memoizes per binary either way.
+        """
+        if self._cost_table is not None and self._cost_table_model is cost_model:
+            return self._cost_table
+        table = [
+            static_instruction_cost(instruction, cost_model)
+            for instruction in self.instructions
+        ]
+        self._cost_table = table
+        self._cost_table_model = cost_model
+        return table
 
     @property
     def size(self):
@@ -257,6 +333,10 @@ def generate_native(graph):
         if instruction.snapshot is not None:
             instruction.snapshot.snapshot_id = next_snapshot_id
             next_snapshot_id += 1
+
+    # Operands have physical locations now: every cycle-cost component
+    # is static, so price each instruction once, at assembly time.
+    annotate_static_costs(instructions)
 
     native = NativeCode(
         graph.code,

@@ -133,6 +133,9 @@ def _rotate_once(code):
             else:
                 new_instructions.append(Instr(source.op, source.arg, source.line))
     code.instructions = new_instructions
+    # The interpreter's threaded handler table is positional; rebuild
+    # it lazily against the rotated stream.
+    code.threaded = None
     return True
 
 

@@ -7,6 +7,7 @@ Subcommands::
     python -m repro profile script.js
     python -m repro disasm script.js --function f [--config all]
     python -m repro bench --suite sunspider [--configs PS,PS+CP,all]
+    python -m repro bench --wallclock [--repeats 3] [--output BENCH_wallclock.json]
     python -m repro configs
 
 ``run`` executes a guest script under the JIT; ``trace`` runs a script
@@ -55,7 +56,11 @@ def _read_source(path):
 def cmd_run(args, out):
     """``repro run``: execute a guest script under the JIT."""
     config = _resolve_config(args.config)
-    engine = Engine(config=config, spec_cache_capacity=args.cache_capacity)
+    engine = Engine(
+        config=config,
+        spec_cache_capacity=args.cache_capacity,
+        executor_backend=args.executor,
+    )
     printed = engine.run_source(_read_source(args.script))
     for line in printed:
         out.write(line + "\n")
@@ -236,10 +241,35 @@ def cmd_disasm(args, out):
 
 
 def cmd_bench(args, out):
-    """``repro bench``: one suite's Figure 9 rows."""
+    """``repro bench``: Figure 9 rows, or ``--wallclock`` backend timing."""
     from repro.bench.harness import format_figure9, run_suite_sweep
     from repro.workloads import ALL_SUITES
 
+    if args.wallclock:
+        from repro.bench.wallclock import (
+            format_wallclock,
+            run_wallclock,
+            write_wallclock_json,
+        )
+
+        if args.suite:
+            if args.suite not in ALL_SUITES:
+                raise SystemExit(
+                    "unknown suite %r; available: %s"
+                    % (args.suite, ", ".join(sorted(ALL_SUITES)))
+                )
+            suites = {args.suite: ALL_SUITES[args.suite]}
+        else:
+            suites = ALL_SUITES
+        results = run_wallclock(suites=suites, repeats=args.repeats)
+        out.write(format_wallclock(results) + "\n")
+        if args.output:
+            write_wallclock_json(results, args.output)
+            out.write("wrote %s\n" % args.output)
+        return 0
+
+    if not args.suite:
+        raise SystemExit("--suite is required (or use --wallclock)")
     if args.suite not in ALL_SUITES:
         raise SystemExit(
             "unknown suite %r; available: %s" % (args.suite, ", ".join(sorted(ALL_SUITES)))
@@ -282,6 +312,12 @@ def build_parser():
     run.add_argument(
         "--cache-capacity", type=int, default=1, help="specialized binaries kept per function"
     )
+    run.add_argument(
+        "--executor",
+        choices=["simple", "closure"],
+        default=None,
+        help="executor backend (default: closure, or $REPRO_EXECUTOR)",
+    )
     run.set_defaults(handler=cmd_run)
 
     trace = sub.add_parser(
@@ -321,9 +357,25 @@ def build_parser():
     disasm.add_argument("--config", default="all")
     disasm.set_defaults(handler=cmd_disasm)
 
-    bench = sub.add_parser("bench", help="run a suite sweep (Figure 9 row)")
-    bench.add_argument("--suite", required=True, help="sunspider | v8 | kraken")
+    bench = sub.add_parser(
+        "bench", help="run a suite sweep (Figure 9 row) or --wallclock backend timing"
+    )
+    bench.add_argument("--suite", help="sunspider | v8 | kraken (default for --wallclock: all)")
     bench.add_argument("--configs", help="comma-separated config names (default: all 11)")
+    bench.add_argument(
+        "--wallclock",
+        action="store_true",
+        help="compare executor backends in host seconds (docs/PERF.md)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=3, help="wallclock: best-of-N suite passes"
+    )
+    bench.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="wallclock: write results JSON (e.g. BENCH_wallclock.json)",
+    )
     bench.set_defaults(handler=cmd_bench)
 
     configs = sub.add_parser("configs", help="list optimization configurations")

@@ -1,0 +1,145 @@
+"""The wall-clock perf gate: unit tests plus the opt-in timed gate.
+
+``check_gate`` and the ``run_wallclock`` plumbing are deterministic
+and run in tier-1.  The actual timed gate (real seconds on this host
+vs the checked-in ``BENCH_wallclock.json``) is marked ``perf`` and
+excluded from tier-1 by ``addopts`` — host timing is noisy; run it
+explicitly with ``pytest -m perf`` or ``tools/perf_gate.py``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench.wallclock import (
+    check_gate,
+    format_wallclock,
+    load_wallclock_json,
+    run_wallclock,
+    write_wallclock_json,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _results(speedups, geomean):
+    return {
+        "protocol": {"config": "all", "repeats": 3, "backends": ["simple", "closure"]},
+        "suites": {
+            name: {
+                "simple_seconds": speedup,
+                "closure_seconds": 1.0,
+                "speedup": speedup,
+                "sim_instructions": 1000,
+                "simple_sips": 1000,
+                "closure_sips": 1000,
+            }
+            for name, speedup in speedups.items()
+        },
+        "geomean_speedup": geomean,
+    }
+
+
+class TestCheckGate:
+    def test_identical_runs_pass(self):
+        baseline = _results({"sunspider": 2.0, "v8": 2.4}, 2.19)
+        assert check_gate(baseline, baseline) == []
+
+    def test_small_drop_within_tolerance_passes(self):
+        baseline = _results({"sunspider": 2.0}, 2.0)
+        current = _results({"sunspider": 1.8}, 1.8)  # -10%, tolerance 15%
+        assert check_gate(current, baseline, tolerance=0.15) == []
+
+    def test_regression_below_tolerance_fails(self):
+        baseline = _results({"sunspider": 2.0, "v8": 2.4}, 2.19)
+        current = _results({"sunspider": 1.5, "v8": 2.4}, 2.19)  # -25%
+        failures = check_gate(current, baseline, tolerance=0.15)
+        assert len(failures) == 1
+        assert "sunspider" in failures[0]
+
+    def test_missing_suite_fails_loudly(self):
+        baseline = _results({"sunspider": 2.0, "v8": 2.4}, 2.19)
+        current = _results({"sunspider": 2.0}, 2.0)
+        failures = check_gate(current, baseline)
+        assert any("v8" in failure for failure in failures)
+
+    def test_new_suite_passes_trivially(self):
+        baseline = _results({"sunspider": 2.0}, 2.0)
+        current = _results({"sunspider": 2.0, "kraken": 0.5}, 1.0)
+        # kraken is new: no baseline ratio to regress from.  But the
+        # geomean dragged down by it still trips the gate.
+        failures = check_gate(current, baseline)
+        assert failures == [
+            failure for failure in failures if failure.startswith("geomean")
+        ]
+        assert failures  # the geomean drop is caught
+
+    def test_geomean_regression_fails(self):
+        baseline = _results({"sunspider": 2.0}, 2.0)
+        current = _results({"sunspider": 1.8}, 1.5)
+        failures = check_gate(current, baseline, tolerance=0.15)
+        assert any(failure.startswith("geomean") for failure in failures)
+
+    def test_tolerance_is_adjustable(self):
+        baseline = _results({"sunspider": 2.0}, 2.0)
+        current = _results({"sunspider": 1.8}, 1.8)
+        assert check_gate(current, baseline, tolerance=0.15) == []
+        assert check_gate(current, baseline, tolerance=0.05) != []
+
+
+class _FakeBenchmark(object):
+    def __init__(self, name, source):
+        self.name = name
+        self.source = source
+
+
+class TestRunWallclock:
+    def test_smoke_tiny_suite(self):
+        suite = [
+            _FakeBenchmark(
+                "tiny",
+                "function f(n) { var s = 0; for (var i = 0; i < n; i++) s += i;"
+                " return s; } print(f(200));",
+            )
+        ]
+        results = run_wallclock(suites={"tiny": suite}, repeats=1)
+        row = results["suites"]["tiny"]
+        assert row["simple_seconds"] >= 0
+        assert row["closure_seconds"] >= 0
+        assert row["speedup"] > 0
+        assert row["sim_instructions"] > 0
+        assert results["geomean_speedup"] == row["speedup"]
+        assert "tiny" in format_wallclock(results)
+
+    def test_json_round_trip(self, tmp_path):
+        results = _results({"sunspider": 2.0}, 2.0)
+        path = str(tmp_path / "bench.json")
+        write_wallclock_json(results, path)
+        assert load_wallclock_json(path) == results
+        with open(path) as handle:
+            assert json.load(handle) == results
+
+
+@pytest.mark.perf
+def test_perf_gate_end_to_end():
+    """The real gate: timed suites vs the checked-in baseline.
+
+    Runs ``tools/perf_gate.py`` as a subprocess, exactly as CI would.
+    Marked ``perf`` so tier-1 (which must be timing-independent) skips
+    it; ``pytest -m perf`` opts in.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    completed = subprocess.run(
+        [sys.executable, os.path.join(REPO_ROOT, "tools", "perf_gate.py")],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+    assert "perf gate passed" in completed.stdout

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Performance gate: fail when the closure backend's speedup regresses.
+
+Runs the wall-clock protocol of :mod:`repro.bench.wallclock` and
+compares the per-suite (and geometric-mean) speedup ratios against the
+checked-in baseline ``BENCH_wallclock.json``.  Ratios — not seconds —
+are compared, so the gate is meaningful on any machine; a failure
+means the closure backend's advantage over the reference executor
+shrank by more than the tolerance (default 15%).
+
+Usage::
+
+    PYTHONPATH=src python tools/perf_gate.py             # gate against baseline
+    PYTHONPATH=src python tools/perf_gate.py --update    # refresh the baseline
+    PYTHONPATH=src python -m pytest -m perf              # same gate via pytest
+
+Exit status 1 on regression (or missing baseline), 0 otherwise.
+"""
+
+import argparse
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_wallclock.json")
+
+
+def main(argv=None):
+    """Run the gate; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE, help="baseline JSON path"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed fractional speedup drop vs baseline (default 0.15)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N suite passes"
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="write the fresh measurement to --baseline instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench.wallclock import (
+        check_gate,
+        format_wallclock,
+        load_wallclock_json,
+        run_wallclock,
+        write_wallclock_json,
+    )
+
+    results = run_wallclock(repeats=args.repeats)
+    print(format_wallclock(results))
+
+    if args.update:
+        write_wallclock_json(results, args.baseline)
+        print("baseline updated: %s" % args.baseline)
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print("no baseline at %s (run with --update to create one)" % args.baseline)
+        return 1
+    failures = check_gate(results, load_wallclock_json(args.baseline), args.tolerance)
+    if failures:
+        print("PERF GATE FAILED:")
+        for failure in failures:
+            print("  " + failure)
+        return 1
+    print("perf gate passed (tolerance %d%%)" % round(args.tolerance * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
