@@ -33,6 +33,7 @@ from repro.engine.config import (
 )
 from repro.engine.runtime_engine import Engine, run_program
 from repro.engine.stats import EngineStats
+from repro.telemetry.profiler import CycleProfiler
 from repro.jsvm.interpreter import Interpreter
 from repro.jsvm.runtime import Runtime
 from repro.errors import (
@@ -51,6 +52,7 @@ __all__ = [
     "Engine",
     "run_program",
     "EngineStats",
+    "CycleProfiler",
     "Interpreter",
     "Runtime",
     "OptConfig",

@@ -32,9 +32,10 @@ class BenchmarkRun(object):
         "successful",
         "deoptimized",
         "trace_events",
+        "profile",
     )
 
-    def __init__(self, benchmark, config, engine, output, tracer=None):
+    def __init__(self, benchmark, config, engine, output, tracer=None, profiler=None):
         stats = engine.stats
         self.benchmark = benchmark.name
         self.config = config.name
@@ -50,20 +51,33 @@ class BenchmarkRun(object):
         self.deoptimized = set(stats.deoptimized_functions)
         #: JIT event stream (docs/TRACING.md) when the run was traced.
         self.trace_events = list(tracer.events) if tracer is not None else None
+        #: The run's CycleProfiler (docs/PROFILING.md) when profiled.
+        self.profile = profiler
 
 
-def run_benchmark(benchmark, config, engine_kwargs=None, trace=False, trace_channels=None):
+def run_benchmark(
+    benchmark, config, engine_kwargs=None, trace=False, trace_channels=None, profile=False
+):
     """Run one benchmark under one configuration; returns BenchmarkRun.
 
     With ``trace``, the engine runs with a fresh event tracer
     (optionally narrowed to ``trace_channels``) and the returned run
     carries the event stream in ``trace_events`` — any Figure 9
-    configuration can be traced this way.
+    configuration can be traced this way.  With ``profile``, it runs
+    with a fresh cycle-exact profiler (docs/PROFILING.md), returned in
+    ``run.profile``; neither flag perturbs any measured number.
     """
     tracer = Tracer(channels=trace_channels) if trace else None
-    engine = Engine(config=config, tracer=tracer, **(engine_kwargs or {}))
+    profiler = None
+    if profile:
+        from repro.telemetry.profiler import CycleProfiler
+
+        profiler = CycleProfiler()
+    engine = Engine(
+        config=config, tracer=tracer, cycle_profiler=profiler, **(engine_kwargs or {})
+    )
     output = engine.run_source(benchmark.source)
-    return BenchmarkRun(benchmark, config, engine, output, tracer=tracer)
+    return BenchmarkRun(benchmark, config, engine, output, tracer=tracer, profiler=profiler)
 
 
 class SweepResult(object):

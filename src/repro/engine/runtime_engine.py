@@ -134,6 +134,7 @@ class Engine(object):
         spec_cache_capacity=1,
         tracer=None,
         executor_backend=None,
+        cycle_profiler=None,
     ):
         self.config = config
         self.cost_model = cost_model if cost_model is not None else CostModel()
@@ -141,8 +142,17 @@ class Engine(object):
         #: Optional structured event tracer (repro.telemetry.tracing);
         #: None (the default) means no events and zero overhead.
         self.tracer = tracer
+        #: Optional cycle-exact profiler (repro.telemetry.profiler).
+        #: Distinct from ``profiler`` (the §2 call histogram): this one
+        #: attributes every cycle of ``stats.total_cycles`` to a
+        #: (function, tier, block) triple.  None means zero overhead.
+        self.cycle_profiler = cycle_profiler
         self.interpreter = Interpreter(
-            runtime=runtime, engine=self, profiler=profiler, tracer=tracer
+            runtime=runtime,
+            engine=self,
+            profiler=profiler,
+            tracer=tracer,
+            cycle_profiler=cycle_profiler,
         )
         #: Which native-executor backend runs compiled binaries; both
         #: are observably identical (docs/PERF.md), "closure" is fast.
@@ -150,6 +160,9 @@ class Engine(object):
         self.executor = EXECUTOR_BACKENDS[self.executor_backend](
             self.interpreter, self.cost_model
         )
+        if cycle_profiler is not None:
+            cycle_profiler.bind_cost_model(self.cost_model)
+            self.executor.cycle_profiler = cycle_profiler
         if tracer is not None:
             tracer.bind_clock(self.trace_clock)
         self.states = {}
@@ -177,10 +190,23 @@ class Engine(object):
         return self.interpreter.runtime.printed
 
     def finish(self):
-        """Fold the live counters into the stats ledger."""
+        """Fold the live counters into the stats ledger.
+
+        When both a tracer and a cycle profiler are attached, a single
+        ``profile.summary`` event is appended here — after every other
+        event of the run, so the preceding stream (sequence numbers
+        included) is exactly what an unprofiled run would record.
+        """
         self.stats.interp_ops = self.interpreter.ops_executed
         self.stats.native_cycles = self.executor.cycles
         self.stats.native_instructions = self.executor.instructions_executed
+        if self.tracer is not None and self.cycle_profiler is not None:
+            self.tracer.emit(
+                "profile",
+                "summary",
+                total_cycles=self.stats.total_cycles,
+                **self.cycle_profiler.summary()
+            )
 
     def trace_clock(self):
         """The deterministic cycle clock trace events are stamped with.
@@ -235,6 +261,8 @@ class Engine(object):
             )
         if state.not_compilable:
             self.stats.interp_calls += 1
+            if self.cycle_profiler is not None:
+                self.cycle_profiler.interp_call()
             return False, None
         if code.feedback is None:
             code.feedback = TypeFeedback(code.num_params)
@@ -295,6 +323,8 @@ class Engine(object):
                 return True, self._run_call(state, function, this_value, args)
 
         self.stats.interp_calls += 1
+        if self.cycle_profiler is not None:
+            self.cycle_profiler.interp_call()
         return False, None
 
     # -- back-edge hook (interpreter loops) ----------------------------------------------
@@ -423,6 +453,8 @@ class Engine(object):
         compile_cycles = self.stats.record_compile(
             code, result.native, result.work.total_units, result.codegen_stats, osr_pc is not None
         )
+        if self.cycle_profiler is not None:
+            self.cycle_profiler.record_compile(code, result.native, compile_cycles)
         if tracer is not None:
             tracer.emit(
                 "compile",
@@ -494,6 +526,10 @@ class Engine(object):
         state.never_specialize = True
         self.stats.deoptimized_functions.add(state.code.code_id)
         self.stats.record_invalidation()
+        if self.cycle_profiler is not None:
+            self.cycle_profiler.record_invalidation(
+                state.code, self.cost_model.invalidation
+            )
 
     # -- native execution -----------------------------------------------------------------------
 
@@ -502,6 +538,10 @@ class Engine(object):
         interpreter = self.interpreter
         interpreter.call_depth += 1
         self.executor.cycles += self.cost_model.native_call_entry
+        if self.cycle_profiler is not None:
+            self.cycle_profiler.charge_entry(
+                state.native, self.cost_model.native_call_entry
+            )
         try:
             return self.executor.run(state.native, function, this_value, args)
         except Bailout as bail:
@@ -520,6 +560,10 @@ class Engine(object):
         """Enter the cached binary at its OSR entry for ``frame``."""
         interpreter = self.interpreter
         self.executor.cycles += self.cost_model.native_call_entry
+        if self.cycle_profiler is not None:
+            self.cycle_profiler.charge_entry(
+                state.native, self.cost_model.native_call_entry
+            )
         try:
             value = self.executor.run(
                 state.native,
@@ -541,6 +585,10 @@ class Engine(object):
     def _note_bailout(self, state, bail, this_value):
         """Account a bailout and feed the observation back into typing."""
         self.stats.record_bailout()
+        if self.cycle_profiler is not None:
+            self.cycle_profiler.record_bailout(
+                state.code, state.native, bail, self.cost_model.bailout
+            )
         state.bailout_count += 1
         tracer = self.tracer
         if tracer is not None:
@@ -563,6 +611,10 @@ class Engine(object):
             state.native = None
             state.force_generic = True
             self.stats.record_invalidation()
+            if self.cycle_profiler is not None:
+                self.cycle_profiler.record_invalidation(
+                    state.code, self.cost_model.invalidation
+                )
             if tracer is not None:
                 tracer.emit(
                     "deopt",

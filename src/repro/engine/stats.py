@@ -108,6 +108,39 @@ class EngineStats(object):
         """Compilations beyond the first, summed over functions."""
         return sum(max(0, count - 1) for count in self.compiles_per_function.values())
 
+    def as_dict(self):
+        """The full ledger as a JSON-safe dict with a stable key set.
+
+        Every counter the stats object tracks, flattened: cycle
+        components, event counts, per-function maps (keyed by code id)
+        and the specialization-policy sets as sorted lists.  The key
+        set is documented in ``docs/STATS.md`` and schema-checked by
+        the documentation tests, exactly like the trace event schema.
+        """
+        return {
+            "total_cycles": self.total_cycles,
+            "interp_cycles": self.interp_cycles,
+            "native_cycles": self.native_cycles,
+            "compile_cycles": self.compile_cycles,
+            "bailout_cycles": self.bailout_cycles,
+            "invalidation_cycles": self.invalidation_cycles,
+            "interp_ops": self.interp_ops,
+            "interp_calls": self.interp_calls,
+            "native_instructions": self.native_instructions,
+            "compiles": self.compiles,
+            "osr_compiles": self.osr_compiles,
+            "recompilations": self.recompilations,
+            "bailouts": self.bailouts,
+            "invalidations": self.invalidations,
+            "specialized_functions": sorted(self.specialized_functions),
+            "successfully_specialized": sorted(self.successfully_specialized),
+            "deoptimized_functions": sorted(self.deoptimized_functions),
+            "not_compilable": sorted(self.not_compilable),
+            "compiles_per_function": dict(self.compiles_per_function),
+            "code_sizes": dict(self.code_sizes),
+            "function_names": dict(self.function_names),
+        }
+
     def summary(self):
         return {
             "total_cycles": self.total_cycles,

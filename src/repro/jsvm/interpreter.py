@@ -80,7 +80,9 @@ class Frame(object):
 class Interpreter(object):
     """Executes bytecode; the VM's always-available tier."""
 
-    def __init__(self, runtime=None, engine=None, profiler=None, tracer=None):
+    def __init__(
+        self, runtime=None, engine=None, profiler=None, tracer=None, cycle_profiler=None
+    ):
         self.runtime = runtime if runtime is not None else Runtime()
         self.runtime.interpreter = self
         self.engine = engine
@@ -89,6 +91,12 @@ class Interpreter(object):
         #: engine assigns its own tracer here so the ``interp`` channel
         #: can record guest calls.  None means zero tracing overhead.
         self.tracer = tracer
+        #: Optional cycle-exact profiler (repro.telemetry.profiler).
+        #: The interpreter maintains its shadow call stack on guest
+        #: call boundaries and charges dispatched ops to the current
+        #: node.  None (the default) means zero overhead: the hot
+        #: dispatch loop is selected once per activation.
+        self.cycle_profiler = cycle_profiler
         self.call_depth = 0
         #: Count of bytecode instructions dispatched (for the cost model).
         self.ops_executed = 0
@@ -103,7 +111,16 @@ class Interpreter(object):
 
     def run_code(self, code):
         frame = Frame(code)
-        return self.execute(frame)
+        cycle_profiler = self.cycle_profiler
+        if cycle_profiler is None:
+            return self.execute(frame)
+        # Top-level scripts get a shadow-stack frame too, so their ops
+        # (and any native OSR cycles) attribute to ``<toplevel>``.
+        cycle_profiler.enter_call(code)
+        try:
+            return self.execute(frame)
+        finally:
+            cycle_profiler.exit_call()
 
     # -- calls -----------------------------------------------------------------
 
@@ -128,12 +145,27 @@ class Interpreter(object):
                 code_id=function.code.code_id,
                 nargs=len(args),
             )
-        if self.engine is not None:
-            handled, result = self.engine.try_native_call(function, this_value, args)
-            if handled:
-                return result
-        frame = self.build_frame(function, this_value, args)
-        return self.execute(frame)
+        cycle_profiler = self.cycle_profiler
+        if cycle_profiler is None:
+            if self.engine is not None:
+                handled, result = self.engine.try_native_call(function, this_value, args)
+                if handled:
+                    return result
+            frame = self.build_frame(function, this_value, args)
+            return self.execute(frame)
+        # The shadow-stack frame spans the whole activation — native
+        # execution, bailout-resumed interpretation and OSR included —
+        # so every cycle of this call lands on the callee's node.
+        cycle_profiler.enter_call(function.code)
+        try:
+            if self.engine is not None:
+                handled, result = self.engine.try_native_call(function, this_value, args)
+                if handled:
+                    return result
+            frame = self.build_frame(function, this_value, args)
+            return self.execute(frame)
+        finally:
+            cycle_profiler.exit_call()
 
     def build_frame(self, function, this_value, args):
         code = function.code
@@ -182,6 +214,8 @@ class Interpreter(object):
             table = build_threaded(code)
             code.threaded = table
         ctx = _DispatchContext(self, frame, stack, code.feedback)
+        if self.cycle_profiler is not None:
+            return self._run_profiled(ctx, table, pc)
         # Threaded dispatch: each step is one table index and one call
         # of a pre-bound handler — no opcode compare chain, no operand
         # table indirection (arguments are pre-resolved at table-build
@@ -191,6 +225,25 @@ class Interpreter(object):
         while True:
             handler, arg = table[pc]
             self.ops_executed += 1
+            pc = handler(ctx, pc + 1, arg)
+            if pc < 0:
+                return ctx.return_value
+
+    def _run_profiled(self, ctx, table, pc):
+        """The dispatch loop with per-op profiler attribution.
+
+        Identical to the hot loop in :meth:`_run` plus one counter
+        increment on the profiler's current shadow-stack node.  The
+        node is resolved once per activation: nested calls inside a
+        handler push and pop the shadow stack symmetrically, so
+        ``current`` is this activation's node again by the time the
+        handler returns.
+        """
+        node = self.cycle_profiler.current
+        while True:
+            handler, arg = table[pc]
+            self.ops_executed += 1
+            node.interp_ops += 1
             pc = handler(ctx, pc + 1, arg)
             if pc < 0:
                 return ctx.return_value

@@ -527,6 +527,48 @@ class ClosureExecutor(NativeExecutor):
             pc = native.entry_index
         ctx = [this_value, args, function, osr_args, osr_locals, None, 0]
 
+        profiler = self.cycle_profiler
+        if profiler is None:
+            cycles = 0
+            executed = 0
+            try:
+                while True:
+                    next_pc = handlers[pc](values, ctx)
+                    executed += counts[pc]
+                    cycles += sums[pc]
+                    if next_pc >= 0:
+                        pc = next_pc
+                    else:
+                        return ctx[CTX_RESULT]
+            except BaseException as exc:
+                # The faulting block published its progress in CTX_FAULT;
+                # charge exactly through the faulting instruction, whose
+                # absolute index is the block leader plus that offset.
+                fault = ctx[CTX_FAULT]
+                executed += fault + 1
+                cycles += prefix[pc][fault]
+                if isinstance(exc, Bailout) and exc.native_index is None:
+                    exc.native_index = pc + fault
+                raise
+            finally:
+                self.cycles += cycles
+                self.instructions_executed += executed
+        return self._run_profiled(
+            profiler, native, handlers, counts, sums, prefix, values, ctx, pc
+        )
+
+    def _run_profiled(self, profiler, native, handlers, counts, sums, prefix, values, ctx, pc):
+        """The driver loop with block-granular profiler attribution.
+
+        Identical charging to the fast loop — completed blocks bump
+        the binary's per-leader block counter, a faulting block's
+        executed prefix lands on the per-instruction counters (the
+        faulting instruction included, matching its cycle charge) —
+        so the profiler's resolved per-instruction counts equal the
+        reference backend's exactly.
+        """
+        record = profiler.native_profile(native)
+        block_counts = record.block_counts
         cycles = 0
         executed = 0
         try:
@@ -534,20 +576,22 @@ class ClosureExecutor(NativeExecutor):
                 next_pc = handlers[pc](values, ctx)
                 executed += counts[pc]
                 cycles += sums[pc]
+                block_counts[pc] += 1
                 if next_pc >= 0:
                     pc = next_pc
                 else:
                     return ctx[CTX_RESULT]
         except BaseException as exc:
-            # The faulting block published its progress in CTX_FAULT;
-            # charge exactly through the faulting instruction, whose
-            # absolute index is the block leader plus that offset.
             fault = ctx[CTX_FAULT]
             executed += fault + 1
             cycles += prefix[pc][fault]
+            instr_counts = record.instr_counts
+            for offset in range(fault + 1):
+                instr_counts[pc + offset] += 1
             if isinstance(exc, Bailout) and exc.native_index is None:
                 exc.native_index = pc + fault
             raise
         finally:
             self.cycles += cycles
             self.instructions_executed += executed
+            profiler.charge_native(cycles, executed)

@@ -99,6 +99,11 @@ class NativeExecutor(object):
         self.cycles = 0
         #: Native instructions executed (cumulative).
         self.instructions_executed = 0
+        #: Optional cycle-exact profiler (repro.telemetry.profiler),
+        #: assigned by the engine.  When set, runs additionally record
+        #: per-instruction execution counts and report their charges;
+        #: None (the default) costs one local None-check per run.
+        self.cycle_profiler = None
 
     # -- frame reconstruction on bailout -------------------------------------------
 
@@ -134,6 +139,10 @@ class NativeExecutor(object):
         static_costs = native.cost_table(self.cost_model)
         interpreter = self.interpreter
         runtime = self.runtime
+        profiler = self.cycle_profiler
+        instr_counts = (
+            profiler.native_profile(native).instr_counts if profiler is not None else None
+        )
 
         if entry == "osr":
             if native.osr_index is None:
@@ -152,6 +161,10 @@ class NativeExecutor(object):
                 dest = instruction.dest
                 executed += 1
                 cycles += static_costs[pc]
+                # Counted before execution, so a faulting instruction
+                # is included — matching the cycle charge above.
+                if instr_counts is not None:
+                    instr_counts[pc] += 1
                 pc += 1
 
                 if op == "move":
@@ -314,6 +327,8 @@ class NativeExecutor(object):
         finally:
             self.cycles += cycles
             self.instructions_executed += executed
+            if profiler is not None:
+                profiler.charge_native(cycles, executed)
 
 
 def _double(value):

@@ -16,8 +16,8 @@ Design rules:
   cost model, so enabling tracing cannot change any measured number.
 * **Named channels.**  Events belong to one of the channels in
   :data:`CHANNELS` (``compile``, ``specialize``, ``deopt``, ``bailout``,
-  ``cache``, ``osr``, ``pass``, ``interp``); a tracer can subscribe to
-  any subset.
+  ``cache``, ``osr``, ``pass``, ``interp``, ``profile``); a tracer can
+  subscribe to any subset.
 * **Typed events.**  Every ``channel.event`` pair and its field names
   are declared in :data:`EVENT_SCHEMA`; :meth:`Tracer.emit` rejects
   undeclared events and undeclared fields, and the documentation test
@@ -104,6 +104,15 @@ EVENT_SCHEMA = {
     "interp": {
         "call": ("fn", "code_id", "nargs"),
         "hot_call": ("fn", "code_id", "calls"),
+    },
+    "profile": {
+        "summary": (
+            "functions",
+            "binaries",
+            "attributed_cycles",
+            "total_cycles",
+            "guard_failures",
+        ),
     },
 }
 

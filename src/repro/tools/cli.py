@@ -4,7 +4,9 @@ Subcommands::
 
     python -m repro run script.js [--config all] [--stats]
     python -m repro trace script.js [--channels compile,deopt] [--jsonl f] [--chrome f]
-    python -m repro profile script.js
+    python -m repro profile script.js [--json]
+    python -m repro profile script.js --cycles [--json] [--collapsed f] [--top 20]
+    python -m repro annotate script.js --function f [--config all]
     python -m repro disasm script.js --function f [--config all]
     python -m repro bench --suite sunspider [--configs PS,PS+CP,all]
     python -m repro bench --wallclock [--repeats 3] [--output BENCH_wallclock.json]
@@ -14,10 +16,14 @@ Subcommands::
 or a named benchmark (e.g. ``sunspider/bitops-bits-in-byte``) with the
 JIT event tracer on and prints the per-function timeline, optionally
 writing JSONL and Chrome ``trace_event`` files (see docs/TRACING.md);
-``profile`` prints the Section 2-style call histogram; ``disasm`` shows
-a function's optimized MIR and native code; ``bench`` runs a suite
-sweep and prints its Figure 9 row; ``configs`` lists the available
-optimization configurations.
+``profile`` prints the Section 2-style call histogram, or with
+``--cycles`` the cycle-exact (function, tier, block) attribution of
+``total_cycles`` with optional flamegraph export (docs/PROFILING.md);
+``annotate`` interleaves a function's native disassembly with
+per-instruction execution counts, cycle shares and guard failures;
+``disasm`` shows a function's optimized MIR and native code; ``bench``
+runs a suite sweep and prints its Figure 9 row; ``configs`` lists the
+available optimization configurations.
 """
 
 import argparse
@@ -125,7 +131,14 @@ def cmd_trace(args, out):
     except ValueError as error:
         raise SystemExit(str(error))
     source = _resolve_workload(args.workload)
-    engine = Engine(config=config, tracer=tracer)
+    # profile.summary only exists when a profiler runs alongside the
+    # tracer; asking for the channel implies wanting one.
+    cycle_profiler = None
+    if channels is None or "profile" in channels:
+        from repro.telemetry.profiler import CycleProfiler
+
+        cycle_profiler = CycleProfiler()
+    engine = Engine(config=config, tracer=tracer, cycle_profiler=cycle_profiler)
     engine.run_source(source)
     if args.jsonl:
         write_jsonl(tracer.events, args.jsonl)
@@ -145,28 +158,126 @@ def cmd_trace(args, out):
     return 0
 
 
+def _run_cycle_profile(args):
+    """Run ``args.script`` under an engine with a cycle profiler.
+
+    Returns ``(engine, profiler)``; shared by ``profile --cycles`` and
+    ``annotate``.
+    """
+    from repro.telemetry.profiler import CycleProfiler
+
+    config = _resolve_config(args.config)
+    profiler = CycleProfiler()
+    engine = Engine(
+        config=config, cycle_profiler=profiler, executor_backend=args.executor
+    )
+    engine.run_source(_resolve_workload(args.script))
+    return engine, profiler
+
+
 def cmd_profile(args, out):
-    """``repro profile``: Section 2-style call histogram."""
+    """``repro profile``: call histogram, or ``--cycles`` attribution."""
+    import json
+
+    if args.cycles:
+        from repro.telemetry.reports import (
+            format_function_table,
+            profile_as_dict,
+            write_collapsed,
+        )
+
+        engine, profiler = _run_cycle_profile(args)
+        total = engine.stats.total_cycles
+        if args.collapsed:
+            write_collapsed(profiler, args.collapsed)
+            out.write("wrote collapsed stacks to %s\n" % args.collapsed)
+        if args.json:
+            out.write(
+                json.dumps(profile_as_dict(profiler, engine.stats), indent=1) + "\n"
+            )
+            return 0
+        summary = profiler.summary()
+        out.write(
+            "total cycles: %d (attributed: %d)\n"
+            % (total, summary["attributed_cycles"])
+        )
+        out.write(
+            "functions: %d · binaries: %d · guard failures: %d\n\n"
+            % (summary["functions"], summary["binaries"], summary["guard_failures"])
+        )
+        out.write(format_function_table(profiler, total_cycles=total, top=args.top) + "\n")
+        return 0
+
     from repro.jsvm.interpreter import Interpreter
     from repro.telemetry.histograms import CallProfiler
 
     profiler = CallProfiler()
     interpreter = Interpreter(profiler=profiler)
-    interpreter.run_source(_read_source(args.script))
+    interpreter.run_source(_resolve_workload(args.script))
+    profiles = sorted(
+        profiler.profiles.values(), key=lambda p: p.call_count, reverse=True
+    )
+    total_calls = sum(profile.call_count for profile in profiles)
+    if args.json:
+        payload = {
+            "functions": profiler.num_functions,
+            "total_calls": total_calls,
+            "fraction_called_once": profiler.fraction_called_once(),
+            "fraction_single_argument_set": profiler.fraction_single_argument_set(),
+            "profiles": [
+                {
+                    "name": profile.name,
+                    "calls": profile.call_count,
+                    "call_share": (
+                        profile.call_count / total_calls if total_calls else 0.0
+                    ),
+                    "argument_sets": profile.distinct_argument_sets,
+                    "monomorphic": profile.monomorphic,
+                }
+                for profile in profiles
+            ],
+        }
+        out.write(json.dumps(payload, indent=1) + "\n")
+        return 0
     out.write("functions: %d\n" % profiler.num_functions)
     out.write("called once: %.2f%%\n" % (100 * profiler.fraction_called_once()))
     out.write(
         "single argument set: %.2f%%\n" % (100 * profiler.fraction_single_argument_set())
     )
-    out.write("\n%-24s %10s %14s\n" % ("function", "calls", "argument sets"))
-    profiles = sorted(
-        profiler.profiles.values(), key=lambda p: p.call_count, reverse=True
+    out.write(
+        "\n%-24s %10s %8s %14s %6s\n"
+        % ("function", "calls", "calls%", "argument sets", "mono")
     )
     for profile in profiles[: args.top]:
+        share = 100.0 * profile.call_count / total_calls if total_calls else 0.0
         out.write(
-            "%-24s %10d %14d\n"
-            % (profile.name, profile.call_count, profile.distinct_argument_sets)
+            "%-24s %10d %7.2f%% %14d %6s\n"
+            % (
+                profile.name,
+                profile.call_count,
+                share,
+                profile.distinct_argument_sets,
+                "yes" if profile.monomorphic else "no",
+            )
         )
+    return 0
+
+
+def cmd_annotate(args, out):
+    """``repro annotate``: disassembly with execution counts per line."""
+    from repro.telemetry.reports import annotate_function
+
+    engine, profiler = _run_cycle_profile(args)
+    try:
+        text = annotate_function(profiler, args.function)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    out.write("; config: %s\n" % engine.config.describe())
+    out.write(
+        "; total cycles: %d · native cycles: %d · guard failures: %d\n\n"
+        % (engine.stats.total_cycles, engine.stats.native_cycles, profiler.guard_failures())
+    )
+    out.write(text + "\n")
     return 0
 
 
@@ -346,10 +457,56 @@ def build_parser():
     )
     trace.set_defaults(handler=cmd_trace)
 
-    profile = sub.add_parser("profile", help="print the call/argument-set profile")
-    profile.add_argument("script")
+    profile = sub.add_parser(
+        "profile",
+        help="call/argument-set histogram, or --cycles attribution (docs/PROFILING.md)",
+    )
+    profile.add_argument(
+        "script",
+        help="script path, -, suite/benchmark, or a bare benchmark name",
+    )
     profile.add_argument("--top", type=int, default=20, help="rows to display")
+    profile.add_argument(
+        "--cycles",
+        action="store_true",
+        help="cycle-exact profile under the JIT instead of the §2 call histogram",
+    )
+    profile.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    profile.add_argument(
+        "--collapsed",
+        metavar="PATH",
+        help="--cycles: write collapsed stacks (flamegraph.pl / speedscope format)",
+    )
+    profile.add_argument(
+        "--config", default="all", help="--cycles: optimization config (see `configs`)"
+    )
+    profile.add_argument(
+        "--executor",
+        choices=["simple", "closure"],
+        default=None,
+        help="--cycles: executor backend (default: closure, or $REPRO_EXECUTOR)",
+    )
     profile.set_defaults(handler=cmd_profile)
+
+    annotate = sub.add_parser(
+        "annotate",
+        help="native disassembly annotated with per-instruction counts/cycles/guards",
+    )
+    annotate.add_argument(
+        "script",
+        help="script path, -, suite/benchmark, or a bare benchmark name",
+    )
+    annotate.add_argument("--function", required=True, help="guest function name")
+    annotate.add_argument("--config", default="all")
+    annotate.add_argument(
+        "--executor",
+        choices=["simple", "closure"],
+        default=None,
+        help="executor backend (default: closure, or $REPRO_EXECUTOR)",
+    )
+    annotate.set_defaults(handler=cmd_annotate)
 
     disasm = sub.add_parser("disasm", help="show a function's MIR and native code")
     disasm.add_argument("script")

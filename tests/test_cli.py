@@ -58,10 +58,102 @@ class TestProfile:
         assert "square" in output
         assert "single argument set" in output
 
+    def test_profile_table_has_fraction_columns(self, script):
+        _code, output = run_cli(["profile", script])
+        assert "calls%" in output
+        assert "mono" in output
+        assert "100.00%" in output
+
+    def test_profile_json(self, script):
+        import json
+
+        code, output = run_cli(["profile", script, "--json"])
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["functions"] == 1
+        assert payload["total_calls"] == 50
+        profile = payload["profiles"][0]
+        assert profile["name"] == "square"
+        assert profile["monomorphic"] is True
+        assert profile["call_share"] == 1.0
+
+    def test_profile_cycles_table(self, script):
+        code, output = run_cli(["profile", script, "--cycles"])
+        assert code == 0
+        assert "total cycles:" in output
+        assert "attributed:" in output
+        assert "square" in output
+        assert "self%" in output
+
+    def test_profile_cycles_exact(self, script):
+        import json
+        import re
+
+        _code, table = run_cli(["profile", script, "--cycles"])
+        match = re.search(r"total cycles: (\d+) \(attributed: (\d+)\)", table)
+        assert match and match.group(1) == match.group(2)
+        _code, output = run_cli(["profile", script, "--cycles", "--json"])
+        payload = json.loads(output)
+        assert payload["summary"]["attributed_cycles"] == (
+            payload["stats"]["total_cycles"]
+        )
+
+    def test_profile_cycles_collapsed(self, script, tmp_path):
+        from repro.telemetry.reports import parse_collapsed
+
+        folded = tmp_path / "stacks.folded"
+        code, _output = run_cli(
+            ["profile", script, "--cycles", "--collapsed", str(folded)]
+        )
+        assert code == 0
+        stacks = parse_collapsed(folded.read_text())
+        assert stacks and all(count > 0 for _frames, count in stacks)
+
+    def test_profile_suite_benchmark_workload(self):
+        code, output = run_cli(
+            ["profile", "sunspider/bitops-bits-in-byte", "--cycles"]
+        )
+        assert code == 0
+        assert "bitsinbyte" in output
+
+
+class TestAnnotate:
+    def test_annotate_sections(self, script):
+        code, output = run_cli(["annotate", script, "--function", "square"])
+        assert code == 0
+        assert "; total cycles:" in output
+        assert "== square (code" in output
+        assert "specialized on: [7]" in output
+        assert "checkoverrecursed" in output
+
+    def test_annotate_has_per_instruction_counts(self, script):
+        import re
+
+        _code, output = run_cli(["annotate", script, "--function", "square"])
+        # Per-instruction rows: idx, count, cycles, share%.
+        rows = re.findall(r"^(?:=>|  ) +\d+ +(\d+) +\d+ +[\d.]+%", output, re.MULTILINE)
+        assert rows and any(int(count) > 0 for count in rows)
+
+    def test_annotate_unknown_function(self, script):
+        with pytest.raises(SystemExit):
+            run_cli(["annotate", script, "--function", "nope"])
+
+    def test_annotate_simple_backend_matches(self, script):
+        from repro.jsvm.bytecode import CodeObject
+
+        CodeObject._next_id = 1
+        _code, closure = run_cli(["annotate", script, "--function", "square"])
+        CodeObject._next_id = 1
+        _code, simple = run_cli(
+            ["annotate", script, "--function", "square", "--executor", "simple"]
+        )
+        assert simple == closure
+
 
 class TestDisasm:
     def test_disasm_sections(self, script):
-        _code, output = run_cli(["disasm", script, "--function", "square"])
+        code, output = run_cli(["disasm", script, "--function", "square"])
+        assert code == 0
         assert "== bytecode ==" in output
         assert "== optimized MIR ==" in output
         assert "== native code" in output
@@ -121,6 +213,12 @@ class TestTrace:
     def test_unknown_channel(self, script):
         with pytest.raises(SystemExit):
             run_cli(["trace", script, "--channels", "warpdrive"])
+
+    def test_profile_channel_emits_summary(self, script):
+        code, output = run_cli(["trace", script, "--channels", "profile"])
+        assert code == 0
+        assert "profile.summary" in output
+        assert "1 events under" in output
 
 
 class TestConfigs:

@@ -119,3 +119,41 @@ def test_tracing_doc_matches_event_schema():
     # The channel list in the prose must name every channel too.
     for channel in CHANNELS:
         assert "`%s`" % channel in text, "channel %r missing from prose" % channel
+
+
+def test_stats_doc_matches_as_dict_keys():
+    """docs/STATS.md's documented `as_dict()` key set matches the code."""
+    import os
+    import re
+
+    from repro.engine.config import CostModel
+    from repro.engine.stats import EngineStats
+
+    path = os.path.join(
+        os.path.dirname(repro.__file__), "..", "..", "docs", "STATS.md"
+    )
+    with open(path) as handle:
+        text = handle.read()
+    match = re.search(r"^Keys: (.+?)(?:\n\n|\Z)", text, re.MULTILINE | re.DOTALL)
+    assert match, "docs/STATS.md must carry a parseable 'Keys: ...' paragraph"
+    documented = set(re.findall(r"`(\w+)`", match.group(1)))
+    actual = set(EngineStats(CostModel()).as_dict())
+    assert documented == actual, (
+        "keys documented but not returned: %s; returned but undocumented: %s"
+        % (sorted(documented - actual), sorted(actual - documented))
+    )
+
+
+def test_profiling_doc_exists_and_mentions_the_invariant():
+    """docs/PROFILING.md exists and states the exactness invariant."""
+    import os
+
+    path = os.path.join(
+        os.path.dirname(repro.__file__), "..", "..", "docs", "PROFILING.md"
+    )
+    assert os.path.exists(path), "docs/PROFILING.md missing"
+    with open(path) as handle:
+        text = handle.read()
+    assert len(text) > 500, "docs/PROFILING.md suspiciously short"
+    assert "total_cycles" in text
+    assert "attributed_cycles" in text
