@@ -80,6 +80,20 @@ def run_benchmark(
     return BenchmarkRun(benchmark, config, engine, output, tracer=tracer, profiler=profiler)
 
 
+def _run_benchmark_job(job):
+    """Module-level worker for ``jobs > 1`` (must be picklable).
+
+    Takes the ``run_benchmark`` arguments as one tuple so it can ride
+    through ``multiprocessing.Pool.map``; each worker process runs the
+    deterministic engine, so the returned measurements are identical
+    to a serial run — parallelism is purely a wall-clock optimization.
+    """
+    benchmark, config, engine_kwargs, trace, trace_channels = job
+    return run_benchmark(
+        benchmark, config, engine_kwargs, trace=trace, trace_channels=trace_channels
+    )
+
+
 class SweepResult(object):
     """All runs of one suite across configurations."""
 
@@ -106,34 +120,47 @@ def run_suite_sweep(
     verify=True,
     trace=False,
     trace_channels=None,
+    jobs=1,
 ):
     """Run every benchmark under baseline + every configuration.
 
     With ``verify``, every configuration's printed output must equal
     the baseline's (the correctness oracle built into the harness).
     With ``trace``, every run records its JIT event stream on
-    ``BenchmarkRun.trace_events``.
+    ``BenchmarkRun.trace_events``.  ``jobs > 1`` fans the runs out
+    across worker processes (``repro bench --jobs N``); because every
+    run is deterministic this changes wall-clock time only — results,
+    ordering and verification are identical to a serial sweep.
     """
     configs = configs if configs is not None else PAPER_CONFIGS
     sweep = SweepResult(suite_name)
-    baseline_runs = {}
-    for benchmark in suite:
-        run = run_benchmark(
-            benchmark, BASELINE, engine_kwargs, trace=trace, trace_channels=trace_channels
-        )
-        baseline_runs[benchmark.name] = run
-        sweep.add(run)
+    pending = [
+        (benchmark, BASELINE, engine_kwargs, trace, trace_channels)
+        for benchmark in suite
+    ]
     for config in configs:
-        for benchmark in suite:
-            run = run_benchmark(
-                benchmark, config, engine_kwargs, trace=trace, trace_channels=trace_channels
+        pending.extend(
+            (benchmark, config, engine_kwargs, trace, trace_channels)
+            for benchmark in suite
+        )
+    if jobs > 1:
+        from multiprocessing import Pool
+
+        with Pool(jobs) as pool:
+            runs = pool.map(_run_benchmark_job, pending)
+    else:
+        runs = [_run_benchmark_job(job) for job in pending]
+    baseline_runs = {}
+    for run in runs[: len(suite)]:
+        baseline_runs[run.benchmark] = run
+        sweep.add(run)
+    for run in runs[len(suite) :]:
+        if verify and run.output != baseline_runs[run.benchmark].output:
+            raise AssertionError(
+                "%s under %s printed %r, baseline printed %r"
+                % (run.benchmark, run.config, run.output, baseline_runs[run.benchmark].output)
             )
-            if verify and run.output != baseline_runs[benchmark.name].output:
-                raise AssertionError(
-                    "%s under %s printed %r, baseline printed %r"
-                    % (benchmark.name, config.name, run.output, baseline_runs[benchmark.name].output)
-                )
-            sweep.add(run)
+        sweep.add(run)
     return sweep
 
 

@@ -1,0 +1,295 @@
+"""The on-disk, content-addressed code store.
+
+Layout (under ``$REPRO_CACHE_DIR``, default ``~/.cache/repro``)::
+
+    <root>/code/<key[:2]>/<key>.bin
+
+where ``key`` is the SHA-256 over every input that determines the
+compile's output — see :meth:`DiskCodeCache.key_for` for the full
+anatomy (also documented in docs/COMPILE_PIPELINE.md).  Entries are
+written atomically (temp file + ``os.replace``) so concurrent runs
+sharing a cache directory never observe torn artifacts; corrupt or
+version-skewed entries read as misses, never as errors.
+"""
+
+import hashlib
+import marshal
+import os
+import sys
+import tempfile
+
+from repro.cache.serialize import (
+    FORMAT_VERSION,
+    Uncacheable,
+    freeze_result,
+    thaw_result,
+)
+from repro.jsvm.bytecode import CodeObject
+from repro.jsvm.values import value_key
+
+
+def default_cache_root():
+    """The cache directory: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root:
+        return root
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+def _key_value(value):
+    """A hashable, repr-stable stand-in for one fingerprint component.
+
+    Raises :class:`Uncacheable` for identity-based values — their
+    content cannot be named across runs.
+    """
+    from repro.jsvm.values import NULL, UNDEFINED
+
+    if value is None or value is True or value is False:
+        return value
+    kind = type(value)
+    if kind in (int, float, str):
+        return value
+    if value is UNDEFINED:
+        return ("undefined",)
+    if value is NULL:
+        return ("null",)
+    if kind in (tuple, list):
+        return tuple(_key_value(item) for item in value)
+    raise Uncacheable("cannot fingerprint %r" % (value,))
+
+
+def _code_fingerprint(code):
+    """Recursive content fingerprint of one guest code object.
+
+    Captures everything the MIR builder reads: the instruction stream
+    (post any bytecode rewriting, since the fingerprint is taken at
+    compile time), the name tables, and the constant pool with nested
+    function bodies fingerprinted recursively.
+    """
+    constants = []
+    for constant in code.constants:
+        if type(constant) is CodeObject:
+            constants.append(("code", _code_fingerprint(constant)))
+        else:
+            constants.append(_key_value(constant))
+    return (
+        code.name,
+        tuple(code.params),
+        tuple(code.local_names),
+        tuple(code.cell_names),
+        tuple(code.free_names),
+        tuple(code.names),
+        code.uses_this,
+        code.self_name,
+        tuple((instr.op, _key_value(instr.arg)) for instr in code.instructions),
+        tuple(constants),
+    )
+
+
+def _value_keys(values):
+    """``value_key`` per value; :class:`Uncacheable` on any reference key."""
+    keys = []
+    for value in values:
+        key = value_key(value)
+        if key[0] == "ref":
+            raise Uncacheable("object-reference value %r" % (value,))
+        keys.append(key)
+    return tuple(keys)
+
+
+def _feedback_fingerprint(feedback):
+    """Canonical (sorted) snapshot of a :class:`TypeFeedback`, or None."""
+    if feedback is None:
+        return None
+    return (
+        tuple(tuple(sorted(tags)) for tags in feedback.arg_tags),
+        tuple(sorted(feedback.this_tags)),
+        tuple(sorted((pc, tuple(sorted(tags))) for pc, tags in feedback.site_tags.items())),
+        tuple(sorted((pc, tuple(sorted(tags))) for pc, tags in feedback.recv_tags.items())),
+    )
+
+
+class DiskCodeCache(object):
+    """Content-addressed store of compiled artifacts across runs.
+
+    The engine probes it inside ``_produce``: :meth:`key_for` names the
+    compile (or refuses), :meth:`load` returns a thawed
+    :class:`~repro.engine.jit.CompileResult` on a hit, and
+    :meth:`store` persists a fresh compile — including the closure
+    backend's generated module when ``executor`` is a
+    :class:`~repro.lir.closures.ClosureExecutor`.  In-process counters
+    (``hits``/``misses``/``stores``/``uncacheable``) feed the CLI's
+    ``repro cache`` report and the bench harness.
+    """
+
+    def __init__(self, root=None):
+        self.root = root if root is not None else default_cache_root()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.uncacheable = 0
+
+    # -- keying --------------------------------------------------------------
+
+    def key_for(
+        self,
+        code,
+        config,
+        feedback=None,
+        param_values=None,
+        this_value=None,
+        osr_pc=None,
+        osr_args=None,
+        osr_locals=None,
+        generic=False,
+    ):
+        """The content key for one compile, or None if uncacheable.
+
+        The key covers, in order: the artifact format version and host
+        marshal format (so incompatible stores read as misses), the
+        recursive code fingerprint, the optimization configuration, the
+        generic flag, the OSR entry state (pc plus the value keys of the
+        live frame), the specialization values (value keys of ``this``
+        and the arguments when parameter specialization will bake them
+        in), and the type-feedback snapshot.  Any component that is
+        identity-based — an object-reference argument, a constant with
+        no content name — makes the whole compile uncacheable.
+        """
+        if not config.param_spec:
+            param_values = None
+            this_value = None
+        try:
+            structure = (
+                "repro-code-cache",
+                FORMAT_VERSION,
+                tuple(sys.version_info[:2]),
+                marshal.version,
+                _code_fingerprint(code),
+                tuple((slot, getattr(config, slot)) for slot in config.__slots__),
+                bool(generic),
+                osr_pc,
+                None if param_values is None else _value_keys(param_values),
+                None if this_value is None else _value_keys([this_value]),
+                None if osr_args is None else _value_keys(osr_args),
+                None if osr_locals is None else _value_keys(osr_locals),
+                _feedback_fingerprint(feedback),
+            )
+        except Uncacheable:
+            self.uncacheable += 1
+            return None
+        return hashlib.sha256(repr(structure).encode("utf-8")).hexdigest()
+
+    # -- storage -------------------------------------------------------------
+
+    def _path(self, key):
+        return os.path.join(self.root, "code", key[:2], key + ".bin")
+
+    def load(self, key, code):
+        """Thaw the artifact stored under ``key`` for ``code``, or None.
+
+        Anything unexpected — missing file, version skew, corruption —
+        is a miss; the engine then compiles (and re-stores) normally.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                artifact = marshal.loads(handle.read())
+        except (OSError, ValueError, EOFError, TypeError):
+            self.misses += 1
+            return None
+        if not isinstance(artifact, dict) or artifact.get("format") != FORMAT_VERSION:
+            self.misses += 1
+            return None
+        try:
+            result = thaw_result(artifact, code)
+        except Exception:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key, result, executor=None):
+        """Persist ``result`` under ``key``; returns True on success.
+
+        When ``executor`` is the closure backend, the generated block
+        module (source + marshalled code object) rides along so a warm
+        run also skips host ``compile()`` time — the dominant cost on
+        that backend (see :func:`repro.lir.closures.closure_artifact`).
+        """
+        try:
+            artifact = freeze_result(result, result.native.code)
+        except Uncacheable:
+            self.uncacheable += 1
+            return False
+        if executor is not None:
+            from repro.lir.closures import closure_artifact
+
+            closure = closure_artifact(result.native, executor)
+            if closure is not None:
+                artifact["closure"] = closure
+        path = self._path(key)
+        directory = os.path.dirname(path)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            handle, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(handle, "wb") as out:
+                    out.write(marshal.dumps(artifact))
+                os.replace(temp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        self.stores += 1
+        return True
+
+    # -- maintenance ---------------------------------------------------------
+
+    def stats(self):
+        """Store-wide stats dict: location, entry count/bytes, counters."""
+        entries = 0
+        total_bytes = 0
+        code_root = os.path.join(self.root, "code")
+        if os.path.isdir(code_root):
+            for dirpath, _dirnames, filenames in os.walk(code_root):
+                for filename in filenames:
+                    if not filename.endswith(".bin"):
+                        continue
+                    entries += 1
+                    try:
+                        total_bytes += os.path.getsize(os.path.join(dirpath, filename))
+                    except OSError:
+                        pass
+        return {
+            "root": self.root,
+            "entries": entries,
+            "bytes": total_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "uncacheable": self.uncacheable,
+        }
+
+    def clear(self):
+        """Delete every stored artifact; returns the number removed."""
+        removed = 0
+        code_root = os.path.join(self.root, "code")
+        if not os.path.isdir(code_root):
+            return removed
+        for dirpath, _dirnames, filenames in os.walk(code_root, topdown=False):
+            for filename in filenames:
+                try:
+                    os.unlink(os.path.join(dirpath, filename))
+                    if filename.endswith(".bin"):
+                        removed += 1
+                except OSError:
+                    pass
+            try:
+                os.rmdir(dirpath)
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,230 @@
+"""Artifact (de)serialization for the persistent code cache.
+
+A cached artifact is a plain-data snapshot of one
+:class:`~repro.engine.jit.CompileResult`: the finalized native
+instruction stream (physical operand locations, resolved jump targets,
+guard snapshots), the immediate pool, the compile-cost inputs (pass
+work units, codegen stats, MIR size) and, when the closure backend
+produced one, the generated Python source plus its marshalled code
+object.  Everything is encoded to structures :mod:`marshal` handles
+natively — no pickle, no executable state beyond the closure module
+code (which is only trusted after a byte-exact source match, see
+:mod:`repro.lir.closures`).
+
+Guest values that appear in artifacts (immediates, specialized-args
+metadata, instruction extras) are encoded with a small tagged scheme;
+anything the scheme cannot represent faithfully — object references,
+live functions — raises :class:`Uncacheable` and the compile is simply
+not cached.  Nested :class:`~repro.jsvm.bytecode.CodeObject` references
+(the ``lambda`` instruction's payload) are encoded as constant-pool
+indices and re-resolved against the live code object at load time, so
+a thawed binary creates closures over the *current* run's code objects.
+"""
+
+from repro.jsvm.bytecode import CodeObject
+from repro.jsvm.values import NULL, UNDEFINED
+from repro.lir.lir_nodes import LInstruction, Snapshot
+from repro.lir.native import NativeCode, annotate_static_costs
+
+
+class Uncacheable(Exception):
+    """Raised when a value cannot be faithfully serialized.
+
+    The caller treats this as "do not cache this compile" — never as an
+    error surfaced to the user.
+    """
+
+
+#: Bump when the artifact layout changes; part of every cache key, so a
+#: layout change simply misses instead of misreading old entries.
+FORMAT_VERSION = 1
+
+_PRIMITIVES = (int, float, bool, str)
+
+
+def encode_value(value, code):
+    """Encode one guest value (or instruction payload) as plain data.
+
+    ``code`` is the function being compiled; nested code objects are
+    encoded as indices into its constant pool.  Raises
+    :class:`Uncacheable` for anything identity-based.
+    """
+    if value is None:
+        return ("n",)
+    if value is True or value is False:
+        # Before int: bool is an int subtype and marshal keeps the
+        # distinction, but tagging explicitly keeps decode trivial.
+        return ("b", bool(value))
+    kind = type(value)
+    if kind in (int, float, str):
+        return ("p", value)
+    if value is UNDEFINED:
+        return ("u",)
+    if value is NULL:
+        return ("z",)
+    if kind is tuple:
+        return ("t", [encode_value(item, code) for item in value])
+    if kind is list:
+        return ("l", [encode_value(item, code) for item in value])
+    if kind is dict:
+        items = []
+        for key in value:
+            if type(key) is not str:
+                raise Uncacheable("non-string dict key %r" % (key,))
+            items.append((key, encode_value(value[key], code)))
+        items.sort()
+        return ("d", items)
+    if kind is CodeObject:
+        for index, constant in enumerate(code.constants):
+            if constant is value:
+                return ("c", index)
+        raise Uncacheable("code object %r not in the constant pool" % value.name)
+    raise Uncacheable("unserializable value %r" % (value,))
+
+
+def decode_value(encoded, code):
+    """Invert :func:`encode_value` against the live ``code`` object."""
+    tag = encoded[0]
+    if tag == "n":
+        return None
+    if tag == "b":
+        return encoded[1]
+    if tag == "p":
+        return encoded[1]
+    if tag == "u":
+        return UNDEFINED
+    if tag == "z":
+        return NULL
+    if tag == "t":
+        return tuple(decode_value(item, code) for item in encoded[1])
+    if tag == "l":
+        return [decode_value(item, code) for item in encoded[1]]
+    if tag == "d":
+        return {key: decode_value(item, code) for key, item in encoded[1]}
+    if tag == "c":
+        return code.constants[encoded[1]]
+    raise ValueError("unknown value tag %r" % (tag,))
+
+
+def _encode_snapshot(snapshot):
+    if snapshot.locations is None:
+        raise Uncacheable("snapshot without located values")
+    return (
+        snapshot.pc,
+        snapshot.mode,
+        snapshot.num_args,
+        snapshot.num_locals,
+        list(snapshot.locations),
+        snapshot.snapshot_id,
+    )
+
+
+def _decode_snapshot(encoded):
+    pc, mode, num_args, num_locals, locations, snapshot_id = encoded
+    snapshot = Snapshot(pc, mode, num_args, num_locals, list(locations))
+    snapshot.locations = list(locations)
+    snapshot.snapshot_id = snapshot_id
+    return snapshot
+
+
+def _encode_instruction(instruction, code):
+    return (
+        instruction.op,
+        instruction.dest,
+        list(instruction.srcs),
+        encode_value(instruction.extra, code),
+        None if instruction.snapshot is None else _encode_snapshot(instruction.snapshot),
+        None if instruction.targets is None else list(instruction.targets),
+    )
+
+
+def _decode_instruction(encoded, code):
+    op, dest, srcs, extra, snapshot, targets = encoded
+    return LInstruction(
+        op,
+        dest=dest,
+        srcs=srcs,
+        extra=decode_value(extra, code),
+        snapshot=None if snapshot is None else _decode_snapshot(snapshot),
+        targets=None if targets is None else list(targets),
+    )
+
+
+def freeze_result(result, code):
+    """Encode a :class:`CompileResult` as a plain-data artifact dict.
+
+    Raises :class:`Uncacheable` when any component resists faithful
+    serialization (the caller then skips the store).
+    """
+    native = result.native
+    return {
+        "format": FORMAT_VERSION,
+        "fn": code.name,
+        "native": {
+            "entry_index": native.entry_index,
+            "osr_index": native.osr_index,
+            "num_slots": native.num_slots,
+            "immediates": [encode_value(value, code) for value in native.immediates],
+            "meta": encode_value(dict(native.meta), code),
+            "instructions": [
+                _encode_instruction(instruction, code)
+                for instruction in native.instructions
+            ],
+        },
+        "work_units": result.work.total_units,
+        "codegen_stats": dict(result.codegen_stats),
+        "mir_instructions": result.mir_instructions,
+        "closure": None,
+    }
+
+
+class ReplayedPassWork(object):
+    """Stand-in for :class:`~repro.opts.pass_manager.PassWork`.
+
+    A thawed artifact only needs the total work units the original
+    pass pipeline reported — the engine charges compile cycles from
+    ``total_units`` and nothing else — so the per-pass breakdown is
+    not persisted.
+    """
+
+    __slots__ = ("total_units",)
+
+    def __init__(self, total_units):
+        self.total_units = total_units
+
+
+def thaw_result(artifact, code):
+    """Rebuild a :class:`CompileResult` from an artifact dict.
+
+    ``code`` must be the same guest function the artifact was frozen
+    from (the cache key guarantees it).  The rebuilt native is
+    re-priced with :func:`annotate_static_costs` exactly as
+    ``generate_native`` would have, so cycle accounting is identical
+    to a fresh compile.
+    """
+    from repro.engine.jit import CompileResult
+
+    blob = artifact["native"]
+    instructions = [
+        _decode_instruction(encoded, code) for encoded in blob["instructions"]
+    ]
+    annotate_static_costs(instructions)
+    native = NativeCode(
+        code,
+        instructions,
+        entry_index=blob["entry_index"],
+        osr_index=blob["osr_index"],
+        num_slots=blob["num_slots"],
+        meta=decode_value(blob["meta"], code),
+        immediates=[decode_value(value, code) for value in blob["immediates"]],
+    )
+    closure = artifact.get("closure")
+    if closure is not None:
+        native.disk_closure = (closure["source"], closure["code"])
+    return CompileResult(
+        native,
+        ReplayedPassWork(artifact["work_units"]),
+        dict(artifact["codegen_stats"]),
+        None,
+        mir_instructions=artifact["mir_instructions"],
+    )

@@ -1,0 +1,109 @@
+"""Deterministic background-compilation lane.
+
+Real IonMonkey hides compilation latency by running the optimizing
+compiler on a helper thread; the main thread keeps interpreting and
+picks up the finished binary at a safe point.  This module models that
+with a second deterministic cycle clock — the *compiler lane* — so the
+simulation stays bit-reproducible while still letting compile work
+overlap interpretation.
+
+The schedule is fully determined by the cost model:
+
+* ``enqueue`` happens at main-lane cycle ``E`` (the hotness threshold
+  trip).  The lane picks the job up at
+  ``start = max(E + compile_dispatch, lane_cycle)`` — dispatch latency,
+  or later if the single-helper lane is still busy with an earlier job.
+* The job is *ready* at ``ready_at = start + compile_cycles`` and the
+  lane advances to that point (jobs are serviced FIFO, one at a time).
+* The binary *installs* at the first main-lane poll point (a call or a
+  loop back edge) whose clock is ``>= ready_at`` — i.e. at cycle
+  ``max(ready_at, poll_cycle)``, the ``max(enqueue + delay, main)``
+  timestamp of the issue statement.
+
+Compile cycles spent on the lane are recorded as
+``compile_cycles_hidden`` and never enter ``total_cycles``; only
+synchronous (stalled) compiles do.  The queue itself is dumb on
+purpose: the engine owns compilation, policy and installation — this
+class owns only the timeline.
+"""
+
+
+class CompileJob(object):
+    """One background compilation, already performed, awaiting install.
+
+    The host compiles eagerly at enqueue time (the inputs — bytecode,
+    feedback snapshot, argument values — are captured then, exactly
+    what a real engine snapshots before handing off to the helper
+    thread), but the *result* only becomes visible to the program at
+    ``ready_at`` on the main-lane clock.
+    """
+
+    __slots__ = (
+        "state",
+        "function",
+        "this_value",
+        "args",
+        "result",
+        "compile_cycles",
+        "spec_key",
+        "enqueue_cycle",
+        "ready_at",
+    )
+
+    def __init__(self, state, function, this_value, args, result, compile_cycles):
+        self.state = state
+        self.function = function
+        self.this_value = this_value
+        self.args = args
+        self.result = result
+        self.compile_cycles = compile_cycles
+        self.spec_key = None
+        self.enqueue_cycle = None
+        self.ready_at = None
+
+
+class CompileQueue(object):
+    """FIFO job timeline for the single-helper compiler lane."""
+
+    __slots__ = ("dispatch_delay", "lane_cycle", "pending", "enqueued", "installed", "dropped")
+
+    def __init__(self, dispatch_delay):
+        #: Main-lane cycles between enqueue and the lane starting work.
+        self.dispatch_delay = dispatch_delay
+        #: The lane's own clock: when it finishes its last queued job.
+        self.lane_cycle = 0
+        #: code_id -> CompileJob, insertion (= completion) ordered.
+        #: At most one in-flight job per function.
+        self.pending = {}
+        self.enqueued = 0
+        self.installed = 0
+        self.dropped = 0
+
+    def has_job(self, code_id):
+        return code_id in self.pending
+
+    def schedule(self, code_id, job, now):
+        """Place ``job`` on the lane timeline at main-lane cycle ``now``."""
+        start = max(now + self.dispatch_delay, self.lane_cycle)
+        job.enqueue_cycle = now
+        job.ready_at = start + job.compile_cycles
+        self.lane_cycle = job.ready_at
+        self.pending[code_id] = job
+        self.enqueued += 1
+        return job.ready_at
+
+    def cancel(self, code_id):
+        """Drop a pending job (e.g. its function deoptimized meanwhile).
+
+        The lane clock does not rewind: the helper already spent those
+        cycles, the work is simply wasted — as it would be for real.
+        """
+        if self.pending.pop(code_id, None) is not None:
+            self.dropped += 1
+
+    def take_ready(self, now):
+        """Pop and return every job with ``ready_at <= now``, FIFO."""
+        ready = [
+            code_id for code_id, job in self.pending.items() if job.ready_at <= now
+        ]
+        return [self.pending.pop(code_id) for code_id in ready]

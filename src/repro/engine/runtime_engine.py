@@ -22,6 +22,7 @@ recompiles without type speculation.
 import os
 
 from repro.engine.bailout import describe_bailout
+from repro.engine.compile_queue import CompileJob, CompileQueue
 from repro.engine.config import BASELINE, CostModel
 from repro.engine.jit import compile_function
 from repro.engine.stats import EngineStats
@@ -135,6 +136,8 @@ class Engine(object):
         tracer=None,
         executor_backend=None,
         cycle_profiler=None,
+        background_compile=False,
+        code_cache=None,
     ):
         self.config = config
         self.cost_model = cost_model if cost_model is not None else CostModel()
@@ -174,6 +177,21 @@ class Engine(object):
         #: heuristics" follow-up (a function deoptimizes only after
         #: exceeding the capacity in distinct argument sets).
         self.spec_cache_capacity = spec_cache_capacity
+        #: Deterministic background-compilation lane (docs/
+        #: COMPILE_PIPELINE.md).  Off by default: ``False`` keeps every
+        #: compile synchronous and all observables bit-identical to an
+        #: engine without the lane.
+        self.background_compile = background_compile
+        self.compile_queue = (
+            CompileQueue(self.cost_model.compile_dispatch)
+            if background_compile
+            else None
+        )
+        #: Optional persistent cross-run code cache
+        #: (``repro.cache.DiskCodeCache``).  A hit skips the
+        #: MIR→LIR→codegen pipeline on the host — pure wall-clock; the
+        #: simulated compile cycles are charged identically either way.
+        self.code_cache = code_cache
 
     # -- program entry -------------------------------------------------------
 
@@ -222,7 +240,7 @@ class Engine(object):
             self.interpreter.ops_executed * cost.interp_op
             + stats.interp_calls * cost.interp_call
             + self.executor.cycles
-            + stats.compile_cycles
+            + stats.compile_cycles_stalled
             + stats.bailout_cycles
             + stats.invalidation_cycles
         )
@@ -268,6 +286,16 @@ class Engine(object):
             code.feedback = TypeFeedback(code.num_params)
         code.feedback.record_args(args, this_value)
 
+        queue = self.compile_queue
+        if queue is not None and queue.pending:
+            self._install_ready(queue)
+        # Lane policy: a loop-free body is cheap to keep interpreting
+        # while the lane works, so its compile is worth hiding; a body
+        # that takes backedges costs far more to interpret once than
+        # the compile stall it would hide, so it compiles synchronously
+        # (and its loops stay eligible for OSR).
+        use_queue = queue is not None and state.backedge_count == 0
+
         native = state.native
         if native is not None:
             if native.meta["specialized"]:
@@ -310,6 +338,15 @@ class Engine(object):
                     )
                 if len(state.spec_cache) < self.spec_cache_capacity:
                     # Room for another specialized binary.
+                    if use_queue:
+                        # Keep running the current binary's sibling in
+                        # the interpreter while the lane compiles the
+                        # new set; no discard — there is still room.
+                        self._enqueue_compile(state, function, this_value, args)
+                        self.stats.interp_calls += 1
+                        if self.cycle_profiler is not None:
+                            self.cycle_profiler.interp_call()
+                        return False, None
                     if self._compile(state, function, this_value, args, osr_frame=None):
                         return True, self._run_call(state, function, this_value, args)
                 # §4: one distinct argument set too many — discard,
@@ -319,7 +356,11 @@ class Engine(object):
                 return True, self._run_call(state, function, this_value, args)
 
         if state.native is None and state.call_count >= self.hot_call_threshold:
-            if self._compile(state, function, this_value, args, osr_frame=None):
+            if use_queue:
+                # Background lane: enqueue and keep interpreting; the
+                # binary installs at a later poll point.
+                self._enqueue_compile(state, function, this_value, args)
+            elif self._compile(state, function, this_value, args, osr_frame=None):
                 return True, self._run_call(state, function, this_value, args)
 
         self.stats.interp_calls += 1
@@ -338,7 +379,17 @@ class Engine(object):
         """
         code = frame.code
         state = self._state(code)
+        queue = self.compile_queue
+        if queue is not None and queue.pending:
+            self._install_ready(queue)
         if state.not_compilable:
+            return None
+        if queue is not None and queue.has_job(code.code_id):
+            # A compile for this function is already in flight on the
+            # background lane (Ion's "compiling" sentinel): keep
+            # interpreting rather than racing it with a synchronous
+            # OSR compile of the same function.
+            state.backedge_count += 1
             return None
         state.backedge_count += 1
         tracer = self.tracer
@@ -405,7 +456,16 @@ class Engine(object):
 
     # -- compilation -------------------------------------------------------------------------
 
-    def _compile(self, state, function, this_value, args, osr_frame):
+    def _produce(self, state, function, this_value, args, osr_frame, hidden=False):
+        """Run one compilation and account it; no installation.
+
+        Emits ``compile.start``/``compile.finish`` (or ``reject``),
+        charges the compile cycles to the stalled or hidden lane, and
+        returns ``(result, compile_cycles)`` — or None when the JIT
+        refuses the function.  Consulting the persistent code cache
+        happens here: a disk hit replays the stored artifact instead of
+        running MIR→LIR→codegen, with identical cycle accounting.
+        """
         code = state.code
         tracer = self.tracer
         specialize = (
@@ -430,8 +490,11 @@ class Engine(object):
                 attempt_specialize=specialize,
                 generic=state.force_generic,
             )
-        try:
-            result = compile_function(
+        result = None
+        cache = self.code_cache
+        cache_key = None
+        if cache is not None:
+            cache_key = cache.key_for(
                 code,
                 self.config,
                 feedback=code.feedback,
@@ -441,20 +504,51 @@ class Engine(object):
                 osr_args=osr_args,
                 osr_locals=osr_locals,
                 generic=state.force_generic,
-                tracer=tracer,
             )
-        except NotCompilable:
-            state.not_compilable = True
-            self.stats.not_compilable.add(code.code_id)
-            if tracer is not None:
-                tracer.emit("compile", "reject", fn=code.name, code_id=code.code_id)
-            return False
-        state.native = result.native
+            if cache_key is not None:
+                result = cache.load(cache_key, code)
+                if result is not None and tracer is not None:
+                    tracer.emit(
+                        "cache",
+                        "disk_hit",
+                        fn=code.name,
+                        code_id=code.code_id,
+                        key=cache_key,
+                    )
+        if result is None:
+            try:
+                result = compile_function(
+                    code,
+                    self.config,
+                    feedback=code.feedback,
+                    param_values=list(args) if specialize else None,
+                    this_value=this_value if specialize else None,
+                    osr_pc=osr_pc,
+                    osr_args=osr_args,
+                    osr_locals=osr_locals,
+                    generic=state.force_generic,
+                    tracer=tracer,
+                )
+            except NotCompilable:
+                state.not_compilable = True
+                self.stats.not_compilable.add(code.code_id)
+                if tracer is not None:
+                    tracer.emit("compile", "reject", fn=code.name, code_id=code.code_id)
+                return None
+            if cache_key is not None:
+                cache.store(cache_key, result, executor=self.executor)
         compile_cycles = self.stats.record_compile(
-            code, result.native, result.work.total_units, result.codegen_stats, osr_pc is not None
+            code,
+            result.native,
+            result.work.total_units,
+            result.codegen_stats,
+            osr_pc is not None,
+            hidden=hidden,
         )
         if self.cycle_profiler is not None:
-            self.cycle_profiler.record_compile(code, result.native, compile_cycles)
+            self.cycle_profiler.record_compile(
+                code, result.native, compile_cycles, hidden=hidden
+            )
         if tracer is not None:
             tracer.emit(
                 "compile",
@@ -470,6 +564,23 @@ class Engine(object):
                 spills=result.codegen_stats["spills"],
                 cycles=compile_cycles,
             )
+        return result, compile_cycles
+
+    def _compile(self, state, function, this_value, args, osr_frame):
+        code = state.code
+        tracer = self.tracer
+        produced = self._produce(state, function, this_value, args, osr_frame)
+        if produced is None:
+            return False
+        result, _ = produced
+        osr_pc = None
+        osr_args = None
+        osr_locals = None
+        if osr_frame is not None:
+            osr_pc, frame = osr_frame
+            osr_args = list(frame.args)
+            osr_locals = list(frame.locals)
+        state.native = result.native
         if result.native.meta["specialized"]:
             self.stats.specialized_functions.add(code.code_id)
             state.spec_key = _spec_key(this_value, args)
@@ -509,7 +620,130 @@ class Engine(object):
                 )
         return True
 
+    # -- background lane (docs/COMPILE_PIPELINE.md) -----------------------------------------
+
+    def _enqueue_compile(self, state, function, this_value, args):
+        """Hand a call-path compile to the background lane.
+
+        The compilation itself runs now (its inputs — bytecode,
+        feedback, argument values — are snapshotted at enqueue, as a
+        real engine does before dispatching to a helper thread) but is
+        charged to the lane's clock as hidden cycles; the binary only
+        becomes visible at ``ready_at`` on the main-lane clock.  At
+        most one job per function is in flight.
+        """
+        queue = self.compile_queue
+        code = state.code
+        if code.code_id in queue.pending:
+            return
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "compile",
+                "enqueue",
+                fn=code.name,
+                code_id=code.code_id,
+                reason="call",
+            )
+        produced = self._produce(
+            state, function, this_value, args, osr_frame=None, hidden=True
+        )
+        if produced is None:
+            return
+        result, compile_cycles = produced
+        job = CompileJob(state, function, this_value, args, result, compile_cycles)
+        if result.native.meta["specialized"]:
+            job.spec_key = _spec_key(this_value, args)
+        queue.schedule(code.code_id, job, self.trace_clock())
+
+    def _install_ready(self, queue):
+        """Install every finished background binary at this poll point."""
+        now = self.trace_clock()
+        for job in queue.take_ready(now):
+            self._install_job(queue, job, now)
+
+    def _install_job(self, queue, job, now):
+        """Make one background binary active, or drop it if stale.
+
+        A job is stale when the function's policy state moved on while
+        it sat on the lane: the function deoptimized (specialized code
+        is no longer allowed), a synchronous OSR compile already
+        produced a more capable binary, or another route installed a
+        binary for the same argument set.
+        """
+        state = job.state
+        code = state.code
+        native = job.result.native
+        specialized = native.meta["specialized"]
+        stale = (
+            state.not_compilable
+            or (specialized and (state.never_specialize or state.force_generic))
+            or (state.native is not None and state.native.osr_index is not None)
+            or (job.spec_key is not None and job.spec_key in state.spec_cache)
+        )
+        if stale:
+            queue.dropped += 1
+            return
+        queue.installed += 1
+        state.native = native
+        # Fresh binary, fresh loop-hotness clock: backedges taken while
+        # the job was in flight should not instantly trigger an OSR
+        # recompile of the binary that just landed.
+        state.backedge_count = 0
+        self.stats.background_installs += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "compile",
+                "install",
+                fn=code.name,
+                code_id=code.code_id,
+                ready_at=job.ready_at,
+                waited_cycles=now - job.ready_at,
+                specialized=specialized,
+            )
+        if specialized:
+            self.stats.specialized_functions.add(code.code_id)
+            state.spec_key = job.spec_key
+            state.osr_state_key = None
+            state.spec_cache[state.spec_key] = (native, None)
+            if tracer is not None:
+                tracer.emit(
+                    "specialize",
+                    "specialized",
+                    fn=code.name,
+                    code_id=code.code_id,
+                    key=repr(state.spec_key),
+                    args=list(job.args),
+                    osr=False,
+                )
+                tracer.emit(
+                    "cache",
+                    "store",
+                    fn=code.name,
+                    code_id=code.code_id,
+                    key=repr(state.spec_key),
+                    entries=len(state.spec_cache),
+                )
+        else:
+            state.spec_key = None
+            state.osr_state_key = None
+            if tracer is not None and self.config.param_spec:
+                tracer.emit(
+                    "specialize",
+                    "generic",
+                    fn=code.name,
+                    code_id=code.code_id,
+                    never_specialize=state.never_specialize,
+                    force_generic=state.force_generic,
+                )
+
     def _discard_specialized(self, state, reason):
+        if self.compile_queue is not None:
+            # Any in-flight job for this function compiled against a
+            # policy state that no longer exists; the lane's cycles
+            # are spent either way (wasted speculative work).
+            self.compile_queue.cancel(state.code.code_id)
         if self.tracer is not None:
             self.tracer.emit(
                 "deopt",

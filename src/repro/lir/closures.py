@@ -38,6 +38,8 @@ wall-clock difference; the differential test suite proves stats,
 cycles, printed output and trace streams match).
 """
 
+import marshal
+
 from repro.errors import CompilerError
 from repro.jsvm import operations
 from repro.jsvm.bytecode import Op
@@ -389,7 +391,7 @@ def _block_leaders(native):
     return sorted(leader for leader in leaders if 0 <= leader < len(instructions))
 
 
-def compile_closures(native, executor):
+def compile_closures(native, executor, capture=None):
     """Translate ``native`` into one pre-bound closure per basic block.
 
     Returns ``(handlers, counts, sums, prefix)``:
@@ -407,6 +409,14 @@ def compile_closures(native, executor):
     All four are cached on the :class:`NativeCode` by the caller, so
     translation is paid once per binary and invalidated exactly when
     the engine discards the binary (deoptimization drops the object).
+
+    When the binary was thawed from the persistent code cache
+    (``native.disk_closure``), the stored module code object replaces
+    the host ``compile()`` step — but only after a byte-exact match
+    against the source generated *now*, so correctness never depends
+    on the blob.  ``capture``, when given, receives the generated
+    ``source`` text and the final ``module_code`` object so the cache
+    can persist them (:func:`closure_artifact`).
     """
     instructions = native.instructions
     costs = native.cost_table(executor.cost_model)
@@ -490,10 +500,40 @@ def compile_closures(native, executor):
         sums[leader] = running
         prefix[leader] = block_prefix
 
-    exec(compile("\n\n".join(source), "<closure-backend %s>" % native.code.name, "exec"), namespace)
+    text = "\n\n".join(source)
+    disk = native.disk_closure
+    if disk is not None and disk[0] == text:
+        module_code = marshal.loads(disk[1])
+    else:
+        module_code = compile(text, "<closure-backend %s>" % native.code.name, "exec")
+    if capture is not None:
+        capture["source"] = text
+        capture["module_code"] = module_code
+    exec(module_code, namespace)
     for leader in leaders:
         handlers[leader] = namespace["_b%d" % leader]
     return handlers, counts, sums, prefix
+
+
+def closure_artifact(native, executor):
+    """The persistable closure module for ``native``, or None.
+
+    Called by :meth:`repro.cache.DiskCodeCache.store` right after a
+    fresh compile on the closure backend: translates the binary now
+    (installing ``native.closure_cache`` so the work is not repeated on
+    first execution) and returns ``{"source", "code"}`` — the generated
+    module text plus its marshalled code object.  Returns None for
+    other executor types, which have nothing host-compiled to persist.
+    """
+    if not isinstance(executor, ClosureExecutor):
+        return None
+    capture = {}
+    handlers, counts, sums, prefix = compile_closures(native, executor, capture=capture)
+    native.closure_cache = (executor, handlers, counts, sums, prefix)
+    return {
+        "source": capture["source"],
+        "code": marshal.dumps(capture["module_code"]),
+    }
 
 
 class ClosureExecutor(NativeExecutor):

@@ -92,6 +92,12 @@ class NativeCode(object):
         self._cost_table = None
         self._cost_table_model = None
         self.closure_cache = None
+        #: Persistent-cache payload for the closure backend: the
+        #: generated module ``(source_text, marshalled_code_bytes)``
+        #: thawed from disk.  ``compile_closures`` reuses the code
+        #: object only after a byte-exact source match, so a stale or
+        #: foreign blob silently falls back to compiling fresh.
+        self.disk_closure = None
 
     def cost_table(self, cost_model):
         """Per-pc cycle prices under ``cost_model``, cached.

@@ -58,6 +58,8 @@ EVENT_SCHEMA = {
             "cycles",
         ),
         "reject": ("fn", "code_id"),
+        "enqueue": ("fn", "code_id", "reason"),
+        "install": ("fn", "code_id", "ready_at", "waited_cycles", "specialized"),
     },
     "specialize": {
         "specialized": ("fn", "code_id", "key", "args", "osr"),
@@ -84,6 +86,7 @@ EVENT_SCHEMA = {
         "hit": ("fn", "code_id", "key", "primary"),
         "miss": ("fn", "code_id", "key", "entries"),
         "store": ("fn", "code_id", "key", "entries"),
+        "disk_hit": ("fn", "code_id", "key"),
     },
     "osr": {
         "trip": ("fn", "code_id", "backedges", "target_pc"),

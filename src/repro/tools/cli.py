@@ -8,8 +8,9 @@ Subcommands::
     python -m repro profile script.js --cycles [--json] [--collapsed f] [--top 20]
     python -m repro annotate script.js --function f [--config all]
     python -m repro disasm script.js --function f [--config all]
-    python -m repro bench --suite sunspider [--configs PS,PS+CP,all]
+    python -m repro bench --suite sunspider [--configs PS,PS+CP,all] [--jobs N]
     python -m repro bench --wallclock [--repeats 3] [--output BENCH_wallclock.json]
+    python -m repro cache stats|clear [--dir DIR]
     python -m repro configs
 
 ``run`` executes a guest script under the JIT; ``trace`` runs a script
@@ -22,8 +23,13 @@ writing JSONL and Chrome ``trace_event`` files (see docs/TRACING.md);
 ``annotate`` interleaves a function's native disassembly with
 per-instruction execution counts, cycle shares and guard failures;
 ``disasm`` shows a function's optimized MIR and native code; ``bench``
-runs a suite sweep and prints its Figure 9 row; ``configs`` lists the
-available optimization configurations.
+runs a suite sweep and prints its Figure 9 row; ``cache`` inspects or
+clears the persistent cross-run code cache (docs/COMPILE_PIPELINE.md);
+``configs`` lists the available optimization configurations.
+
+``run`` and ``trace`` accept ``--background``/``--no-background`` to
+toggle the background compilation lane and ``--code-cache [DIR]`` to
+compile through the persistent code cache.
 """
 
 import argparse
@@ -59,6 +65,21 @@ def _read_source(path):
 # -- subcommands -------------------------------------------------------------
 
 
+def _make_code_cache(args):
+    """Build the persistent code cache requested by ``--code-cache``.
+
+    ``None`` (flag absent) disables the cache; an empty value (bare
+    ``--code-cache``) uses the default root (``$REPRO_CACHE_DIR`` or
+    ``~/.cache/repro``); anything else is an explicit directory.
+    """
+    spec = getattr(args, "code_cache", None)
+    if spec is None:
+        return None
+    from repro.cache import DiskCodeCache
+
+    return DiskCodeCache(root=spec if spec else None)
+
+
 def cmd_run(args, out):
     """``repro run``: execute a guest script under the JIT."""
     config = _resolve_config(args.config)
@@ -66,6 +87,8 @@ def cmd_run(args, out):
         config=config,
         spec_cache_capacity=args.cache_capacity,
         executor_backend=args.executor,
+        background_compile=args.background,
+        code_cache=_make_code_cache(args),
     )
     printed = engine.run_source(_read_source(args.script))
     for line in printed:
@@ -138,7 +161,13 @@ def cmd_trace(args, out):
         from repro.telemetry.profiler import CycleProfiler
 
         cycle_profiler = CycleProfiler()
-    engine = Engine(config=config, tracer=tracer, cycle_profiler=cycle_profiler)
+    engine = Engine(
+        config=config,
+        tracer=tracer,
+        cycle_profiler=cycle_profiler,
+        background_compile=args.background,
+        code_cache=_make_code_cache(args),
+    )
     engine.run_source(source)
     if args.jsonl:
         write_jsonl(tracer.events, args.jsonl)
@@ -389,11 +418,29 @@ def cmd_bench(args, out):
         configs = [_resolve_config(name) for name in args.configs.split(",")]
     else:
         configs = PAPER_CONFIGS
-    sweep = run_suite_sweep(args.suite, ALL_SUITES[args.suite], configs=configs)
+    sweep = run_suite_sweep(
+        args.suite, ALL_SUITES[args.suite], configs=configs, jobs=args.jobs
+    )
     out.write(format_figure9([sweep], configs, "total_cycles", "runtime speedup") + "\n")
     out.write(
         format_figure9([sweep], configs, "compile_cycles", "compilation overhead") + "\n"
     )
+    return 0
+
+
+def cmd_cache(args, out):
+    """``repro cache``: inspect or clear the persistent code cache."""
+    from repro.cache import DiskCodeCache
+
+    cache = DiskCodeCache(root=args.dir)
+    if args.action == "stats":
+        info = cache.stats()
+        out.write("cache root: %s\n" % info["root"])
+        out.write("entries:    %d\n" % info["entries"])
+        out.write("bytes:      %d\n" % info["bytes"])
+        return 0
+    removed = cache.clear()
+    out.write("removed %d cached artifact(s) from %s\n" % (removed, cache.root))
     return 0
 
 
@@ -406,6 +453,26 @@ def cmd_configs(args, out):
 
 
 # -- entry point --------------------------------------------------------------
+
+
+def _add_lane_and_cache_flags(subparser):
+    """Attach ``--background/--no-background`` and ``--code-cache``."""
+    subparser.add_argument(
+        "--background",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="compile hot functions on the background lane instead of "
+        "stalling (docs/COMPILE_PIPELINE.md)",
+    )
+    subparser.add_argument(
+        "--code-cache",
+        metavar="DIR",
+        nargs="?",
+        const="",
+        default=None,
+        help="compile through the persistent code cache; DIR overrides "
+        "$REPRO_CACHE_DIR / ~/.cache/repro",
+    )
 
 
 def build_parser():
@@ -429,6 +496,7 @@ def build_parser():
         default=None,
         help="executor backend (default: closure, or $REPRO_EXECUTOR)",
     )
+    _add_lane_and_cache_flags(run)
     run.set_defaults(handler=cmd_run)
 
     trace = sub.add_parser(
@@ -455,6 +523,7 @@ def build_parser():
     trace.add_argument(
         "--limit", type=int, default=None, help="max timeline rows per function"
     )
+    _add_lane_and_cache_flags(trace)
     trace.set_defaults(handler=cmd_trace)
 
     profile = sub.add_parser(
@@ -533,7 +602,25 @@ def build_parser():
         default=None,
         help="wallclock: write results JSON (e.g. BENCH_wallclock.json)",
     )
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="suite sweep: parallel worker processes (wall-clock only; "
+        "results are order-preserving and identical to --jobs 1)",
+    )
     bench.set_defaults(handler=cmd_bench)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent code cache"
+    )
+    cache.add_argument("action", choices=["stats", "clear"], help="what to do")
+    cache.add_argument(
+        "--dir",
+        default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    cache.set_defaults(handler=cmd_cache)
 
     configs = sub.add_parser("configs", help="list optimization configurations")
     configs.set_defaults(handler=cmd_configs)

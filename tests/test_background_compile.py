@@ -1,0 +1,272 @@
+"""The background-compilation lane: timeline, accounting, determinism.
+
+Three layers of enforcement (docs/COMPILE_PIPELINE.md):
+
+* the `CompileQueue` timeline arithmetic in isolation — dispatch
+  latency, the busy single-helper lane, FIFO readiness, cancellation;
+* engine-level accounting — hidden vs stalled compile cycles, the
+  `total_cycles` identity, enqueue/install trace events, the pending
+  sentinel, and profiler exactness with the distinct compile-lane;
+* the differential contract over the real benchmark suites at
+  *default* thresholds: `background_compile=True` must print exactly
+  what the synchronous engine prints, never cost more than a whisker,
+  and win on aggregate — while `background_compile=False` must be the
+  synchronous engine, bit for bit.
+"""
+
+import math
+
+import pytest
+
+from repro.engine.compile_queue import CompileJob, CompileQueue
+from repro.engine.config import FULL_SPEC
+from repro.engine.runtime_engine import Engine
+from repro.jsvm.bytecode import CodeObject
+from repro.telemetry.profiler import CycleProfiler, LANE_TIER
+from repro.telemetry.reports import annotate_function, to_collapsed
+from repro.telemetry.tracing import Tracer
+from repro.workloads import ALL_SUITES
+
+from tests.conftest import FAST
+
+#: A hot loop-free callee driven from a top-level loop: the lane's
+#: target case.  The callee enqueues at the hotness trip and installs
+#: at a later call while the loop keeps interpreting it.
+LOOP_FREE_CALLEE = """
+function poly(a) { return a * a + 3 * a + 1; }
+var s = 0;
+for (var i = 0; i < 80; i++) s += poly(7);
+print(s);
+"""
+
+
+def _job(cycles):
+    return CompileJob(None, None, None, [], None, cycles)
+
+
+def _observables(engine, printed):
+    return {
+        "printed": list(printed),
+        "summary": engine.stats.summary(),
+        "as_dict": engine.stats.as_dict(),
+        "cycles": engine.executor.cycles,
+        "interp_ops": engine.interpreter.ops_executed,
+    }
+
+
+def _run(source, trace=False, **kwargs):
+    CodeObject._next_id = 1
+    tracer = Tracer() if trace else None
+    engine = Engine(config=FULL_SPEC, tracer=tracer, **dict(FAST, **kwargs))
+    printed = engine.run_source(source)
+    return engine, printed, (list(tracer.events) if tracer else None)
+
+
+class TestQueueTimeline:
+    """The lane's schedule arithmetic, in isolation."""
+
+    def test_dispatch_latency_before_lane_starts(self):
+        queue = CompileQueue(dispatch_delay=100)
+        ready = queue.schedule(1, _job(500), now=1000)
+        # start = max(1000 + 100, 0) = 1100; ready = 1100 + 500.
+        assert ready == 1600
+        assert queue.lane_cycle == 1600
+
+    def test_busy_lane_delays_the_next_job(self):
+        queue = CompileQueue(dispatch_delay=100)
+        queue.schedule(1, _job(500), now=1000)
+        # Enqueued while the helper is still on job 1: starts when the
+        # lane frees (1600), not at its own dispatch point (1300).
+        ready = queue.schedule(2, _job(300), now=1200)
+        assert ready == 1600 + 300
+
+    def test_idle_lane_does_not_advance_time_backwards(self):
+        queue = CompileQueue(dispatch_delay=100)
+        queue.schedule(1, _job(10), now=50)
+        # The lane went idle at 160; a much later enqueue starts from
+        # its own dispatch point, not the stale lane clock.
+        ready = queue.schedule(2, _job(10), now=5000)
+        assert ready == 5000 + 100 + 10
+
+    def test_take_ready_is_fifo_and_threshold_exact(self):
+        queue = CompileQueue(dispatch_delay=0)
+        queue.schedule(1, _job(100), now=0)  # ready at 100
+        queue.schedule(2, _job(100), now=0)  # lane busy: ready at 200
+        assert queue.take_ready(99) == []
+        first = queue.take_ready(100)
+        assert [job.ready_at for job in first] == [100]
+        assert queue.has_job(2) and not queue.has_job(1)
+        both = queue.take_ready(10_000)
+        assert [job.ready_at for job in both] == [200]
+
+    def test_cancel_drops_without_rewinding_the_lane(self):
+        queue = CompileQueue(dispatch_delay=0)
+        queue.schedule(1, _job(100), now=0)
+        lane_before = queue.lane_cycle
+        queue.cancel(1)
+        assert queue.dropped == 1 and not queue.pending
+        assert queue.lane_cycle == lane_before  # wasted, not refunded
+        queue.cancel(1)  # idempotent on absent jobs
+        assert queue.dropped == 1
+
+
+class TestLaneAccounting:
+    """Hidden vs stalled cycles and the trace narration."""
+
+    def test_hidden_cycles_leave_total_cycles(self):
+        engine, printed, _ = _run(LOOP_FREE_CALLEE, background_compile=True)
+        stats = engine.stats
+        assert stats.compile_cycles_hidden > 0
+        assert stats.background_installs >= 1
+        ledger = stats.as_dict()
+        # The invariant the whole lane hangs on: only *stalled* compile
+        # time is on the program's critical path.
+        assert ledger["total_cycles"] == (
+            ledger["interp_cycles"]
+            + ledger["native_cycles"]
+            + ledger["compile_cycles_stalled"]
+            + ledger["bailout_cycles"]
+            + ledger["invalidation_cycles"]
+        )
+        assert ledger["compile_cycles"] == (
+            ledger["compile_cycles_stalled"] + ledger["compile_cycles_hidden"]
+        )
+
+    def test_sync_engine_has_no_lane(self):
+        engine, _, _ = _run(LOOP_FREE_CALLEE, background_compile=False)
+        assert engine.compile_queue is None
+        assert engine.stats.compile_cycles_hidden == 0
+        assert engine.stats.background_installs == 0
+
+    def test_output_matches_synchronous_engine(self):
+        _, sync_printed, _ = _run(LOOP_FREE_CALLEE, background_compile=False)
+        _, lane_printed, _ = _run(LOOP_FREE_CALLEE, background_compile=True)
+        assert lane_printed == sync_printed
+
+    def test_enqueue_and_install_events(self):
+        _, _, events = _run(LOOP_FREE_CALLEE, background_compile=True, trace=True)
+        enqueues = [e for e in events if e["event"] == "enqueue" and e["fn"] == "poly"]
+        installs = [e for e in events if e["event"] == "install" and e["fn"] == "poly"]
+        assert len(enqueues) == 1  # pending sentinel: no re-enqueue
+        assert len(installs) == 1
+        install = installs[0]
+        # Installs happen at the first poll point past readiness.
+        assert install["ts"] >= install["ready_at"]
+        assert install["waited_cycles"] == install["ts"] - install["ready_at"]
+        assert install["ts"] > enqueues[0]["ts"]
+
+    def test_profiler_attributes_the_lane_exactly(self):
+        CodeObject._next_id = 1
+        profiler = CycleProfiler()
+        engine = Engine(
+            config=FULL_SPEC,
+            background_compile=True,
+            cycle_profiler=profiler,
+            **FAST
+        )
+        engine.run_source(LOOP_FREE_CALLEE)
+        assert profiler.attributed_cycles() == engine.stats.total_cycles
+        assert profiler.lane_cycles() == engine.stats.compile_cycles_hidden > 0
+        rows = profiler.attribution()
+        assert any(row["tier"] == LANE_TIER for row in rows)
+        collapsed = to_collapsed(profiler)
+        assert "[%s]" % LANE_TIER in collapsed
+        assert "compiler lane" in annotate_function(profiler, "poly")
+
+
+class TestDeterminism:
+    """Both lane settings are bit-reproducible run to run."""
+
+    def test_background_run_repeats_exactly(self):
+        first_engine, first_printed, first_events = _run(
+            LOOP_FREE_CALLEE, background_compile=True, trace=True
+        )
+        second_engine, second_printed, second_events = _run(
+            LOOP_FREE_CALLEE, background_compile=True, trace=True
+        )
+        assert _observables(first_engine, first_printed) == _observables(
+            second_engine, second_printed
+        )
+        assert first_events == second_events
+
+    def test_lane_off_is_the_default_engine(self):
+        explicit_engine, explicit_printed, explicit_events = _run(
+            LOOP_FREE_CALLEE, background_compile=False, trace=True
+        )
+        CodeObject._next_id = 1
+        default_tracer = Tracer()
+        default_engine = Engine(config=FULL_SPEC, tracer=default_tracer, **FAST)
+        default_printed = default_engine.run_source(LOOP_FREE_CALLEE)
+        assert _observables(explicit_engine, explicit_printed) == _observables(
+            default_engine, default_printed
+        )
+        assert explicit_events == list(default_tracer.events)
+
+
+def _suite_cycles(backend, background):
+    """Per-benchmark (printed, total_cycles) over every suite benchmark."""
+    results = {}
+    for suite_name, suite in ALL_SUITES.items():
+        for benchmark in suite:
+            engine = Engine(
+                config=FULL_SPEC,
+                executor_backend=backend,
+                background_compile=background,
+            )
+            printed = engine.run_source(benchmark.source)
+            results[(suite_name, benchmark.name)] = (
+                list(printed),
+                engine.stats.total_cycles,
+            )
+    return results
+
+
+#: Cheap cross-suite slice for the slower reference backend.
+SIMPLE_BACKEND_SUBSET = [
+    ("sunspider", "access-nsieve"),
+    ("sunspider", "controlflow-recursive"),
+    ("v8", "richards"),
+    ("kraken", "stanford-crypto-ccm"),
+]
+
+
+class TestSuiteDifferential:
+    """All 32 benchmarks, default thresholds: same answers, fewer cycles."""
+
+    def test_closure_backend_full_sweep(self):
+        sync = _suite_cycles("closure", background=False)
+        lane = _suite_cycles("closure", background=True)
+        assert set(sync) == set(lane) and len(sync) == 32
+        ratios = []
+        for key in sync:
+            sync_printed, sync_cycles = sync[key]
+            lane_printed, lane_cycles = lane[key]
+            assert lane_printed == sync_printed, "output drift in %s/%s" % key
+            ratio = lane_cycles / float(sync_cycles)
+            # controlflow-recursive inherently pays ~0.4% (extra
+            # interpreted calls while its binaries sit on the lane);
+            # nothing may regress beyond that order.
+            assert ratio <= 1.005, "%s/%s regressed: %.5f" % (key + (ratio,))
+            ratios.append(ratio)
+        geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        assert geomean < 1.0  # the lane wins on aggregate
+        assert sum(c for _, c in lane.values()) < sum(c for _, c in sync.values())
+
+    @pytest.mark.parametrize("suite_name,bench_name", SIMPLE_BACKEND_SUBSET)
+    def test_simple_backend_output_parity(self, suite_name, bench_name):
+        source = next(
+            b.source for b in ALL_SUITES[suite_name] if b.name == bench_name
+        )
+        runs = {}
+        for background in (False, True):
+            engine = Engine(
+                config=FULL_SPEC,
+                executor_backend="simple",
+                background_compile=background,
+            )
+            runs[background] = (
+                engine.run_source(source),
+                engine.stats.total_cycles,
+            )
+        assert runs[True][0] == runs[False][0]
+        assert runs[True][1] <= runs[False][1] * 1.005

@@ -90,6 +90,27 @@ class TestSweep:
         assert "tiny" in table
 
 
+class TestParallelSweep:
+    """``--jobs N``: worker processes change wall-clock time only."""
+
+    def test_parallel_matches_serial(self, sweep):
+        parallel = run_suite_sweep(
+            "tiny",
+            TINY,
+            configs=CONFIGS,
+            engine_kwargs={"hot_call_threshold": 3},
+            jobs=2,
+        )
+        assert parallel.benchmarks() == sweep.benchmarks()
+        assert set(parallel.runs) == set(sweep.runs)
+        for config_name in sweep.runs:
+            for bench_name in sweep.runs[config_name]:
+                serial_run = sweep.run_for(config_name, bench_name)
+                parallel_run = parallel.run_for(config_name, bench_name)
+                assert parallel_run.output == serial_run.output
+                assert parallel_run.total_cycles == serial_run.total_cycles
+                assert parallel_run.compile_cycles == serial_run.compile_cycles
+
 class TestMeans:
     def test_arithmetic_mean(self):
         assert arithmetic_mean([1.0, 3.0]) == 2.0

@@ -1,0 +1,233 @@
+"""The persistent cross-run code cache: keys, round trips, refusal.
+
+The cache's contract (docs/COMPILE_PIPELINE.md) has two halves:
+
+* **pure host-time optimization** — a warm run loads artifacts from
+  disk instead of running MIR→LIR→codegen, but every simulated
+  observable (output, cycles, the full stats ledger) is bit-identical
+  to the cold run;
+* **refuse rather than guess** — any compile input without a content
+  name (an object-reference argument) makes the compile uncacheable,
+  and any stored byte the loader does not fully recognize reads as a
+  miss followed by a normal compile.
+"""
+
+import io
+
+import pytest
+
+from repro.cache import DiskCodeCache
+from repro.engine.config import BASELINE, FULL_SPEC
+from repro.engine.runtime_engine import Engine
+from repro.jsvm.bytecode import CodeObject
+from repro.jsvm.bytecompiler import compile_source
+from repro.telemetry.tracing import Tracer
+from repro.tools.cli import main as cli_main
+
+from tests.conftest import FAST
+
+HOT_LOOP = """
+function poly(a) { return a * a + 3 * a + 1; }
+var s = 0;
+for (var i = 0; i < 80; i++) s += poly(i % 4);
+print(s);
+"""
+
+OBJECT_ARGS = """
+function getx(o) { return o.x; }
+var box = {x: 7};
+var s = 0;
+for (var i = 0; i < 40; i++) s += getx(box);
+print(s);
+"""
+
+
+def run_cached(source, root, backend="closure", trace=False):
+    """One engine pass against the cache at ``root``.
+
+    Resets the process-global code-id counter first so repeat runs
+    produce comparable ids (and therefore comparable stats ledgers).
+    """
+    CodeObject._next_id = 1
+    tracer = Tracer() if trace else None
+    cache = DiskCodeCache(root=str(root))
+    engine = Engine(
+        config=FULL_SPEC,
+        executor_backend=backend,
+        code_cache=cache,
+        tracer=tracer,
+        **FAST
+    )
+    printed = engine.run_source(source)
+    events = list(tracer.events) if tracer else None
+    return printed, engine, cache, events
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("backend", ["simple", "closure"])
+    def test_warm_run_is_bit_identical(self, tmp_path, backend):
+        cold_printed, cold_engine, cold_cache, _ = run_cached(
+            HOT_LOOP, tmp_path, backend
+        )
+        assert cold_cache.stores > 0 and cold_cache.hits == 0
+        warm_printed, warm_engine, warm_cache, _ = run_cached(
+            HOT_LOOP, tmp_path, backend
+        )
+        assert warm_cache.hits == cold_cache.stores
+        assert warm_cache.stores == 0  # nothing recompiled
+        assert warm_printed == cold_printed
+        assert warm_engine.stats.as_dict() == cold_engine.stats.as_dict()
+        assert warm_engine.stats.summary() == cold_engine.stats.summary()
+
+    def test_disk_hit_replaces_pass_events(self, tmp_path):
+        _, _, _, cold_events = run_cached(HOT_LOOP, tmp_path, trace=True)
+        _, _, _, warm_events = run_cached(HOT_LOOP, tmp_path, trace=True)
+        cold_labels = {(e["ch"], e["event"]) for e in cold_events}
+        warm_labels = {(e["ch"], e["event"]) for e in warm_events}
+        assert ("pass", "run") in cold_labels
+        assert ("cache", "disk_hit") not in cold_labels
+        # Warm compiles skip the optimization pipeline entirely: the
+        # pass narration disappears and a disk_hit marker takes over.
+        assert ("pass", "run") not in warm_labels
+        assert ("cache", "disk_hit") in warm_labels
+        hits = [e for e in warm_events if e["event"] == "disk_hit"]
+        assert all(len(e["key"]) == 64 for e in hits)  # sha256 hex
+
+    def test_closure_backend_reuses_marshalled_module(self, tmp_path):
+        run_cached(HOT_LOOP, tmp_path, "closure")
+        _, warm_engine, warm_cache, _ = run_cached(HOT_LOOP, tmp_path, "closure")
+        assert warm_cache.hits > 0
+        # At least one loaded binary carried the generated-source +
+        # marshalled-module blob for the closure backend to reuse.
+        natives = [
+            state.native
+            for state in warm_engine.states.values()
+            if state.native is not None
+        ]
+        assert any(native.disk_closure is not None for native in natives)
+        source_text, code_bytes = next(
+            native.disk_closure
+            for native in natives
+            if native.disk_closure is not None
+        )
+        assert isinstance(source_text, str) and isinstance(code_bytes, bytes)
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        _, _, cold_cache, _ = run_cached(HOT_LOOP, tmp_path)
+        stored = sorted((tmp_path / "code").rglob("*.bin"))
+        assert stored
+        for path in stored:
+            path.write_bytes(b"not a marshalled artifact")
+        warm_printed, warm_engine, warm_cache, _ = run_cached(HOT_LOOP, tmp_path)
+        assert warm_cache.hits == 0
+        assert warm_cache.misses >= len(stored)
+        assert warm_cache.stores == cold_cache.stores  # re-stored fresh
+        assert warm_printed == ["%d" % sum(
+            (i % 4) ** 2 + 3 * (i % 4) + 1 for i in range(80)
+        )]
+
+
+class TestUncacheable:
+    def test_object_arguments_refuse_caching(self, tmp_path):
+        printed, _, cache, _ = run_cached(OBJECT_ARGS, tmp_path)
+        assert printed == ["280"]
+        # ``getx`` specializes on a heap object: identity, not content.
+        assert cache.uncacheable > 0
+        warm_printed, _, warm_cache, _ = run_cached(OBJECT_ARGS, tmp_path)
+        assert warm_printed == printed
+        assert warm_cache.uncacheable > 0
+
+    def test_key_for_returns_none_for_reference_values(self):
+        cache = DiskCodeCache.__new__(DiskCodeCache)
+        cache.uncacheable = 0
+        code = compile_source("function id(x) { return x; }").constants[0]
+        assert cache.key_for(code, FULL_SPEC, param_values=[{"a": 1}]) is None
+        assert cache.uncacheable == 1
+
+
+class TestKeySensitivity:
+    """Every compile input must move the content key."""
+
+    def _code(self, source="function id(x) { return x; }"):
+        return compile_source(source).constants[0]
+
+    def test_identical_inputs_identical_key(self, tmp_path):
+        cache = DiskCodeCache(root=str(tmp_path))
+        code = self._code()
+        assert cache.key_for(code, FULL_SPEC, param_values=[3]) == cache.key_for(
+            code, FULL_SPEC, param_values=[3]
+        )
+
+    def test_config_values_and_flags_move_the_key(self, tmp_path):
+        cache = DiskCodeCache(root=str(tmp_path))
+        code = self._code()
+        keys = {
+            cache.key_for(code, FULL_SPEC, param_values=[3]),
+            cache.key_for(code, BASELINE),
+            cache.key_for(code, FULL_SPEC, param_values=[4]),
+            cache.key_for(code, FULL_SPEC, param_values=[3], generic=True),
+            cache.key_for(code, FULL_SPEC, param_values=[3], osr_pc=2,
+                          osr_args=[3], osr_locals=[]),
+        }
+        assert len(keys) == 5 and None not in keys
+
+    def test_code_body_moves_the_key(self, tmp_path):
+        cache = DiskCodeCache(root=str(tmp_path))
+        first = cache.key_for(self._code(), FULL_SPEC, param_values=[3])
+        second = cache.key_for(
+            self._code("function id(x) { return x + 0; }"),
+            FULL_SPEC,
+            param_values=[3],
+        )
+        assert first != second
+
+    def test_feedback_moves_the_key(self, tmp_path):
+        from repro.jsvm.feedback import TypeFeedback
+
+        cache = DiskCodeCache(root=str(tmp_path))
+        code = self._code()
+        empty = TypeFeedback(1)
+        seen_int = TypeFeedback(1)
+        from repro.jsvm.values import UNDEFINED
+
+        seen_int.record_args([3], UNDEFINED)
+        assert cache.key_for(code, FULL_SPEC, feedback=empty) != cache.key_for(
+            code, FULL_SPEC, feedback=seen_int
+        )
+
+
+class TestStoreManagement:
+    def test_stats_and_clear(self, tmp_path):
+        _, _, cache, _ = run_cached(HOT_LOOP, tmp_path)
+        info = cache.stats()
+        assert info["entries"] == cache.stores > 0
+        assert info["bytes"] > 0
+        assert info["root"] == str(tmp_path)
+        removed = cache.clear()
+        assert removed == info["entries"]
+        assert cache.stats()["entries"] == 0
+
+    def test_cli_cache_subcommand(self, tmp_path, monkeypatch):
+        script = tmp_path / "prog.js"
+        script.write_text(HOT_LOOP)
+        root = tmp_path / "store"
+
+        def run_cli(argv):
+            out = io.StringIO()
+            return cli_main(argv, out=out), out.getvalue()
+
+        code, _ = run_cli(["run", str(script), "--code-cache", str(root)])
+        assert code == 0
+        code, output = run_cli(["cache", "stats", "--dir", str(root)])
+        assert code == 0
+        assert "entries" in output and "0" not in output.split("entries:")[1].split("\n")[0].strip()
+        code, output = run_cli(["cache", "clear", "--dir", str(root)])
+        assert code == 0
+        assert "removed" in output
+        code, output = run_cli(["cache", "stats", "--dir", str(root)])
+        assert "entries:    0" in output
+
+    def test_default_root_honours_env_var(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envroot"))
+        cache = DiskCodeCache()
+        assert cache.root == str(tmp_path / "envroot")

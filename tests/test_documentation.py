@@ -144,6 +144,31 @@ def test_stats_doc_matches_as_dict_keys():
     )
 
 
+def test_stats_doc_matches_summary_keys():
+    """docs/STATS.md's documented `summary()` key set matches the code."""
+    import os
+    import re
+
+    from repro.engine.config import CostModel
+    from repro.engine.stats import EngineStats
+
+    path = os.path.join(
+        os.path.dirname(repro.__file__), "..", "..", "docs", "STATS.md"
+    )
+    with open(path) as handle:
+        text = handle.read()
+    match = re.search(
+        r"^Summary keys: (.+?)(?:\n\n|\Z)", text, re.MULTILINE | re.DOTALL
+    )
+    assert match, "docs/STATS.md must carry a parseable 'Summary keys: ...' paragraph"
+    documented = set(re.findall(r"`(\w+)`", match.group(1)))
+    actual = set(EngineStats(CostModel()).summary())
+    assert documented == actual, (
+        "keys documented but not returned: %s; returned but undocumented: %s"
+        % (sorted(documented - actual), sorted(actual - documented))
+    )
+
+
 def test_profiling_doc_exists_and_mentions_the_invariant():
     """docs/PROFILING.md exists and states the exactness invariant."""
     import os

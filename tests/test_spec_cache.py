@@ -1,6 +1,7 @@
 """Tests for the specialization cache, including the §6 capacity extension."""
 
 from repro import FULL_SPEC, Engine
+from repro.telemetry.tracing import Tracer
 
 from tests.conftest import FAST
 
@@ -60,3 +61,94 @@ class TestLargerCapacity:
     def test_outputs_identical_across_capacities(self):
         outputs = [run(THREE_WAY, capacity)[0] for capacity in (1, 2, 4, 8)]
         assert all(output == outputs[0] for output in outputs)
+
+
+def run_traced(source, capacity):
+    tracer = Tracer(channels=["cache", "deopt", "specialize"])
+    engine = Engine(
+        config=FULL_SPEC, spec_cache_capacity=capacity, tracer=tracer, **FAST
+    )
+    printed = engine.run_source(source)
+    return printed, engine, tracer.events
+
+
+def events_for(events, function_name):
+    return [event for event in events if event.get("fn") == function_name]
+
+
+class TestCacheTraceEvents:
+    """The trace stream narrates fills, switches and the overflow discard."""
+
+    def test_stores_report_growing_occupancy(self):
+        # Capacity 2, two argument sets: the cache fills in compile
+        # order and each ``cache.store`` reports the occupancy after it.
+        _, _, events = run_traced(ALTERNATING, 2)
+        stores = [e for e in events_for(events, "f") if e["event"] == "store"]
+        assert [e["entries"] for e in stores] == [1, 2]
+        assert stores[0]["key"] != stores[1]["key"]
+
+    def test_rehit_switches_between_cached_binaries(self):
+        # Once both sets are cached, every alternation is a secondary
+        # hit (``primary: False``): the active binary swaps with the
+        # cached sibling instead of compiling or discarding.
+        _, engine, events = run_traced(ALTERNATING, 2)
+        hits = [e for e in events_for(events, "f") if e["event"] == "hit"]
+        assert len(hits) > 10
+        assert all(e["primary"] is False for e in hits)  # args alternate
+        keys = {e["key"] for e in hits}
+        assert len(keys) == 2
+        assert not engine.stats.deoptimized_functions
+
+    def test_miss_reports_occupancy_at_miss_time(self):
+        _, _, events = run_traced(THREE_WAY, 4)
+        misses = [e for e in events_for(events, "f") if e["event"] == "miss"]
+        # Second set misses against one cached entry, third against two.
+        assert [e["entries"] for e in misses] == [1, 2]
+
+    def test_overflow_discards_all_entries_at_once(self):
+        # §4 policy, capacity-generalized: the set that does not fit
+        # evicts *everything* — one ``deopt.discard`` whose ``dropped``
+        # count equals the full occupancy, not an LRU trickle.
+        _, engine, events = run_traced(THREE_WAY, 2)
+        discards = [e for e in events_for(events, "f") if e["event"] == "discard"]
+        assert len(discards) == 1
+        assert discards[0]["reason"] == "new-args"
+        assert discards[0]["dropped"] == 2
+        assert engine.stats.invalidations == 1
+
+    def test_store_never_exceeds_capacity(self):
+        for capacity in (1, 2, 4):
+            _, _, events = run_traced(THREE_WAY, capacity)
+            stores = [e for e in events_for(events, "f") if e["event"] == "store"]
+            assert all(e["entries"] <= capacity for e in stores)
+
+
+class TestNeverSpecializeInteraction:
+    """After overflow the function is marked and stays generic forever."""
+
+    def test_recompile_after_overflow_is_generic(self):
+        printed, engine, events = run_traced(THREE_WAY, 2)
+        f_events = events_for(events, "f")
+        generic = [e for e in f_events if e["event"] == "generic"]
+        assert generic and generic[0]["never_specialize"] is True
+        # The discard precedes the generic recompile, and nothing is
+        # ever stored for ``f`` again afterwards.
+        labels = [e["event"] for e in f_events]
+        assert labels.index("discard") < labels.index("generic")
+        assert "store" not in labels[labels.index("discard") :]
+        assert printed == [str(sum((i % 3) * 3 + 1 for i in range(60)))]
+
+    def test_no_cache_traffic_after_marking(self):
+        # Generic code takes the plain native path: no hits, no misses,
+        # no further specialization attempts for the marked function.
+        _, engine, events = run_traced(THREE_WAY, 2)
+        f_events = events_for(events, "f")
+        discard_at = [e["event"] for e in f_events].index("discard")
+        tail = [e["event"] for e in f_events[discard_at + 1 :]]
+        assert set(tail) <= {"generic"}
+        assert engine.stats.deoptimized_functions
+        # The marked function still ran to completion natively.
+        assert "f" in {
+            engine.stats.function_names.get(code_id)
+            for code_id in engine.stats.specialized_functions
+        }

@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""CI check: the persistent code cache round-trips bit-identically.
+
+Runs the deterministic web workload twice in *separate interpreter
+processes* sharing one cache directory:
+
+1. **cold** — cleared directory; every compile misses and stores;
+2. **warm** — same directory; compiles load from disk (``disk hits``
+   must be > 0).
+
+The check passes only when both phases print the same guest output and
+the same full ``EngineStats.as_dict()`` ledger — byte for byte once
+JSON-encoded — proving the disk cache is a pure host-time optimization
+(docs/COMPILE_PIPELINE.md).  Separate processes make the comparison
+honest: nothing in-memory can leak between phases, and per-process
+counters (code ids) start from the same state.
+
+Usage::
+
+    PYTHONPATH=src python tools/cache_roundtrip.py [--dir DIR] [--backend closure]
+
+Exit status 1 on any mismatch, 0 otherwise.  ``--phase`` is internal
+(the subprocess entry point).
+"""
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+
+def run_phase(cache_dir, backend):
+    """One measured pass: run the workload through the cache at ``cache_dir``.
+
+    Prints a JSON payload with the guest output, the full stats ledger
+    and the cache counters; consumed by :func:`main` in check mode.
+    """
+    from repro.bench.wallclock import _web_programs
+    from repro.cache import DiskCodeCache
+    from repro.engine.runtime_engine import Engine
+
+    cache = DiskCodeCache(root=cache_dir)
+    output = []
+    stats = []
+    for source in _web_programs():
+        engine = Engine(executor_backend=backend, code_cache=cache)
+        output.extend(engine.run_source(source))
+        stats.append(engine.stats.as_dict())
+    print(json.dumps({"output": output, "stats": stats, "cache": cache.stats()}))
+    return 0
+
+
+def _spawn(phase, cache_dir, backend):
+    """Run one phase in a fresh interpreter; returns its parsed payload."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            os.path.abspath(__file__),
+            "--phase",
+            phase,
+            "--dir",
+            cache_dir,
+            "--backend",
+            backend,
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    if proc.returncode != 0:
+        raise SystemExit(
+            "%s phase failed (exit %d):\n%s" % (phase, proc.returncode, proc.stderr)
+        )
+    return json.loads(proc.stdout)
+
+
+def main(argv=None):
+    """Run the round trip; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--dir",
+        default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR, else a temp dir)",
+    )
+    parser.add_argument(
+        "--backend", default="closure", choices=["simple", "closure"]
+    )
+    parser.add_argument(
+        "--phase", default=None, choices=["cold", "warm"], help=argparse.SUPPRESS
+    )
+    args = parser.parse_args(argv)
+
+    if args.phase is not None:
+        return run_phase(args.dir, args.backend)
+
+    cache_dir = args.dir or os.environ.get("REPRO_CACHE_DIR")
+    cleanup = False
+    if not cache_dir:
+        cache_dir = tempfile.mkdtemp(prefix="repro-roundtrip-")
+        cleanup = True
+    try:
+        shutil.rmtree(os.path.join(cache_dir, "code"), ignore_errors=True)
+        cold = _spawn("cold", cache_dir, args.backend)
+        warm = _spawn("warm", cache_dir, args.backend)
+
+        failures = []
+        if cold["cache"]["stores"] == 0:
+            failures.append("cold phase stored nothing")
+        if warm["cache"]["hits"] == 0:
+            failures.append("warm phase had no disk hits")
+        if warm["cache"]["stores"] != 0:
+            failures.append(
+                "warm phase re-stored %d artifact(s)" % warm["cache"]["stores"]
+            )
+        if cold["output"] != warm["output"]:
+            failures.append("guest output differs between cold and warm")
+        if cold["stats"] != warm["stats"]:
+            for index, (cold_stats, warm_stats) in enumerate(
+                zip(cold["stats"], warm["stats"])
+            ):
+                for key in cold_stats:
+                    if cold_stats[key] != warm_stats[key]:
+                        failures.append(
+                            "program %d: stats[%r] %r (cold) != %r (warm)"
+                            % (index, key, cold_stats[key], warm_stats[key])
+                        )
+        if failures:
+            print("CACHE ROUND TRIP FAILED:")
+            for failure in failures:
+                print("  " + failure)
+            return 1
+        print(
+            "cache round trip OK: %d stores cold, %d hits warm, "
+            "output and stats bit-identical (%s backend, dir %s)"
+            % (
+                cold["cache"]["stores"],
+                warm["cache"]["hits"],
+                args.backend,
+                cache_dir,
+            )
+        )
+        return 0
+    finally:
+        if cleanup:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,10 +8,18 @@ are compared, so the gate is meaningful on any machine; a failure
 means the closure backend's advantage over the reference executor
 shrank by more than the tolerance (default 15%).
 
+Besides the backend comparison, the gate covers the background
+compilation lane (deterministic cycle ratios, near-exact comparison)
+and the persistent code cache (cold vs warm wall clock); ``--sections``
+selects a subset — e.g. ``--sections warm-cache`` lets CI gate the
+warm-cache speedup against a stored ``--baseline`` JSON without paying
+for the full backend sweep.
+
 Usage::
 
     PYTHONPATH=src python tools/perf_gate.py             # gate against baseline
     PYTHONPATH=src python tools/perf_gate.py --update    # refresh the baseline
+    PYTHONPATH=src python tools/perf_gate.py --sections warm-cache --baseline B.json
     PYTHONPATH=src python -m pytest -m perf              # same gate via pytest
 
 Exit status 1 on regression (or missing baseline), 0 otherwise.
@@ -47,9 +55,16 @@ def main(argv=None):
         action="store_true",
         help="write the fresh measurement to --baseline instead of gating",
     )
+    parser.add_argument(
+        "--sections",
+        default=None,
+        help="comma-separated subset of backends,background,warm-cache "
+        "(default: all)",
+    )
     args = parser.parse_args(argv)
 
     from repro.bench.wallclock import (
+        ALL_SECTIONS,
         check_gate,
         format_wallclock,
         load_wallclock_json,
@@ -57,7 +72,18 @@ def main(argv=None):
         write_wallclock_json,
     )
 
-    results = run_wallclock(repeats=args.repeats)
+    sections = ALL_SECTIONS
+    if args.sections:
+        sections = tuple(part.strip() for part in args.sections.split(",") if part.strip())
+        unknown = [part for part in sections if part not in ALL_SECTIONS]
+        if unknown:
+            print(
+                "unknown sections %s; available: %s"
+                % (", ".join(unknown), ", ".join(ALL_SECTIONS))
+            )
+            return 2
+
+    results = run_wallclock(repeats=args.repeats, sections=sections)
     print(format_wallclock(results))
 
     if args.update:
