@@ -10,6 +10,15 @@ anatomy (also documented in docs/COMPILE_PIPELINE.md).  Entries are
 written atomically (temp file + ``os.replace``) so concurrent runs
 sharing a cache directory never observe torn artifacts; corrupt or
 version-skewed entries read as misses, never as errors.
+
+Every entry is integrity-framed on disk: a magic tag, the payload
+length, and a SHA-256 digest precede the marshalled artifact (see
+:data:`ENTRY_MAGIC`).  :meth:`DiskCodeCache.load` verifies the frame
+*before* unmarshalling, so a truncated, bit-flipped or
+foreign-format file — e.g. a reader racing a non-atomic copy of the
+cache directory, or a crashed writer on a filesystem without atomic
+rename — is detected as a miss instead of being fed to ``marshal``
+(which happily decodes some prefixes of valid input).
 """
 
 import hashlib
@@ -26,6 +35,49 @@ from repro.cache.serialize import (
 )
 from repro.jsvm.bytecode import CodeObject
 from repro.jsvm.values import value_key
+
+
+#: First bytes of every cache entry.  The trailing version digit is
+#: bumped whenever the framing itself changes (the artifact format has
+#: its own ``FORMAT_VERSION`` inside the payload).
+ENTRY_MAGIC = b"RPC1"
+
+#: Frame layout: magic, 8-byte big-endian payload length, 32-byte
+#: SHA-256 of the payload, then the payload itself.
+_FRAME_HEADER_SIZE = len(ENTRY_MAGIC) + 8 + 32
+
+
+def _frame_entry(payload):
+    """Wrap a marshalled artifact in the integrity frame."""
+    return b"".join(
+        [
+            ENTRY_MAGIC,
+            len(payload).to_bytes(8, "big"),
+            hashlib.sha256(payload).digest(),
+            payload,
+        ]
+    )
+
+
+def _unframe_entry(blob):
+    """Return the verified payload of a framed entry, or None.
+
+    None means the blob is not a complete, intact entry written by
+    this code: wrong magic (foreign or pre-framing file), short or
+    over-long data (torn or concatenated write), or digest mismatch
+    (corruption).  Callers treat all of these as cache misses.
+    """
+    if len(blob) < _FRAME_HEADER_SIZE or not blob.startswith(ENTRY_MAGIC):
+        return None
+    offset = len(ENTRY_MAGIC)
+    length = int.from_bytes(blob[offset : offset + 8], "big")
+    digest = blob[offset + 8 : offset + 40]
+    payload = blob[_FRAME_HEADER_SIZE:]
+    if len(payload) != length:
+        return None
+    if hashlib.sha256(payload).digest() != digest:
+        return None
+    return payload
 
 
 def default_cache_root():
@@ -187,14 +239,24 @@ class DiskCodeCache(object):
     def load(self, key, code):
         """Thaw the artifact stored under ``key`` for ``code``, or None.
 
-        Anything unexpected — missing file, version skew, corruption —
-        is a miss; the engine then compiles (and re-stores) normally.
+        Anything unexpected — missing file, version skew, a torn or
+        corrupted frame — is a miss; the engine then compiles (and
+        re-stores) normally.
         """
         path = self._path(key)
         try:
             with open(path, "rb") as handle:
-                artifact = marshal.loads(handle.read())
-        except (OSError, ValueError, EOFError, TypeError):
+                blob = handle.read()
+        except OSError:
+            self.misses += 1
+            return None
+        payload = _unframe_entry(blob)
+        if payload is None:
+            self.misses += 1
+            return None
+        try:
+            artifact = marshal.loads(payload)
+        except (ValueError, EOFError, TypeError):
             self.misses += 1
             return None
         if not isinstance(artifact, dict) or artifact.get("format") != FORMAT_VERSION:
@@ -231,10 +293,15 @@ class DiskCodeCache(object):
         directory = os.path.dirname(path)
         try:
             os.makedirs(directory, exist_ok=True)
+            # Atomic publish: frame into a private temp file in the
+            # destination directory (same filesystem), then rename over
+            # the final name.  Concurrent writers race benignly — the
+            # last complete frame wins — and readers only ever see
+            # either no file or a complete frame.
             handle, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
             try:
                 with os.fdopen(handle, "wb") as out:
-                    out.write(marshal.dumps(artifact))
+                    out.write(_frame_entry(marshal.dumps(artifact)))
                 os.replace(temp_path, path)
             except BaseException:
                 try:

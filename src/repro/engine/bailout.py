@@ -1,4 +1,4 @@
-"""Bailout introspection: turn a guard failure into trace-event fields.
+"""Bailout introspection and guard fault injection ("chaos deopt").
 
 A :class:`repro.lir.executor.Bailout` carries everything the engine
 needs to resume interpretation (frame values, resume pc and mode) plus
@@ -9,7 +9,20 @@ ids are assigned in native emission order by
 :func:`repro.lir.native.generate_native`, so they are stable across
 identical compilations and a trace can be cross-referenced against
 ``python -m repro disasm`` output.
+
+:class:`GuardFaultInjector` is the other direction: instead of
+observing bailouts it *provokes* them.  Armed on an engine
+(``Engine(fault_injector=...)``), both executor backends consult it at
+every guard and force the selected guards to fail even though the
+speculation they encode holds — with the exact recovery values the
+interpreter would have produced, so a fault-injected run must print
+bit-identical output.  That proves every compiled guard has a live,
+correct deoptimization path (the invariant Flückiger et al. formalize
+and docs/FUZZING.md describes); the differential fuzzer's chaos mode
+is built on it.
 """
+
+from repro.lir.native import FAULT_INJECTED, guard_indices
 
 
 def describe_bailout(bail):
@@ -28,3 +41,94 @@ def describe_bailout(bail):
         "resume_point": None if snapshot is None else snapshot.snapshot_id,
         "native_index": bail.native_index,
     }
+
+
+class GuardFaultInjector(object):
+    """Forces compiled guards to fail on demand ("chaos deopt").
+
+    Selectors compose:
+
+    * ``function`` — only guards in binaries of the named guest
+      function (None targets every binary);
+    * ``nth`` — only the Nth guard of a matching binary, in native
+      stream order (None targets every guard).
+
+    Each selected guard fires **once per binary**: the first time it
+    executes, :meth:`should_fire` returns True, the executor raises a
+    :class:`~repro.lir.executor.Bailout` with reason
+    ``"fault-injected"`` and the exact recovery value a genuine
+    execution would have produced, and subsequent executions of that
+    guard run normally.  A fresh binary for the same function (OSR
+    recompile, post-deopt generic code) starts with a clean slate, so
+    chaos mode sweeps every guard of every generation.
+
+    The default constructor — no selectors — is full chaos: every
+    guard of every binary fails on its first execution.  Pair it with
+    ``Engine(bailout_limit=...)`` large enough that the engine does not
+    fall back to generic code before the sweep finishes.
+    """
+
+    def __init__(self, function=None, nth=None):
+        self.function = function
+        self.nth = nth
+        #: id(native) -> (native, fired index set, guard index list).
+        #: The native is kept strongly referenced so ids stay unique
+        #: for the injector's lifetime even after the engine discards
+        #: a binary.
+        self._binaries = {}
+        #: One record per forced failure, in firing order.
+        self.fired = []
+
+    def _entry(self, native):
+        entry = self._binaries.get(id(native))
+        if entry is None:
+            entry = (native, set(), guard_indices(native))
+            self._binaries[id(native)] = entry
+        return entry
+
+    def should_fire(self, native, index):
+        """Decide whether the guard at ``index`` must fail now.
+
+        Called by both executor backends immediately before a guard's
+        own check.  Returns True at most once per (binary, guard) and
+        records the firing in :attr:`fired`.
+        """
+        code = native.code
+        if self.function is not None and code.name != self.function:
+            return False
+        _native, fired, guards = self._entry(native)
+        if index in fired:
+            return False
+        if self.nth is not None:
+            if self.nth >= len(guards) or guards[self.nth] != index:
+                return False
+        fired.add(index)
+        self.fired.append(
+            {
+                "fn": code.name,
+                "code_id": code.code_id,
+                "native_index": index,
+                "guard_op": native.instructions[index].op,
+                "specialized": bool(native.meta.get("specialized")),
+            }
+        )
+        return True
+
+    def coverage(self):
+        """Per-binary firing coverage, for tests and reports.
+
+        Returns a list of ``(native, fired_indices, guard_indices)``
+        tuples — one per binary the injector ever saw a guard of.
+        """
+        return [
+            (native, frozenset(fired), tuple(guards))
+            for native, fired, guards in self._binaries.values()
+        ]
+
+    def fully_fired_binaries(self):
+        """Binaries whose *every* guard was forced to fail at least once."""
+        return [
+            native
+            for native, fired, guards in self._binaries.values()
+            if guards and fired.issuperset(guards)
+        ]

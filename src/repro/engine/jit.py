@@ -11,6 +11,13 @@ from repro.lir.native import generate_native
 from repro.mir.builder import build_mir
 from repro.opts.pass_manager import optimize
 
+#: Test-only hook: when set to a callable, every freshly generated
+#: binary is passed through it before being returned to the engine.
+#: The differential fuzzer's self-test plants a deliberate miscompile
+#: here (e.g. flipping one opcode) to prove the oracle catches a wrong
+#: binary end-to-end.  Never set in production paths.
+_MISCOMPILE_HOOK = None
+
 
 class CompileResult(object):
     """A finished compilation plus its cost-model inputs."""
@@ -64,6 +71,8 @@ def compile_function(
         graph, config, loop_inversion_applied=config.loop_inversion, tracer=tracer
     )
     native, codegen_stats = generate_native(graph)
+    if _MISCOMPILE_HOOK is not None:
+        _MISCOMPILE_HOOK(native)
     return CompileResult(
         native,
         work,

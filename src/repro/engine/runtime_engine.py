@@ -33,6 +33,7 @@ from repro.jsvm.interpreter import Frame, Interpreter
 from repro.jsvm.values import arguments_key, value_key
 from repro.lir.closures import ClosureExecutor
 from repro.lir.executor import Bailout, NativeExecutor
+from repro.lir.native import FAULT_INJECTED
 from repro.opts.loop_inversion import rotate_loops
 
 #: Compile a function once it has been called this many times...
@@ -138,6 +139,7 @@ class Engine(object):
         cycle_profiler=None,
         background_compile=False,
         code_cache=None,
+        fault_injector=None,
     ):
         self.config = config
         self.cost_model = cost_model if cost_model is not None else CostModel()
@@ -166,6 +168,14 @@ class Engine(object):
         if cycle_profiler is not None:
             cycle_profiler.bind_cost_model(self.cost_model)
             self.executor.cycle_profiler = cycle_profiler
+        #: Optional chaos-deopt injector
+        #: (``repro.engine.bailout.GuardFaultInjector``).  Armed, both
+        #: executor backends consult it before every guard and force
+        #: the selected ones to fail with exact recovery values; pair
+        #: with a large ``bailout_limit`` for full-sweep runs.
+        self.fault_injector = fault_injector
+        if fault_injector is not None:
+            self.executor.fault_injector = fault_injector
         if tracer is not None:
             tracer.bind_clock(self.trace_clock)
         self.states = {}
@@ -834,6 +844,15 @@ class Engine(object):
                 count=state.bailout_count,
                 **describe_bailout(bail)
             )
+            if bail.reason == FAULT_INJECTED:
+                tracer.emit(
+                    "fuzz",
+                    "inject",
+                    fn=state.code.name,
+                    code_id=state.code.code_id,
+                    native_index=bail.native_index,
+                    guard_op=bail.guard_op,
+                )
         feedback = state.code.feedback
         if feedback is not None:
             if bail.mode == "after":

@@ -1,0 +1,42 @@
+"""Differential fuzzing and deopt fault injection (docs/FUZZING.md).
+
+The subsystem has four parts, one module each:
+
+* :mod:`repro.fuzz.generator` — seeded grammar-based program
+  generation, weighted toward specialization-hostile shapes;
+* :mod:`repro.fuzz.oracle` — the differential oracle running one
+  program through a matrix of engine configurations and asserting the
+  observables agree;
+* :mod:`repro.fuzz.shrink` — delta-debugging reduction of mismatching
+  programs to minimal reproducers;
+* :mod:`repro.fuzz.harness` — the iteration loop behind ``python -m
+  repro fuzz``, emitting ``fuzz.*`` trace events and writing
+  reproducers into the corpus;
+* :mod:`repro.fuzz.corpus` — replay of the checked-in reproducer
+  corpus (``tests/corpus/``).
+
+Chaos deopt itself — forcing every compiled guard to fail with exact
+recovery values — lives with the engine
+(:class:`repro.engine.bailout.GuardFaultInjector`); the oracle's
+``chaos`` variants are built on it.
+"""
+
+from repro.fuzz.generator import generate_program
+from repro.fuzz.harness import FuzzSession
+from repro.fuzz.oracle import (
+    DEFAULT_MATRIX,
+    VARIANT_NAMES,
+    Mismatch,
+    check_program,
+)
+from repro.fuzz.shrink import shrink_program
+
+__all__ = [
+    "DEFAULT_MATRIX",
+    "VARIANT_NAMES",
+    "FuzzSession",
+    "Mismatch",
+    "check_program",
+    "generate_program",
+    "shrink_program",
+]

@@ -1,0 +1,36 @@
+"""Replay of banked reproducers (``tests/corpus/``).
+
+Every ``.js`` file in the corpus directory — hand-picked
+specialization-hostile programs plus shrunk fuzzer finds — is run
+through the full differential matrix on every tier-1 run
+(``tests/test_fuzz.py``), so a bug once caught stays caught.
+"""
+
+import os
+
+from repro.fuzz.oracle import check_program
+
+
+def corpus_files(directory):
+    """Sorted absolute paths of every ``.js`` file in ``directory``."""
+    if not os.path.isdir(directory):
+        return []
+    return sorted(
+        os.path.join(directory, name)
+        for name in os.listdir(directory)
+        if name.endswith(".js")
+    )
+
+
+def replay_corpus(directory, matrix=None):
+    """Run every corpus program through the oracle.
+
+    Returns ``{filename: [Mismatch, ...]}`` — empty lists throughout
+    is the passing verdict.
+    """
+    results = {}
+    for path in corpus_files(directory):
+        with open(path, "r") as handle:
+            source = handle.read()
+        results[os.path.basename(path)] = check_program(source, matrix)
+    return results

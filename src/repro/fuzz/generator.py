@@ -1,0 +1,247 @@
+"""Seeded grammar-based generation of specialization-hostile programs.
+
+Every program is a deterministic function of ``(seed, iteration)``:
+the only randomness source is one :class:`random.Random` seeded with
+an integer derived from both, and every choice point draws through
+integer-weighted tables (never ``random.choices`` or anything
+float- or hash-order-dependent), so the same pair names the same
+program on every Python version the CI matrix runs.
+
+The grammar is a small statement/expression language inside a fixed
+skeleton — function declarations followed by call-site lines — and
+the weights are deliberately skewed toward the shapes that historically
+break value-specializing JITs:
+
+* **reassigned parameters** — the baked-in argument constant must not
+  survive a ``a = a + 1`` in the body;
+* **polymorphic call sites** — the same function called with ints,
+  then doubles, then strings, exercising the spec cache's key/discard
+  policy and type-guard bailouts;
+* **OSR-triggering loops** — trip counts straddling the back-edge
+  threshold, so some loops tier up mid-execution and some don't;
+* **guard-boundary values** — INT32_MAX/MIN and friends as literals
+  and arguments, so overflow and negative-zero guards actually fire.
+
+Each top-level construct is emitted on a *single line*: the shrinker
+(:mod:`repro.fuzz.shrink`) reduces line sets, and one-construct-per-
+line makes every subset syntactically plausible.
+"""
+
+import random
+
+#: The multiplier folding ``seed`` and ``iteration`` into one integer
+#: seed (a large prime, so adjacent seeds don't collide across
+#: adjacent iterations).
+SEED_STRIDE = 1000003
+
+#: Int literals sitting on guard boundaries: int32 overflow edges,
+#: negative-zero feeders, bit-op widths.
+BOUNDARY_INTS = (
+    0,
+    1,
+    -1,
+    2,
+    3,
+    7,
+    16,
+    255,
+    256,
+    1023,
+    65535,
+    46340,  # isqrt(INT32_MAX): mul_i overflow pivot
+    2147483646,
+    2147483647,
+    -2147483647,
+    -2147483648,
+)
+
+#: Double and string literals for the polymorphic arms.
+OTHER_LITERALS = ('0.5', '-0.25', '2.5', '1e9', '"s"', '"x7"', '""')
+
+#: Loop trip counts straddling the FAST OSR back-edge threshold (10)
+#: and the default one (100).
+TRIP_COUNTS = (2, 5, 9, 11, 13, 40, 75, 120)
+
+
+def _weighted(rng, table):
+    """Draw from ``table`` — ``(integer_weight, item)`` pairs.
+
+    Integer arithmetic end to end: ``randrange`` over the weight sum,
+    so the draw sequence is identical on every platform and Python
+    version for a given ``rng`` state.
+    """
+    total = 0
+    for weight, _item in table:
+        total += weight
+    roll = rng.randrange(total)
+    for weight, item in table:
+        roll -= weight
+        if roll < 0:
+            return item
+    raise AssertionError("unreachable: weights exhausted")
+
+
+def _int_literal(rng):
+    """A boundary-biased integer literal as source text."""
+    value = BOUNDARY_INTS[rng.randrange(len(BOUNDARY_INTS))]
+    if value < 0:
+        return "(%d)" % value
+    return "%d" % value
+
+
+def _leaf(rng, names):
+    """An expression leaf: a live variable or a boundary literal."""
+    kind = _weighted(rng, [(5, "var"), (3, "int"), (1, "other")])
+    if kind == "var":
+        return names[rng.randrange(len(names))]
+    if kind == "int":
+        return _int_literal(rng)
+    return OTHER_LITERALS[rng.randrange(len(OTHER_LITERALS))]
+
+
+#: Binary operators, weighted.  Heavy on the int-speculated group
+#: (arithmetic and bitops compile to guarded ``*_i`` forms); division
+#: and modulo produce doubles/NaN, poisoning int chains mid-loop.
+_BINOPS = [
+    (6, "+"),
+    (5, "-"),
+    (5, "*"),
+    (4, "&"),
+    (4, "|"),
+    (3, "^"),
+    (2, "<<"),
+    (2, ">>"),
+    (2, ">>>"),
+    (2, "%"),
+    (1, "/"),
+]
+
+
+def _expression(rng, names, depth):
+    """A parenthesized expression over ``names``, recursion-bounded."""
+    if depth <= 0:
+        return _leaf(rng, names)
+    kind = _weighted(
+        rng, [(6, "binary"), (2, "leaf"), (1, "unary"), (1, "ternary")]
+    )
+    if kind == "leaf":
+        return _leaf(rng, names)
+    if kind == "unary":
+        op = _weighted(rng, [(3, "-"), (2, "~"), (1, "!")])
+        return "(%s%s)" % (op, _expression(rng, names, depth - 1))
+    if kind == "ternary":
+        comparison = _weighted(rng, [(2, "<"), (2, ">"), (1, "=="), (1, "<=")])
+        return "(%s %s %s ? %s : %s)" % (
+            _leaf(rng, names),
+            comparison,
+            _leaf(rng, names),
+            _expression(rng, names, depth - 1),
+            _expression(rng, names, depth - 1),
+        )
+    return "(%s %s %s)" % (
+        _expression(rng, names, depth - 1),
+        _weighted(rng, _BINOPS),
+        _expression(rng, names, depth - 1),
+    )
+
+
+def _loop_body(rng, names, accumulator):
+    """Statements for one loop body, as a list of source fragments."""
+    statements = ["%s = %s;" % (accumulator, _expression(rng, names, 2))]
+    # Reassigned parameter: the canonical specialization-hostile shape.
+    if rng.randrange(3) == 0:
+        param = names[rng.randrange(2)]
+        statements.append("%s = %s;" % (param, _expression(rng, names, 1)))
+    if rng.randrange(3) == 0:
+        statements.append(
+            "if (%s %s %s) { %s = %s; }"
+            % (
+                accumulator,
+                _weighted(rng, [(2, "<"), (2, ">"), (1, "==")]),
+                _int_literal(rng),
+                accumulator,
+                _expression(rng, names, 1),
+            )
+        )
+    return statements
+
+
+def _function_line(rng, index):
+    """One guest function declaration, emitted on a single line."""
+    name = "f%d" % index
+    names = ("a", "b", "s", "i")
+    trips = TRIP_COUNTS[rng.randrange(len(TRIP_COUNTS))]
+    pieces = ["function %s(a, b) {" % name, "var s = %s;" % _int_literal(rng)]
+    if rng.randrange(4) == 0:
+        # Pre-loop parameter clobber: defeats the baked-in constant
+        # before the loop even starts.
+        pieces.append("a = %s;" % _expression(rng, ("a", "b"), 1))
+    pieces.append("for (var i = 0; i < %d; i = i + 1) {" % trips)
+    pieces.extend(_loop_body(rng, names, "s"))
+    pieces.append("}")
+    if rng.randrange(4) == 0:
+        pieces.append('return "" + s;')
+    else:
+        pieces.append("return s;")
+    pieces.append("}")
+    return name, " ".join(pieces)
+
+
+def _argument(rng, polymorphic):
+    """One call-site argument literal."""
+    if polymorphic and rng.randrange(2) == 0:
+        return OTHER_LITERALS[rng.randrange(len(OTHER_LITERALS))]
+    return _int_literal(rng)
+
+
+def _call_lines(rng, name, index):
+    """Call-site lines for one function: a monomorphic warm-up wave,
+    then optionally polymorphic follow-ups (type-change deopts), then
+    a hot driver loop (call-threshold and OSR pressure)."""
+    lines = []
+    first_args = (_argument(rng, False), _argument(rng, False))
+    lines.append("print(%s(%s, %s));" % (name, first_args[0], first_args[1]))
+    polymorphic = rng.randrange(2) == 0
+    for _ in range(rng.randrange(1, 3)):
+        lines.append(
+            "print(%s(%s, %s));"
+            % (name, _argument(rng, polymorphic), _argument(rng, polymorphic))
+        )
+    driver_trips = TRIP_COUNTS[rng.randrange(len(TRIP_COUNTS))]
+    lines.append(
+        "var t%d = 0; for (var r%d = 0; r%d < %d; r%d = r%d + 1) "
+        "{ t%d = %s(%s, r%d); } print(t%d);"
+        % (
+            index,
+            index,
+            index,
+            driver_trips,
+            index,
+            index,
+            index,
+            name,
+            _argument(rng, polymorphic),
+            index,
+            index,
+        )
+    )
+    return lines
+
+
+def generate_program(seed, iteration=0):
+    """The program for ``(seed, iteration)``, as source text.
+
+    Deterministic: same pair, same text, on every supported platform.
+    Every generated program terminates (all loops have literal bounds)
+    and is syntactically valid; most print several lines.
+    """
+    rng = random.Random(seed * SEED_STRIDE + iteration)
+    lines = []
+    function_names = []
+    for index in range(rng.randrange(1, 4)):
+        name, line = _function_line(rng, index)
+        function_names.append(name)
+        lines.append(line)
+    for index, name in enumerate(function_names):
+        lines.extend(_call_lines(rng, name, index))
+    return "\n".join(lines) + "\n"

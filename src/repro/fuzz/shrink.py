@@ -1,0 +1,107 @@
+"""Delta-debugging reduction of mismatching programs.
+
+Classic ddmin (Zeller & Hildebrandt) over *source lines*: the
+generator emits one top-level construct per line precisely so that
+line subsets are plausible programs.  The predicate is "the oracle
+still reports a mismatch"; subsets that fail to parse simply don't
+satisfy it, so the algorithm needs no grammar awareness.
+
+The result is what lands in ``tests/corpus/`` when a fuzzing run
+finds a bug: the smallest line subset (then further cleaned by
+dropping any single line whose removal preserves the mismatch) that
+still reproduces the disagreement.
+"""
+
+
+class ShrinkResult(object):
+    """Outcome of one reduction: the text, its size, the work done."""
+
+    def __init__(self, source, from_lines, to_lines, steps):
+        self.source = source
+        self.from_lines = from_lines
+        self.to_lines = to_lines
+        #: Predicate evaluations spent (each is one full oracle pass).
+        self.steps = steps
+
+
+def _split(items, chunk_count):
+    """Partition ``items`` into ``chunk_count`` contiguous chunks."""
+    chunks = []
+    start = 0
+    for index in range(chunk_count):
+        end = start + (len(items) - start) // (chunk_count - index)
+        if end > start:
+            chunks.append(items[start:end])
+        start = end
+    return chunks
+
+
+def ddmin(lines, predicate, max_steps=2000):
+    """Minimal failing subset of ``lines`` under ``predicate``.
+
+    ``predicate(candidate_lines)`` must return True when the candidate
+    still exhibits the failure; it is assumed True for ``lines``
+    itself.  Returns ``(minimal_lines, steps_used)``.  ``max_steps``
+    bounds predicate evaluations — reduction is best-effort beyond it.
+    """
+    steps = 0
+    granularity = 2
+    while len(lines) >= 2 and steps < max_steps:
+        chunks = _split(lines, min(granularity, len(lines)))
+        reduced = False
+        for index in range(len(chunks)):
+            complement = []
+            for chunk_index, chunk in enumerate(chunks):
+                if chunk_index != index:
+                    complement.extend(chunk)
+            steps += 1
+            if predicate(complement):
+                lines = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+            if steps >= max_steps:
+                break
+        if not reduced:
+            if granularity >= len(lines):
+                break
+            granularity = min(len(lines), granularity * 2)
+    return lines, steps
+
+
+def shrink_program(source, predicate, max_steps=2000):
+    """Reduce ``source`` to a minimal reproducer under ``predicate``.
+
+    ``predicate(candidate_source)`` gets joined text and returns True
+    when the candidate still reproduces the failure (callers wrap the
+    oracle and must return False — not raise — on syntax errors).
+    Returns a :class:`ShrinkResult`.
+    """
+    lines = [line for line in source.splitlines() if line.strip()]
+    from_lines = len(lines)
+
+    def line_predicate(candidate):
+        if not candidate:
+            return False
+        return predicate("\n".join(candidate) + "\n")
+
+    minimal, steps = ddmin(lines, line_predicate, max_steps=max_steps)
+
+    # ddmin guarantees 1-minimality over its final granularity; one
+    # extra sweep dropping single lines catches leftovers cheaply.
+    changed = True
+    while changed and steps < max_steps:
+        changed = False
+        for index in range(len(minimal)):
+            candidate = minimal[:index] + minimal[index + 1 :]
+            steps += 1
+            if line_predicate(candidate):
+                minimal = candidate
+                changed = True
+                break
+            if steps >= max_steps:
+                break
+
+    return ShrinkResult(
+        "\n".join(minimal) + "\n", from_lines, len(minimal), steps
+    )

@@ -72,6 +72,8 @@ class Parser(object):
     def expect_punct(self, value):
         token = self.peek()
         if not token.is_punct(value):
+            if token.type == TokenType.EOF:
+                self.error("expected %r before end of input" % (value,))
             self.error("expected %r, found %r" % (value, token.value))
         return self.advance()
 
@@ -188,7 +190,10 @@ class Parser(object):
         body = []
         while not self.peek().is_punct("}"):
             if self.peek().type == TokenType.EOF:
-                self.error("unterminated block")
+                # Blame the unmatched opener, not end-of-file: in a
+                # long script the opening brace is the actionable
+                # position.
+                self.error("unbalanced braces: block opened here is never closed", token)
             body.append(self.parse_statement())
         self.expect_punct("}")
         return ast.Block(body, line=token.line)

@@ -54,7 +54,8 @@ from repro.jsvm.values import (
     to_boolean,
     type_of,
 )
-from repro.lir.executor import Bailout, NativeExecutor, _compare, _matches
+from repro.lir.executor import Bailout, NativeExecutor, _compare, _matches, forced_bailout
+from repro.lir.native import GUARD_OPS
 from repro.lir.regalloc import NUM_REGS
 from repro.mir.types import MIRType
 
@@ -128,7 +129,7 @@ class _Binder(object):
         return self.bind(value)
 
 
-def _emit(out, index, instruction, binder):
+def _emit(out, index, instruction, binder, inject=False):
     """Append the statement(s) for one instruction to ``out``.
 
     Each emitted fragment is a transliteration of the matching if/elif
@@ -136,12 +137,22 @@ def _emit(out, index, instruction, binder):
     inlined (negative locations index the immediate pool, exactly as
     in the reference executor's value array).  Scratch names ``_t``,
     ``_x``, ``_y`` are block-local and never live across instructions.
+
+    ``inject`` (set only when the executor carries an armed fault
+    injector at translation time) prefixes every guard with a consult
+    of the injector — the closure-backend twin of the reference
+    backend's pre-dispatch check, so forced bailouts fire at the same
+    point with the same partial cycle charge.
     """
     op = instruction.op
     srcs = instruction.srcs
     dest = instruction.dest
     extra = instruction.extra
     snap = instruction.snapshot
+
+    if inject and snap is not None and op in GUARD_OPS:
+        out.append("if _fire(%d):" % index)
+        out.append("    _forced(_v, %d)" % index)
 
     def v(loc):
         return "_v[%d]" % loc
@@ -422,6 +433,7 @@ def compile_closures(native, executor, capture=None):
     costs = native.cost_table(executor.cost_model)
     interpreter = executor.interpreter
     runtime = executor.runtime
+    injector = executor.fault_injector
 
     namespace = {
         "_UNDEF": UNDEFINED,
@@ -450,6 +462,16 @@ def compile_closures(native, executor, capture=None):
         "_JSObject": JSObject,
         "_JSFunction": JSFunction,
     }
+    if injector is not None:
+
+        def _fire(index, _injector=injector, _native=native):
+            return _injector.should_fire(_native, index)
+
+        def _forced(values, index, _executor=executor, _instructions=instructions):
+            forced_bailout(_executor, _instructions[index], values)
+
+        namespace["_fire"] = _fire
+        namespace["_forced"] = _forced
     binder = _Binder(namespace)
 
     leaders = _block_leaders(native)
@@ -479,7 +501,13 @@ def compile_closures(native, executor, capture=None):
             if offset:
                 lines.append("        _i = %d" % offset)
             stmts = []
-            _emit(stmts, instr_index, instructions[instr_index], binder)
+            _emit(
+                stmts,
+                instr_index,
+                instructions[instr_index],
+                binder,
+                inject=injector is not None,
+            )
             lines.extend("        " + stmt for stmt in stmts)
         if fallthrough is not None:
             lines.append("        return %d" % fallthrough)
@@ -523,9 +551,14 @@ def closure_artifact(native, executor):
     (installing ``native.closure_cache`` so the work is not repeated on
     first execution) and returns ``{"source", "code"}`` — the generated
     module text plus its marshalled code object.  Returns None for
-    other executor types, which have nothing host-compiled to persist.
+    other executor types, which have nothing host-compiled to persist,
+    and when a fault injector is armed — chaos-instrumented source must
+    never reach the persistent cache, where a later clean run could
+    byte-match it.
     """
     if not isinstance(executor, ClosureExecutor):
+        return None
+    if executor.fault_injector is not None:
         return None
     capture = {}
     handlers, counts, sums, prefix = compile_closures(native, executor, capture=capture)
@@ -551,13 +584,18 @@ class ClosureExecutor(NativeExecutor):
         Raises :class:`Bailout` when a guard fails, exactly like the
         reference backend.
         """
+        # Chaos-aware blocks (fault injector armed) are distinct code:
+        # the cache key includes the injector so a normal executor
+        # never reuses them and vice versa.
+        injector = self.fault_injector
+        cache_key = self if injector is None else (self, injector)
         cache = native.closure_cache
-        if cache is not None and cache[0] is self:
+        if cache is not None and cache[0] == cache_key:
             _, handlers, counts, sums, prefix = cache
         else:
             # Paid once per binary (per executor): translate and bind.
             handlers, counts, sums, prefix = compile_closures(native, self)
-            native.closure_cache = (self, handlers, counts, sums, prefix)
+            native.closure_cache = (cache_key, handlers, counts, sums, prefix)
         values = [UNDEFINED] * (NUM_REGS + native.num_slots) + native.immediates
         if entry == "osr":
             if native.osr_index is None:

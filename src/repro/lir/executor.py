@@ -33,7 +33,7 @@ from repro.jsvm.values import (
     to_boolean,
     type_of,
 )
-from repro.lir.native import CHECKED_ARITH
+from repro.lir.native import CHECKED_ARITH, FAULT_INJECTED, GUARD_OPS
 from repro.lir.regalloc import NUM_REGS
 from repro.mir.types import MIRType
 
@@ -88,6 +88,55 @@ def _matches(value, mirtype):
 _CHECKED_ARITH = CHECKED_ARITH
 
 
+def forced_bailout(executor, instruction, values):
+    """Raise the fault-injected :class:`Bailout` for a guard.
+
+    Called by both backends when the armed
+    :class:`~repro.engine.bailout.GuardFaultInjector` selects a guard,
+    *instead of* executing the guard's arm.  The recovery value
+    (``actual``, pushed on the interpreter stack by "after"-mode
+    snapshots) is computed exactly as the guard's own execution would
+    have: the genuine result for a speculation that held, the genuine
+    bailout value (overflowed double, ``-0.0``, the off-type value)
+    for one that happened to fail on this very execution.  Resuming
+    the interpreter from this state is therefore bit-identical to
+    never having run the native code at all.
+    """
+    op = instruction.op
+    srcs = instruction.srcs
+    actual = None
+    if op == "add_i" or op == "sub_i":
+        a = values[srcs[0]]
+        b = values[srcs[1]]
+        result = a + b if op == "add_i" else a - b
+        actual = float(result) if (result > INT32_MAX or result < INT32_MIN) else result
+    elif op == "mul_i":
+        a = values[srcs[0]]
+        b = values[srcs[1]]
+        result = a * b
+        if result > INT32_MAX or result < INT32_MIN:
+            actual = float(result)
+        elif result == 0 and (a < 0 or b < 0):
+            actual = -0.0
+        else:
+            actual = result
+    elif op == "neg_i":
+        value = values[srcs[0]]
+        if value == 0:
+            actual = -0.0
+        elif value == INT32_MIN:
+            actual = -float(value)
+        else:
+            actual = -value
+    elif op == "bitop_i":
+        actual = operations.binary_op(instruction.extra, values[srcs[0]], values[srcs[1]])
+    elif op == "unbox" or op == "typebarrier":
+        actual = values[srcs[0]]
+    # checkoverrecursed / boundscheck resume "at" the faulting bytecode
+    # and re-execute it; no recovery value is needed.
+    executor._bail(values, instruction.snapshot, FAULT_INJECTED, op, actual)
+
+
 class NativeExecutor(object):
     """Runs native code against the shared heap and runtime."""
 
@@ -104,6 +153,12 @@ class NativeExecutor(object):
         #: per-instruction execution counts and report their charges;
         #: None (the default) costs one local None-check per run.
         self.cycle_profiler = None
+        #: Optional :class:`~repro.engine.bailout.GuardFaultInjector`
+        #: ("chaos deopt"), assigned by the engine.  When set, every
+        #: guard consults it before its own check and raises a
+        #: fault-injected :class:`Bailout` when selected; None (the
+        #: default) costs one hoisted None-check per run.
+        self.fault_injector = None
 
     # -- frame reconstruction on bailout -------------------------------------------
 
@@ -140,6 +195,7 @@ class NativeExecutor(object):
         interpreter = self.interpreter
         runtime = self.runtime
         profiler = self.cycle_profiler
+        injector = self.fault_injector
         instr_counts = (
             profiler.native_profile(native).instr_counts if profiler is not None else None
         )
@@ -166,6 +222,14 @@ class NativeExecutor(object):
                 if instr_counts is not None:
                     instr_counts[pc] += 1
                 pc += 1
+
+                if (
+                    injector is not None
+                    and instruction.snapshot is not None
+                    and op in GUARD_OPS
+                    and injector.should_fire(native, pc - 1)
+                ):
+                    forced_bailout(self, instruction, values)
 
                 if op == "move":
                     values[dest] = values[srcs[0]]

@@ -19,6 +19,43 @@ from repro.lir.lowering import lower_graph
 #: one extra cycle (cleared by the overflow-elimination extension).
 CHECKED_ARITH = frozenset(["add_i", "sub_i", "mul_i", "neg_i", "bitop_i"])
 
+#: Every op that can raise a :class:`~repro.lir.executor.Bailout` when
+#: it carries a snapshot — the engine's notion of a *guard*.  The
+#: fault injector (``repro.engine.bailout.GuardFaultInjector``) and the
+#: profiler's guard forensics both identify guards by this set.
+GUARD_OPS = frozenset(
+    [
+        "add_i",
+        "sub_i",
+        "mul_i",
+        "neg_i",
+        "bitop_i",
+        "unbox",
+        "typebarrier",
+        "checkoverrecursed",
+        "boundscheck",
+    ]
+)
+
+#: ``Bailout.reason`` used for guard failures forced by the fault
+#: injector (chaos deopt) rather than a genuinely failed speculation.
+FAULT_INJECTED = "fault-injected"
+
+
+def guard_indices(native):
+    """Indices of every guard instruction in ``native``'s stream.
+
+    A guard is an op in :data:`GUARD_OPS` carrying a snapshot; the
+    returned list is in stream order, so the fault injector's "Nth
+    guard of this binary" selector is stable across identical
+    compilations (like snapshot ids).
+    """
+    return [
+        index
+        for index, instruction in enumerate(native.instructions)
+        if instruction.snapshot is not None and instruction.op in GUARD_OPS
+    ]
+
 #: Default cost model instance, created lazily (importing it at module
 #: scope would cycle through ``repro.engine``).
 _DEFAULT_COST_MODEL = None

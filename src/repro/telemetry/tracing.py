@@ -16,8 +16,8 @@ Design rules:
   cost model, so enabling tracing cannot change any measured number.
 * **Named channels.**  Events belong to one of the channels in
   :data:`CHANNELS` (``compile``, ``specialize``, ``deopt``, ``bailout``,
-  ``cache``, ``osr``, ``pass``, ``interp``, ``profile``); a tracer can
-  subscribe to any subset.
+  ``cache``, ``osr``, ``pass``, ``interp``, ``profile``, ``fuzz``); a
+  tracer can subscribe to any subset.
 * **Typed events.**  Every ``channel.event`` pair and its field names
   are declared in :data:`EVENT_SCHEMA`; :meth:`Tracer.emit` rejects
   undeclared events and undeclared fields, and the documentation test
@@ -116,6 +116,12 @@ EVENT_SCHEMA = {
             "total_cycles",
             "guard_failures",
         ),
+    },
+    "fuzz": {
+        "inject": ("fn", "code_id", "native_index", "guard_op"),
+        "run": ("seed", "iteration", "lines", "variants"),
+        "mismatch": ("seed", "iteration", "kind", "variant", "detail"),
+        "shrink": ("seed", "iteration", "from_lines", "to_lines", "steps"),
     },
 }
 

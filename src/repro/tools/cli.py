@@ -10,6 +10,7 @@ Subcommands::
     python -m repro disasm script.js --function f [--config all]
     python -m repro bench --suite sunspider [--configs PS,PS+CP,all] [--jobs N]
     python -m repro bench --wallclock [--repeats 3] [--output BENCH_wallclock.json]
+    python -m repro fuzz [--seed 0] [--iterations 100] [--matrix jit,chaos] [--corpus-dir DIR]
     python -m repro cache stats|clear [--dir DIR]
     python -m repro configs
 
@@ -23,9 +24,12 @@ writing JSONL and Chrome ``trace_event`` files (see docs/TRACING.md);
 ``annotate`` interleaves a function's native disassembly with
 per-instruction execution counts, cycle shares and guard failures;
 ``disasm`` shows a function's optimized MIR and native code; ``bench``
-runs a suite sweep and prints its Figure 9 row; ``cache`` inspects or
-clears the persistent cross-run code cache (docs/COMPILE_PIPELINE.md);
-``configs`` lists the available optimization configurations.
+runs a suite sweep and prints its Figure 9 row; ``fuzz`` runs the
+differential fuzzer — seeded program generation, the cross-engine
+oracle, chaos deopt and ddmin shrinking (docs/FUZZING.md); ``cache``
+inspects or clears the persistent cross-run code cache
+(docs/COMPILE_PIPELINE.md); ``configs`` lists the available
+optimization configurations.
 
 ``run`` and ``trace`` accept ``--background``/``--no-background`` to
 toggle the background compilation lane and ``--code-cache [DIR]`` to
@@ -428,6 +432,58 @@ def cmd_bench(args, out):
     return 0
 
 
+def cmd_fuzz(args, out):
+    """``repro fuzz``: differential fuzzing campaign (docs/FUZZING.md)."""
+    from repro.fuzz import FuzzSession
+    from repro.fuzz.oracle import VARIANT_NAMES
+    from repro.telemetry.tracing import Tracer, write_jsonl
+
+    matrix = args.matrix.split(",") if args.matrix else None
+    tracer = Tracer(channels=("fuzz",)) if args.jsonl else None
+    try:
+        session = FuzzSession(
+            seed=args.seed,
+            iterations=args.iterations,
+            matrix=matrix,
+            shrink=args.shrink,
+            corpus_dir=args.corpus_dir,
+            tracer=tracer,
+            log=lambda message: out.write(message + "\n"),
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    summary = session.run()
+    if args.jsonl:
+        write_jsonl(tracer.events, args.jsonl)
+        out.write("wrote %d events to %s\n" % (len(tracer.events), args.jsonl))
+    out.write(
+        "fuzz: seed=%d iterations=%d matrix=%s\n"
+        % (summary["seed"], summary["iterations"], ",".join(summary["variants"]))
+    )
+    if summary["failures"]:
+        out.write("FAIL: %d mismatching program(s)\n" % summary["failures"])
+        for path in summary["reproducers"]:
+            out.write("  reproducer: %s\n" % path)
+        for record in session.failures:
+            if record["path"] is None:
+                out.write(
+                    "  iteration %d: %s mismatch in %s (%s)\n"
+                    % (
+                        record["iteration"],
+                        record["kind"],
+                        record["variant"],
+                        record["detail"],
+                    )
+                )
+        return 1
+    out.write(
+        "OK: all variants agree (%s)\n" % ", ".join(VARIANT_NAMES)
+        if matrix is None
+        else "OK: all variants agree\n"
+    )
+    return 0
+
+
 def cmd_cache(args, out):
     """``repro cache``: inspect or clear the persistent code cache."""
     from repro.cache import DiskCodeCache
@@ -511,7 +567,7 @@ def build_parser():
     trace.add_argument(
         "--channels",
         help="comma-separated channel subset (default: all): compile,specialize,"
-        "deopt,bailout,cache,osr,pass,interp",
+        "deopt,bailout,cache,osr,pass,interp,profile,fuzz",
     )
     trace.add_argument("--jsonl", metavar="PATH", help="write events as JSON Lines")
     trace.add_argument(
@@ -610,6 +666,36 @@ def build_parser():
         "results are order-preserving and identical to --jobs 1)",
     )
     bench.set_defaults(handler=cmd_bench)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing with chaos deopt (docs/FUZZING.md)",
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="campaign seed")
+    fuzz.add_argument(
+        "--iterations", type=int, default=100, help="programs to generate and check"
+    )
+    fuzz.add_argument(
+        "--matrix",
+        help="comma-separated variant subset (default: all): interp,jit,jit-simple,"
+        "nospec,bg,cache-cold,cache-warm,chaos,chaos-simple",
+    )
+    fuzz.add_argument(
+        "--shrink",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="ddmin-reduce mismatching programs before banking them",
+    )
+    fuzz.add_argument(
+        "--corpus-dir",
+        metavar="DIR",
+        default=None,
+        help="write (shrunk) reproducers for mismatching programs here",
+    )
+    fuzz.add_argument(
+        "--jsonl", metavar="PATH", help="write fuzz.* trace events as JSON Lines"
+    )
+    fuzz.set_defaults(handler=cmd_fuzz)
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the persistent code cache"

@@ -1,0 +1,12 @@
+// Array access with indices walking to (and one past) the length:
+// bounds-check elimination must keep the in-range fast path and the
+// final out-of-range read must bail, returning undefined like the
+// interpreter.
+function walk(arr, limit) { var s = ""; for (var i = 0; i < limit; i = i + 1) { s = s + arr[i] + ","; } return s; }
+var data = [10, 20, 30, 40, 50];
+print(walk(data, 5));
+print(walk(data, 5));
+print(walk(data, 5));
+print(walk(data, 6));
+print(walk(data, 0));
+var total = 0; for (var r = 0; r < 14; r = r + 1) { total = total + data[r % 5]; } print(total);

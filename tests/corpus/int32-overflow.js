@@ -1,0 +1,12 @@
+// Additions and multiplications that cross INT32_MAX/INT32_MIN
+// mid-loop: the add_i/mul_i overflow guards must bail out to the
+// double path with the exact overflowed value.
+function creep(a, step) { var s = a; for (var i = 0; i < 30; i = i + 1) { s = s + step; } return s; }
+function blow(a) { var s = 1; for (var i = 0; i < 12; i = i + 1) { s = s * a; } return s; }
+print(creep(2147483600, 7));
+print(creep(2147483600, 7));
+print(creep(-2147483600, -7));
+print(creep(0, 1));
+print(blow(3));
+print(blow(3));
+print(blow(-7));

@@ -1,0 +1,12 @@
+// NaN never equals itself, so a NaN argument's cache key never
+// matches: every call respecializes (worst-case spec-cache churn),
+// and NaN comparisons must stay false in every compare kind.
+function judge(a, b) { var s = 0; for (var i = 0; i < 18; i = i + 1) { s = (a < b ? 1 : 0) + (a == a ? 2 : 4) + s; } return s; }
+var nan = 0 / 0;
+print(judge(1, 2));
+print(judge(1, 2));
+print(judge(nan, 2));
+print(judge(nan, 2));
+print(judge(2, nan));
+print(judge(nan, nan));
+print(judge(1, 2));

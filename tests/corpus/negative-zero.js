@@ -1,0 +1,12 @@
+// Negative zero: (-n) * 0 and -0 are doubles in JS even when every
+// operand is an int32, so mul_i/neg_i carry dedicated guards.  The
+// division makes -0 observable (1/-0 === -Infinity).
+function prod(a, b) { var s = 1; for (var i = 0; i < 15; i = i + 1) { s = a * b; } return 1 / s; }
+function flip(a) { var s = 0; for (var i = 0; i < 15; i = i + 1) { s = -a; } return 1 / s; }
+print(prod(3, 2));
+print(prod(3, 2));
+print(prod(-3, 0));
+print(prod(0, -3));
+print(flip(5));
+print(flip(5));
+print(flip(0));

@@ -1,0 +1,13 @@
+// Trip counts straddling the OSR back-edge threshold (10 under the
+// fuzzer's FAST settings, 100 default): some loops tier up
+// mid-execution, some finish interpreted, zero/one-trip edges hit
+// loop inversion's guards.
+function spin(n, seed) { var s = seed; for (var i = 0; i < n; i = i + 1) { s = (s * 31 + i) & 65535; } return s; }
+print(spin(0, 7));
+print(spin(1, 7));
+print(spin(9, 7));
+print(spin(10, 7));
+print(spin(11, 7));
+print(spin(99, 7));
+print(spin(100, 7));
+print(spin(101, 7));

@@ -1,0 +1,8 @@
+// Reassigned parameters: the baked-in specialization constant must
+// not survive `a = a + 1` in the body (the paper's central hazard).
+function climb(a, b) { var s = 0; for (var i = 0; i < 40; i = i + 1) { s = s + a; a = a + 1; } return s + b; }
+print(climb(1, 2));
+print(climb(1, 2));
+print(climb(1, 2));
+print(climb(10, 0));
+var t = 0; for (var r = 0; r < 15; r = r + 1) { t = climb(r, t); } print(t);

@@ -1,0 +1,12 @@
+// One function, three argument types: int warm-up compiles an
+// int-specialized binary, then doubles and strings force type-guard
+// bailouts, discard, and respecialization.
+function mix(a, b) { var s = a; for (var i = 0; i < 20; i = i + 1) { s = s + b; } return "" + s; }
+print(mix(1, 2));
+print(mix(1, 2));
+print(mix(1, 2));
+print(mix(1, 2));
+print(mix(0.5, 0.25));
+print(mix("x", "y"));
+print(mix(1, 2));
+print(mix(2.5, -0.25));

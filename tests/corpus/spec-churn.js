@@ -1,0 +1,15 @@
+// One hot function called with a new argument-type pair almost every
+// time: the specialization cache churns through int/double/string/bool
+// entries and eviction order must not change observable results.
+function mix(a, b) { var s = a; for (var i = 0; i < 12; i = i + 1) { s = s + b; } return s; }
+print(mix(1, 2));
+print(mix(1, 2));
+print(mix(1, 2));
+print(mix(1.5, 2));
+print(mix(1, 2.5));
+print(mix("x", 2));
+print(mix(1, "y"));
+print(mix(true, 1));
+print(mix(1, true));
+print(mix(1.5, "z"));
+print(mix(1, 2));

@@ -1,0 +1,10 @@
+// The accumulator changes type *inside* the hot loop (int arithmetic
+// until the threshold, then string concatenation): the type guard
+// fails mid-OSR-execution, not at a call boundary.
+function drift(n) { var s = 0; for (var i = 0; i < n; i = i + 1) { if (i == 25) { s = "" + s; } s = s + 1; } return s; }
+print(drift(10));
+print(drift(10));
+print(drift(40));
+print(drift(40));
+print(drift(24));
+print(drift(26));

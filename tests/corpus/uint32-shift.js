@@ -1,0 +1,10 @@
+// The unsigned shift is the one bit operation whose result can
+// exceed int32 range: bitop_i's uint32-overflow guard must bail with
+// the exact double the interpreter produces.
+function shift(a, n) { var s = 0; for (var i = 0; i < 20; i = i + 1) { s = a >>> n; } return s; }
+print(shift(1, 0));
+print(shift(1, 0));
+print(shift(-1, 0));
+print(shift(-1, 1));
+print(shift(-2147483648, 0));
+print(shift(255, 4));

@@ -126,6 +126,65 @@ class TestRoundTrip:
             (i % 4) ** 2 + 3 * (i % 4) + 1 for i in range(80)
         )]
 
+    @pytest.mark.parametrize("keep", [0, 1, 17, -1])
+    def test_truncated_entry_degrades_to_miss(self, tmp_path, keep):
+        """A torn write — any strict prefix of an entry — is a miss.
+
+        ``keep`` counts bytes kept from the front (-1 means all but
+        the last byte): an empty file, a header-only prefix, and a
+        nearly complete entry must all fail the integrity frame and
+        fall back to a fresh compile with identical output.
+        """
+        cold_printed, _, cold_cache, _ = run_cached(HOT_LOOP, tmp_path)
+        stored = sorted((tmp_path / "code").rglob("*.bin"))
+        assert stored
+        for path in stored:
+            blob = path.read_bytes()
+            path.write_bytes(blob[: keep if keep >= 0 else len(blob) - 1])
+        warm_printed, _, warm_cache, _ = run_cached(HOT_LOOP, tmp_path)
+        assert warm_cache.hits == 0
+        assert warm_cache.misses >= len(stored)
+        assert warm_cache.stores == cold_cache.stores
+        assert warm_printed == cold_printed
+        # The re-store healed the cache: a third run hits everything.
+        healed_printed, _, healed_cache, _ = run_cached(HOT_LOOP, tmp_path)
+        assert healed_cache.hits == cold_cache.stores
+        assert healed_printed == cold_printed
+
+    def test_bitflip_inside_payload_degrades_to_miss(self, tmp_path):
+        """Corruption past the header is caught by the SHA-256 digest."""
+        cold_printed, _, _, _ = run_cached(HOT_LOOP, tmp_path)
+        from repro.cache.disk import _FRAME_HEADER_SIZE
+
+        stored = sorted((tmp_path / "code").rglob("*.bin"))
+        assert stored
+        for path in stored:
+            blob = bytearray(path.read_bytes())
+            assert len(blob) > _FRAME_HEADER_SIZE
+            blob[_FRAME_HEADER_SIZE + (len(blob) - _FRAME_HEADER_SIZE) // 2] ^= 0xFF
+            path.write_bytes(bytes(blob))
+        warm_printed, _, warm_cache, _ = run_cached(HOT_LOOP, tmp_path)
+        assert warm_cache.hits == 0
+        assert warm_printed == cold_printed
+
+    def test_concurrent_writers_last_complete_frame_wins(self, tmp_path):
+        """Two caches racing on one root never leave a torn entry.
+
+        Simulates the race by interleaving two full runs against the
+        same directory; every published entry must carry an intact
+        frame afterwards and a follow-up run hits them all.
+        """
+        run_cached(HOT_LOOP, tmp_path)
+        run_cached(HOT_LOOP, tmp_path)
+        from repro.cache.disk import _unframe_entry
+
+        stored = sorted((tmp_path / "code").rglob("*.bin"))
+        assert stored
+        for path in stored:
+            assert _unframe_entry(path.read_bytes()) is not None
+        _, _, warm_cache, _ = run_cached(HOT_LOOP, tmp_path)
+        assert warm_cache.hits > 0 and warm_cache.misses == 0
+
 
 class TestUncacheable:
     def test_object_arguments_refuse_caching(self, tmp_path):

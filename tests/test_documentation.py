@@ -60,6 +60,7 @@ def test_design_and_experiments_exist():
         "EXPERIMENTS.md",
         os.path.join("docs", "TRACING.md"),
         os.path.join("docs", "STATS.md"),
+        os.path.join("docs", "FUZZING.md"),
     ):
         path = os.path.join(root, filename)
         assert os.path.exists(path), "%s missing" % filename
@@ -167,6 +168,26 @@ def test_stats_doc_matches_summary_keys():
         "keys documented but not returned: %s; returned but undocumented: %s"
         % (sorted(documented - actual), sorted(actual - documented))
     )
+
+
+def test_fuzzing_doc_covers_the_variant_matrix():
+    """docs/FUZZING.md documents every oracle variant and the chaos
+    contract's vocabulary."""
+    import os
+
+    from repro.fuzz.oracle import VARIANT_NAMES
+    from repro.lir.native import FAULT_INJECTED
+
+    path = os.path.join(
+        os.path.dirname(repro.__file__), "..", "..", "docs", "FUZZING.md"
+    )
+    with open(path) as handle:
+        text = handle.read()
+    for name in VARIANT_NAMES:
+        assert "`%s`" % name in text, "variant %r undocumented" % name
+    assert FAULT_INJECTED in text
+    assert "ddmin" in text
+    assert "tests/corpus/" in text
 
 
 def test_profiling_doc_exists_and_mentions_the_invariant():

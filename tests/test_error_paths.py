@@ -1,10 +1,17 @@
-"""Failure injection: guest errors must behave identically in every tier."""
+"""Failure injection: guest errors must behave identically in every tier.
+
+Also pins down the *syntax*-error contract: every lexer/parser
+diagnostic carries the precise ``line``/``column`` of the offending
+construct (the opening delimiter for unterminated ones), so shrunk
+fuzzer reproducers and user scripts alike get actionable positions.
+"""
 
 import pytest
 
 from repro import BASELINE, FULL_SPEC, Engine
-from repro.errors import JSRangeError, JSReferenceError, JSTypeError
+from repro.errors import JSRangeError, JSReferenceError, JSSyntaxError, JSTypeError
 from repro.jsvm.interpreter import Interpreter
+from repro.jsvm.parser import parse
 
 from tests.conftest import FAST
 
@@ -114,3 +121,55 @@ class TestEngineSurvivesErrors:
         e.finish()
         summary = e.stats.summary()
         assert summary["total_cycles"] > 0
+
+
+def syntax_error_at(source):
+    """Parse ``source``, returning the raised error's (line, column)."""
+    with pytest.raises(JSSyntaxError) as info:
+        parse(source)
+    error = info.value
+    assert error.line is not None and error.column is not None
+    assert "(line %d, column %d)" % (error.line, error.column) in str(error)
+    return error.line, error.column
+
+
+class TestSyntaxErrorPositions:
+    def test_unterminated_string_blames_opening_quote(self):
+        assert syntax_error_at('var a = 1;\nvar s = "oops;\n') == (2, 9)
+
+    def test_unterminated_single_quoted_string(self):
+        assert syntax_error_at("print('never closed") == (1, 7)
+
+    def test_newline_in_string_blames_opening_quote(self):
+        assert syntax_error_at('var s = "a\nb";') == (1, 9)
+
+    def test_unterminated_comment_blames_opening(self):
+        assert syntax_error_at("var a = 1;\n/* runs off the end\nvar b;") == (2, 1)
+
+    def test_bad_character_position(self):
+        assert syntax_error_at("var a = 1;\nvar b = 2 # 3;") == (2, 11)
+
+    def test_malformed_hex_literal_position(self):
+        assert syntax_error_at("var bad = 0xZZ;") == (1, 13)
+
+    def test_unbalanced_braces_blame_the_opener(self):
+        # The unmatched "{" (line 2, column 17) is reported, not EOF.
+        source = "var a = 1;\nfunction f(x) { return x;\nvar b = 2;\n"
+        assert syntax_error_at(source) == (2, 15)
+
+    def test_nested_unbalanced_braces_blame_unmatched_opener(self):
+        # The if-block's brace is matched by the "}" on line 4; the
+        # function body's opener is the one left dangling.
+        source = "function f() {\n  if (true) {\n  return 1;\n}\n"
+        line, column = syntax_error_at(source)
+        assert (line, column) == (1, 14)
+
+    def test_stray_closing_brace_position(self):
+        assert syntax_error_at("var a = 1;\n}\n") == (2, 1)
+
+    def test_missing_paren_at_eof_has_position(self):
+        line, column = syntax_error_at("print(1 + 2")
+        assert line == 1 and column == 12
+
+    def test_expected_semicolon_position(self):
+        assert syntax_error_at("var a = 1 var b = 2;") == (1, 11)

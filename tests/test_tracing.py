@@ -166,6 +166,12 @@ def test_schema_covers_all_channels():
             # profile.summary is engine-global — there is no single
             # function it could carry.
             continue
+        if channel == "fuzz":
+            # fuzz.run/mismatch/shrink are per-iteration harness events
+            # (whole programs, not one function); only fuzz.inject is
+            # tied to a guest function.
+            assert "fn" in events["inject"]
+            continue
         for fields in events.values():
             assert "fn" in fields, "%s events must carry fn" % channel
 
