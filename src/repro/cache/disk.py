@@ -149,6 +149,23 @@ def _value_keys(values):
     return tuple(keys)
 
 
+def _shape_ic_fingerprint(shape_ics):
+    """Canonical snapshot of the per-site shape inline caches.
+
+    Sites are sorted by pc, but each site's shape-id list keeps its
+    recording order — the builder bakes the ids into ``guardshape``
+    extras in exactly that order, so two ICs holding the same shapes
+    in a different order are different compiles.  A megamorphic site
+    fingerprints as its sentinel string.
+    """
+    return tuple(
+        sorted(
+            (pc, entries if isinstance(entries, str) else tuple(entries))
+            for pc, entries in shape_ics.items()
+        )
+    )
+
+
 def _feedback_fingerprint(feedback):
     """Canonical (sorted) snapshot of a :class:`TypeFeedback`, or None."""
     if feedback is None:
@@ -158,6 +175,7 @@ def _feedback_fingerprint(feedback):
         tuple(sorted(feedback.this_tags)),
         tuple(sorted((pc, tuple(sorted(tags))) for pc, tags in feedback.site_tags.items())),
         tuple(sorted((pc, tuple(sorted(tags))) for pc, tags in feedback.recv_tags.items())),
+        _shape_ic_fingerprint(feedback.shape_ics),
     )
 
 

@@ -168,6 +168,7 @@ class CostModel(object):
         "unbox": 2,
         "typebarrier": 2,
         "checkoverrecursed": 2,
+        "guardshape": 2,
         "arraylength": 2,
         "stringlength": 2,
         "boundscheck": 3,

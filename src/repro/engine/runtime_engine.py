@@ -226,6 +226,7 @@ class Engine(object):
         included) is exactly what an unprofiled run would record.
         """
         self.stats.interp_ops = self.interpreter.ops_executed
+        self.stats.ic_transitions = self.interpreter.ic_transitions
         self.stats.native_cycles = self.executor.cycles
         self.stats.native_instructions = self.executor.instructions_executed
         if self.tracer is not None and self.cycle_profiler is not None:
@@ -834,6 +835,13 @@ class Engine(object):
                 state.code, state.native, bail, self.cost_model.bailout
             )
         state.bailout_count += 1
+        if bail.guard_op == "guardshape":
+            # A receiver reached a shape-guarded property site with a
+            # shape the inline cache had not seen at compile time.  The
+            # "at"-mode resume re-executes the property bytecode, whose
+            # handler records the new shape into the IC, so the next
+            # compile covers it.
+            self.stats.shape_guard_bailouts += 1
         tracer = self.tracer
         if tracer is not None:
             tracer.emit(
@@ -844,6 +852,17 @@ class Engine(object):
                 count=state.bailout_count,
                 **describe_bailout(bail)
             )
+            if bail.guard_op == "guardshape" and tracer.wants("shape"):
+                tracer.emit(
+                    "shape",
+                    "guard",
+                    fn=state.code.name,
+                    code_id=state.code.code_id,
+                    reason=bail.reason,
+                    resume_pc=bail.pc,
+                    native_index=bail.native_index,
+                    count=self.stats.shape_guard_bailouts,
+                )
             if bail.reason == FAULT_INJECTED:
                 tracer.emit(
                     "fuzz",
@@ -852,6 +871,39 @@ class Engine(object):
                     code_id=state.code.code_id,
                     native_index=bail.native_index,
                     guard_op=bail.guard_op,
+                )
+        if (
+            bail.guard_op == "guardshape"
+            and bail.reason != FAULT_INJECTED
+            and state.native is not None
+        ):
+            # Retrain rather than re-bail: the resumed interpreter is
+            # about to record the unexpected shape into the site's IC,
+            # which makes the installed binary's baked-in guard set
+            # permanently stale — every future call with this receiver
+            # would bail again.  Drop the binary; the next hot call
+            # recompiles against the enriched cache (a wider poly
+            # guard, or guard-free once the site goes megamorphic).
+            # Injector-forced failures skip this: the speculation they
+            # fail actually holds, so the binary is still right.
+            if state.spec_key is not None:
+                state.spec_cache.pop(state.spec_key, None)
+            state.native = None
+            state.spec_key = None
+            state.osr_state_key = None
+            self.stats.record_invalidation()
+            if self.cycle_profiler is not None:
+                self.cycle_profiler.record_invalidation(
+                    state.code, self.cost_model.invalidation
+                )
+            if tracer is not None:
+                tracer.emit(
+                    "deopt",
+                    "discard",
+                    fn=state.code.name,
+                    code_id=state.code.code_id,
+                    reason="shape-retrain",
+                    dropped=1,
                 )
         feedback = state.code.feedback
         if feedback is not None:

@@ -39,6 +39,14 @@ class EngineStats(object):
         self.osr_compiles = 0
         self.bailouts = 0
         self.invalidations = 0
+        #: Inline-cache transitions: property sites learning a new
+        #: receiver shape (folded from the interpreter at finish, so
+        #: the count is backend-invariant).
+        self.ic_transitions = 0
+        #: Bailouts whose failing guard was a ``guardshape`` (a
+        #: receiver arrived with a shape the site's IC had not seen
+        #: when the binary was compiled).
+        self.shape_guard_bailouts = 0
         #: code_id -> number of times that function was compiled.
         self.compiles_per_function = {}
 
@@ -158,6 +166,8 @@ class EngineStats(object):
             "recompilations": self.recompilations,
             "bailouts": self.bailouts,
             "invalidations": self.invalidations,
+            "ic_transitions": self.ic_transitions,
+            "shape_guard_bailouts": self.shape_guard_bailouts,
             "specialized_functions": sorted(self.specialized_functions),
             "successfully_specialized": sorted(self.successfully_specialized),
             "deoptimized_functions": sorted(self.deoptimized_functions),
@@ -180,6 +190,8 @@ class EngineStats(object):
             "background_installs": self.background_installs,
             "recompilations": self.recompilations,
             "bailouts": self.bailouts,
+            "ic_transitions": self.ic_transitions,
+            "shape_guard_bailouts": self.shape_guard_bailouts,
             "specialized": len(self.specialized_functions),
             "successful": len(self.successfully_specialized),
             "deoptimized": len(self.deoptimized_functions),

@@ -20,7 +20,12 @@ break value-specializing JITs:
 * **OSR-triggering loops** — trip counts straddling the back-edge
   threshold, so some loops tier up mid-execution and some don't;
 * **guard-boundary values** — INT32_MAX/MIN and friends as literals
-  and arguments, so overflow and negative-zero guards actually fire.
+  and arguments, so overflow and negative-zero guards actually fire;
+* **polymorphic receiver shapes** — object literals with the same
+  properties in different insertion orders (distinct hidden classes)
+  fed to the same property-accessing function, plus property adds and
+  deletes mid-run, so shape inline caches transition mono → poly →
+  megamorphic and compiled ``guardshape`` guards genuinely fail.
 
 Each top-level construct is emitted on a *single line*: the shrinker
 (:mod:`repro.fuzz.shrink`) reduces line sets, and one-construct-per-
@@ -61,6 +66,21 @@ OTHER_LITERALS = ('0.5', '-0.25', '2.5', '1e9', '"s"', '"x7"', '""')
 #: Loop trip counts straddling the FAST OSR back-edge threshold (10)
 #: and the default one (100).
 TRIP_COUNTS = (2, 5, 9, 11, 13, 40, 75, 120)
+
+#: Object-literal templates for the shape-IC arms.  Every template
+#: defines ``x`` and ``y`` (so the generated accessors never touch a
+#: missing property) but in different insertion orders and with
+#: different extras — each template is a distinct hidden class, so a
+#: call site cycling through them drives the callee's property ICs
+#: from monomorphic through polymorphic to megamorphic (five templates
+#: > the four-entry IC capacity).
+OBJECT_TEMPLATES = (
+    ("x", "y"),
+    ("y", "x"),
+    ("x", "y", "z"),
+    ("z", "x", "y"),
+    ("y", "z", "x"),
+)
 
 
 def _weighted(rng, table):
@@ -228,6 +248,70 @@ def _call_lines(rng, name, index):
     return lines
 
 
+def _object_literal(rng, template):
+    """Source text of one object literal following ``template``."""
+    return "{%s}" % ", ".join(
+        "%s: %s" % (prop, _int_literal(rng)) for prop in template
+    )
+
+
+def _object_function_line(rng, index):
+    """One property-accessing guest function, on a single line.
+
+    The body reads ``o.x``/``o.y`` in a hot loop (GETPROP shape ICs)
+    and sometimes writes a property back — either an existing one (a
+    SETPROP IC hit on a stable shape) or a brand-new one (the store
+    itself transitions the receiver's shape, so the next iteration's
+    reads see a shape the compile-time IC may not know).
+    """
+    name = "g%d" % index
+    trips = TRIP_COUNTS[rng.randrange(len(TRIP_COUNTS))]
+    pieces = ["function %s(o) {" % name, "var s = 0;"]
+    pieces.append("for (var i = 0; i < %d; i = i + 1) {" % trips)
+    pieces.append("s = (s + o.x + o.y) & 65535;")
+    write = rng.randrange(3)
+    if write == 1:
+        pieces.append("o.x = s;")
+    elif write == 2:
+        pieces.append("o.w = s;")
+    pieces.append("}")
+    pieces.append("return s;")
+    pieces.append("}")
+    return name, " ".join(pieces)
+
+
+def _object_call_lines(rng, name, index):
+    """Receivers and call sites for one property-accessing function.
+
+    One to three receiver variables with distinct literal shapes (the
+    callee's ICs go mono → poly as they cycle through), an optional
+    mid-run ``delete`` (a deletion transition the next call observes
+    as yet another shape), then a hot driver loop over one receiver.
+    """
+    lines = []
+    count = rng.randrange(1, 4)
+    start = rng.randrange(len(OBJECT_TEMPLATES))
+    receivers = []
+    for offset in range(count):
+        template = OBJECT_TEMPLATES[(start + offset) % len(OBJECT_TEMPLATES)]
+        receiver = "o%d_%d" % (index, offset)
+        receivers.append(receiver)
+        lines.append("var %s = %s;" % (receiver, _object_literal(rng, template)))
+        lines.append("print(%s(%s));" % (name, receiver))
+    if rng.randrange(2) == 0:
+        victim = receivers[rng.randrange(len(receivers))]
+        lines.append("delete %s.z;" % victim)
+        lines.append("print(%s(%s));" % (name, victim))
+    driver = receivers[rng.randrange(len(receivers))]
+    trips = TRIP_COUNTS[rng.randrange(len(TRIP_COUNTS))]
+    lines.append(
+        "var u%d = 0; for (var q%d = 0; q%d < %d; q%d = q%d + 1) "
+        "{ u%d = %s(%s); } print(u%d);"
+        % (index, index, index, trips, index, index, index, name, driver, index)
+    )
+    return lines
+
+
 def generate_program(seed, iteration=0):
     """The program for ``(seed, iteration)``, as source text.
 
@@ -242,6 +326,13 @@ def generate_program(seed, iteration=0):
         name, line = _function_line(rng, index)
         function_names.append(name)
         lines.append(line)
+    object_names = []
+    for index in range(rng.randrange(0, 3)):
+        name, line = _object_function_line(rng, index)
+        object_names.append(name)
+        lines.append(line)
     for index, name in enumerate(function_names):
         lines.extend(_call_lines(rng, name, index))
+    for index, name in enumerate(object_names):
+        lines.extend(_object_call_lines(rng, name, index))
     return "\n".join(lines) + "\n"

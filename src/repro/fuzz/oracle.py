@@ -31,6 +31,7 @@ from repro.engine.runtime_engine import Engine
 from repro.errors import CompilerError, ReproError
 from repro.jsvm.bytecode import CodeObject
 from repro.jsvm.interpreter import Interpreter
+from repro.jsvm.objects import reset_shapes
 from repro.telemetry.tracing import Tracer
 
 #: Fast tiering thresholds: compile and OSR kick in quickly so short
@@ -93,6 +94,7 @@ def _strip(event):
 
 def _observe_interp(source):
     """Reference observation: the plain interpreter."""
+    reset_shapes()
     interpreter = Interpreter()
     error = None
     try:
@@ -109,10 +111,13 @@ def _observe_engine(source, **engine_kwargs):
     """One engine run as an :class:`Observation`.
 
     Resets the process-global code-id counter first so per-function
-    stats keys line up across variants, and folds the live counters in
+    stats keys line up across variants, and the process-global shape
+    transition tree so shape ids (and with them IC contents, guard
+    extras and cache keys) line up too; folds the live counters in
     (``Engine.finish``) even when the guest dies mid-run.
     """
     CodeObject._next_id = 1
+    reset_shapes()
     tracer = Tracer(channels=_COMPARED_CHANNELS)
     engine = Engine(
         tracer=tracer,

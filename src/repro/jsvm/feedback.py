@@ -21,11 +21,19 @@ from repro.jsvm.values import type_tag
 #: treated as "anything" (megamorphic).
 MAX_TAGS_PER_SITE = 4
 
+#: Inline caches hold at most this many receiver shapes before the
+#: site degrades to megamorphic (the classic PIC chain length).
+MAX_IC_SHAPES = MAX_TAGS_PER_SITE
+
+#: Sentinel stored in ``shape_ics`` once a site has overflowed: the
+#: site is megamorphic and records (and speculates on) nothing further.
+MEGAMORPHIC = "megamorphic"
+
 
 class TypeFeedback(object):
     """Per-code-object profile of observed types."""
 
-    __slots__ = ("arg_tags", "this_tags", "site_tags", "recv_tags")
+    __slots__ = ("arg_tags", "this_tags", "site_tags", "recv_tags", "shape_ics")
 
     def __init__(self, num_params):
         self.arg_tags = [set() for _ in range(num_params)]
@@ -33,6 +41,9 @@ class TypeFeedback(object):
         self.site_tags = {}
         #: Receiver types observed at element/property access sites.
         self.recv_tags = {}
+        #: Per-site inline caches: pc -> ordered list of receiver shape
+        #: ids (mono/poly), or :data:`MEGAMORPHIC` once overflowed.
+        self.shape_ics = {}
 
     # -- recording (called from the interpreter's hot loop) -----------------
 
@@ -63,6 +74,31 @@ class TypeFeedback(object):
             self.recv_tags[pc] = tags
         if len(tags) < MAX_TAGS_PER_SITE:
             tags.add(type_tag(value))
+
+    def record_shape(self, pc, shape_id):
+        """Feed one receiver shape into the site's inline cache.
+
+        Returns the IC outcome, which the interpreter turns into an
+        ``ic.*`` trace event:
+
+        * ``"hit"`` — the shape was already cached;
+        * ``"transition"`` — the IC learned it (including the final
+          learning step that tips the site into megamorphic);
+        * ``"miss"`` — the site is megamorphic; nothing is recorded.
+        """
+        entries = self.shape_ics.get(pc)
+        if entries is None:
+            self.shape_ics[pc] = [shape_id]
+            return "transition"
+        if entries is MEGAMORPHIC:
+            return "miss"
+        if shape_id in entries:
+            return "hit"
+        if len(entries) < MAX_IC_SHAPES:
+            entries.append(shape_id)
+            return "transition"
+        self.shape_ics[pc] = MEGAMORPHIC
+        return "transition"
 
     # -- queries (used by the MIR builder) ------------------------------------
 
@@ -101,3 +137,23 @@ class TypeFeedback(object):
         if not tags:
             return None
         return self._monomorphic(tags)
+
+    def ic_state(self, pc):
+        """The site's IC state: None, ``"mono"``, ``"poly"`` or ``"mega"``."""
+        entries = self.shape_ics.get(pc)
+        if entries is None:
+            return None
+        if entries is MEGAMORPHIC:
+            return "mega"
+        return "mono" if len(entries) == 1 else "poly"
+
+    def shape_ids(self, pc):
+        """The cached shape ids at ``pc``, in observation order.
+
+        Empty for unvisited and megamorphic sites — the builder only
+        emits a shape guard when this is non-empty.
+        """
+        entries = self.shape_ics.get(pc)
+        if entries is None or entries is MEGAMORPHIC:
+            return ()
+        return tuple(entries)

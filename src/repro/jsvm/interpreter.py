@@ -100,6 +100,10 @@ class Interpreter(object):
         self.call_depth = 0
         #: Count of bytecode instructions dispatched (for the cost model).
         self.ops_executed = 0
+        #: Count of inline-cache transitions (a property site learning
+        #: a new receiver shape, including the tip into megamorphic).
+        #: Folded into EngineStats at finish, like ``ops_executed``.
+        self.ic_transitions = 0
 
     # -- entry points ---------------------------------------------------------
 
@@ -507,6 +511,32 @@ def _op_newobject(ctx, pc, count):
     return pc
 
 
+def _record_ic(ctx, site, feedback, receiver, name):
+    """Feed ``receiver``'s shape into the property site's inline cache.
+
+    Counts transitions on the interpreter (folded into EngineStats at
+    finish) and emits the matching ``ic.*`` trace event when the
+    ``ic`` channel is subscribed.
+    """
+    shape_id = receiver.shape.shape_id
+    outcome = feedback.record_shape(site, shape_id)
+    interp = ctx.interp
+    if outcome == "transition":
+        interp.ic_transitions += 1
+    tracer = interp.tracer
+    if tracer is not None and tracer.wants("ic"):
+        tracer.emit(
+            "ic",
+            outcome,
+            fn=ctx.frame.code.name,
+            code_id=ctx.frame.code.code_id,
+            pc=site,
+            name=name,
+            shape=shape_id,
+            state=feedback.ic_state(site),
+        )
+
+
 def _op_getprop(ctx, pc, name):
     stack = ctx.stack
     receiver = stack.pop()
@@ -515,6 +545,8 @@ def _op_getprop(ctx, pc, name):
     if feedback is not None:
         feedback.record_site(pc - 1, value)
         feedback.record_recv(pc - 1, receiver)
+        if type(receiver) is JSObject:
+            _record_ic(ctx, pc - 1, feedback, receiver, name)
     stack.append(value)
     return pc
 
@@ -523,6 +555,14 @@ def _op_setprop(ctx, pc, name):
     stack = ctx.stack
     value = stack.pop()
     target = stack.pop()
+    feedback = ctx.feedback
+    if feedback is not None:
+        # Record before the store: the store itself may transition the
+        # target's shape, and the compiled guard tests the *pre-store*
+        # shape (the storeprop fast path performs the transition).
+        feedback.record_recv(pc - 1, target)
+        if type(target) is JSObject:
+            _record_ic(ctx, pc - 1, feedback, target, name)
     operations.set_property(target, name, value)
     stack.append(value)
     return pc

@@ -1,35 +1,133 @@
-"""Heap objects: plain objects and arrays.
+"""Heap objects: plain objects and arrays — with hidden-class shapes.
 
 Objects are property maps; arrays add a dense element store.  The JIT's
 ``checkarray`` (bounds check), ``ld`` and ``st`` MIR instructions
 operate directly on :class:`JSArray` element stores, matching how the
 paper's Figure 6 accesses ``s[i]``.
+
+Every object additionally carries a :class:`Shape` — a node in a
+process-wide transition tree describing *which* properties the object
+has, in insertion order.  Two objects built by the same code path share
+a shape, so a single integer comparison (``shape.shape_id``) stands in
+for "same property layout": the inline caches in the interpreter and
+the ``guardshape`` LIR op in the JIT key on it.  Shape ids are assigned
+in creation order from a shared root (id 0), which makes them
+deterministic for a given guest program — identical across executor
+backends, cache-cold vs cache-warm runs, and separate processes — so
+they are safe to embed in persisted binaries and compare in stats.
 """
 
 from repro.jsvm.values import UNDEFINED, normalize_number
 from repro.errors import JSRangeError
 
 
-class JSObject(object):
-    """A plain JavaScript object: a mutable property map."""
+class Shape(object):
+    """One node of the hidden-class transition tree.
 
-    __slots__ = ("properties",)
+    A shape records the ordered property set of the objects that carry
+    it.  ``transitions`` maps a property name to the child shape an
+    add reaches; deleted layouts get their own nodes too (keyed in
+    ``deletions``), so delete is not a silent wildcard — an object that
+    loses a property moves to a distinct, equally cacheable shape.
+    """
+
+    __slots__ = ("shape_id", "names", "transitions", "deletions")
+
+    def __init__(self, shape_id, names):
+        self.shape_id = shape_id
+        self.names = names
+        self.transitions = {}
+        self.deletions = {}
+
+    def __repr__(self):
+        return "<Shape %d {%s}>" % (self.shape_id, ", ".join(self.names))
+
+
+class ShapeTree(object):
+    """The shared transition tree; owns deterministic id numbering.
+
+    Ids count up from the root's 0 in creation order.  Because guest
+    programs create properties deterministically, the numbering is a
+    pure function of the executed guest code — the property that lets
+    shape ids round-trip through the persistent code cache and stay
+    bit-identical across backends.  :func:`reset_shapes` rewinds the
+    tree (tests and the differential oracle call it between variants so
+    every variant numbers shapes from the same blank slate).
+    """
+
+    __slots__ = ("root", "next_id")
+
+    def __init__(self):
+        self.root = Shape(0, ())
+        self.next_id = 1
+
+    def transition_add(self, shape, name):
+        """The child shape after adding ``name``; created on demand."""
+        child = shape.transitions.get(name)
+        if child is None:
+            child = Shape(self.next_id, shape.names + (name,))
+            self.next_id += 1
+            shape.transitions[name] = child
+        return child
+
+    def transition_delete(self, shape, name):
+        """The child shape after deleting ``name``; created on demand."""
+        child = shape.deletions.get(name)
+        if child is None:
+            names = tuple(n for n in shape.names if n != name)
+            child = Shape(self.next_id, names)
+            self.next_id += 1
+            shape.deletions[name] = child
+        return child
+
+
+#: The process-wide transition tree all JSObjects hang off.
+SHAPE_TREE = ShapeTree()
+
+
+def reset_shapes():
+    """Rewind the shape tree to a fresh root (id 0, next id 1).
+
+    Used by tests and the fuzz oracle to make shape numbering start
+    identically for every run variant; live objects keep their old
+    Shape nodes, which simply become unreachable from the new root.
+    """
+    global SHAPE_TREE
+    SHAPE_TREE = ShapeTree()
+    return SHAPE_TREE
+
+
+class JSObject(object):
+    """A plain JavaScript object: a mutable property map with a shape."""
+
+    __slots__ = ("properties", "shape")
 
     def __init__(self, properties=None):
         self.properties = dict(properties) if properties else {}
+        shape = SHAPE_TREE.root
+        for name in self.properties:
+            shape = SHAPE_TREE.transition_add(shape, name)
+        self.shape = shape
 
     def get(self, name):
         """Read property ``name``; missing properties read as undefined."""
         return self.properties.get(name, UNDEFINED)
 
     def set(self, name, value):
+        """Write property ``name``, transitioning shape on a new key."""
+        if name not in self.properties:
+            self.shape = SHAPE_TREE.transition_add(self.shape, name)
         self.properties[name] = value
 
     def has(self, name):
+        """True when the object owns property ``name``."""
         return name in self.properties
 
     def delete(self, name):
-        self.properties.pop(name, None)
+        """Remove property ``name``, transitioning shape if it existed."""
+        if name in self.properties:
+            del self.properties[name]
+            self.shape = SHAPE_TREE.transition_delete(self.shape, name)
 
     def __repr__(self):
         inner = ", ".join("%s: %r" % kv for kv in sorted(self.properties.items()))

@@ -304,6 +304,13 @@ def _emit(out, index, instruction, binder, inject=False):
         out.append(
             "    _bail(_v, %s, 'bounds check', 'boundscheck')" % snap_name()
         )
+    elif op == "guardshape":
+        out.append(
+            "if %s.shape.shape_id not in %s:" % (v(srcs[0]), binder.lit(extra))
+        )
+        out.append(
+            "    _bail(_v, %s, 'shape guard', 'guardshape')" % snap_name()
+        )
     elif op == "loadelement":
         out.append("%s = %s.elements[%s]" % (d(), v(srcs[0]), v(srcs[1])))
     elif op == "storeelement":

@@ -132,8 +132,8 @@ def forced_bailout(executor, instruction, values):
         actual = operations.binary_op(instruction.extra, values[srcs[0]], values[srcs[1]])
     elif op == "unbox" or op == "typebarrier":
         actual = values[srcs[0]]
-    # checkoverrecursed / boundscheck resume "at" the faulting bytecode
-    # and re-execute it; no recovery value is needed.
+    # checkoverrecursed / boundscheck / guardshape resume "at" the
+    # faulting bytecode and re-execute it; no recovery value is needed.
     executor._bail(values, instruction.snapshot, FAULT_INJECTED, op, actual)
 
 
@@ -332,6 +332,9 @@ class NativeExecutor(object):
                     length = values[srcs[1]]
                     if index < 0 or index >= length:
                         self._bail(values, instruction.snapshot, "bounds check", op)
+                elif op == "guardshape":
+                    if values[srcs[0]].shape.shape_id not in instruction.extra:
+                        self._bail(values, instruction.snapshot, "shape guard", op)
                 elif op == "loadelement":
                     values[dest] = values[srcs[0]].elements[values[srcs[1]]]
                 elif op == "storeelement":

@@ -250,6 +250,8 @@ class _Lowerer(object):
             plain("stringlength")
         elif isinstance(instruction, mi.MBoundsCheck):
             guard("boundscheck", use_dest=False)
+        elif isinstance(instruction, mi.MGuardShape):
+            guard("guardshape", extra=instruction.shape_ids, use_dest=False)
         elif isinstance(instruction, mi.MLoadElement):
             plain("loadelement")
         elif isinstance(instruction, mi.MStoreElement):

@@ -34,6 +34,7 @@ GUARD_OPS = frozenset(
         "typebarrier",
         "checkoverrecursed",
         "boundscheck",
+        "guardshape",
     ]
 )
 

@@ -35,8 +35,10 @@ from repro.mir.instructions import (
     MGetElemV,
     MGetPropV,
     MGoto,
+    MGuardShape,
     MLambda,
     MLoadGlobal,
+    MLoadProperty,
     MNew,
     MNewArray,
     MNewObject,
@@ -49,6 +51,7 @@ from repro.mir.instructions import (
     MSetElemV,
     MSetPropV,
     MStoreGlobal,
+    MStoreProperty,
     MTest,
     MTypeBarrier,
     MTypeOf,
@@ -204,6 +207,32 @@ class MIRBuilder(object):
         unbox.attach_resume_point(self.make_resume(pc, ResumePoint.MODE_AT, state_before))
         self.emit(unbox)
         return unbox
+
+    def _ic_shape_ids(self, pc, receiver):
+        """The property site's cached receiver shapes, or ``()``.
+
+        Non-empty only when speculation is on, the receiver is known to
+        be a plain OBJECT (unboxed by :meth:`speculate_receiver` or an
+        object allocation), and the site's inline cache is mono- or
+        polymorphic — megamorphic and unvisited sites stay generic.
+        """
+        if self.generic or self.feedback is None:
+            return ()
+        if receiver.type != MIRType.OBJECT:
+            return ()
+        return self.feedback.shape_ids(pc)
+
+    def _guard_shape(self, receiver, shape_ids, pc, pre_state):
+        """Emit the shape guard protecting a property fast path.
+
+        The resume point re-executes the property bytecode *at* ``pc``:
+        the interpreter handler performs the generic access and records
+        the offending shape into the IC, so the next recompilation
+        either widens the guard (poly) or gives up (mega).
+        """
+        guard = MGuardShape(receiver, shape_ids)
+        guard.attach_resume_point(self.make_resume(pc, ResumePoint.MODE_AT, pre_state))
+        self.emit(guard)
 
     # -- entry construction --------------------------------------------------------------
 
@@ -477,18 +506,36 @@ class MIRBuilder(object):
             receiver = stack.pop()
             pre_state = _State(state.args, state.locals, stack + [receiver])
             receiver = self.speculate_receiver(receiver, pc, pre_state)
-            load = MGetPropV(receiver, code.names[instr.arg])
-            load.attach_resume_point(self.make_resume(pc, ResumePoint.MODE_AT, pre_state))
-            self.emit(load)
+            name = code.names[instr.arg]
+            shape_ids = self._ic_shape_ids(pc, receiver)
+            if shape_ids:
+                # Shape-guarded fast path: a raw dict read replaces the
+                # generic property lookup.
+                self._guard_shape(receiver, shape_ids, pc, pre_state)
+                load = self.emit(MLoadProperty(receiver, name))
+            else:
+                load = MGetPropV(receiver, name)
+                load.attach_resume_point(
+                    self.make_resume(pc, ResumePoint.MODE_AT, pre_state)
+                )
+                self.emit(load)
             stack.append(self.speculate_result(load, pc, state))
         elif op == Op.SETPROP:
             value = stack.pop()
             receiver = stack.pop()
             pre_state = _State(state.args, state.locals, stack + [receiver, value])
             receiver = self.speculate_receiver(receiver, pc, pre_state)
-            store = MSetPropV(receiver, value, code.names[instr.arg])
-            store.attach_resume_point(self.make_resume(pc, ResumePoint.MODE_AT, pre_state))
-            self.emit(store)
+            name = code.names[instr.arg]
+            shape_ids = self._ic_shape_ids(pc, receiver)
+            if shape_ids:
+                self._guard_shape(receiver, shape_ids, pc, pre_state)
+                self.emit(MStoreProperty(receiver, value, name))
+            else:
+                store = MSetPropV(receiver, value, name)
+                store.attach_resume_point(
+                    self.make_resume(pc, ResumePoint.MODE_AT, pre_state)
+                )
+                self.emit(store)
             stack.append(value)
         elif op == Op.GETELEM:
             index = stack.pop()

@@ -654,6 +654,37 @@ class MSetElemV(MDefinition):
         super().__init__((obj, index, value), MIRType.UNDEFINED)
 
 
+class MGuardShape(MDefinition):
+    """Guard that an object's hidden-class shape is one the IC cached.
+
+    ``shape_ids`` is the (ordered) tuple of acceptable shape ids from
+    the property site's inline cache — one id for a monomorphic site,
+    up to :data:`repro.jsvm.feedback.MAX_IC_SHAPES` for a polymorphic
+    one.  Carries no result; the following :class:`MLoadProperty` /
+    :class:`MStoreProperty` fast path assumes it.  On failure the
+    bailout resumes *at* the property bytecode, whose interpreter
+    handler both performs the generic access and feeds the offending
+    shape back into the IC.
+    """
+
+    opcode = "guardshape"
+    is_guard = True
+    removable = False
+    movable = False
+    __slots__ = ("shape_ids",)
+
+    def __init__(self, obj, shape_ids):
+        super().__init__((obj,), MIRType.UNDEFINED)
+        self.shape_ids = tuple(shape_ids)
+
+    def __repr__(self):
+        return "v%d = guardshape v%d, %r" % (
+            self.id,
+            self.operands[0].id,
+            self.shape_ids,
+        )
+
+
 class MLoadProperty(MDefinition):
     """Property read from a known JSObject."""
 

@@ -16,8 +16,8 @@ Design rules:
   cost model, so enabling tracing cannot change any measured number.
 * **Named channels.**  Events belong to one of the channels in
   :data:`CHANNELS` (``compile``, ``specialize``, ``deopt``, ``bailout``,
-  ``cache``, ``osr``, ``pass``, ``interp``, ``profile``, ``fuzz``); a
-  tracer can subscribe to any subset.
+  ``cache``, ``osr``, ``pass``, ``interp``, ``ic``, ``shape``,
+  ``profile``, ``fuzz``); a tracer can subscribe to any subset.
 * **Typed events.**  Every ``channel.event`` pair and its field names
   are declared in :data:`EVENT_SCHEMA`; :meth:`Tracer.emit` rejects
   undeclared events and undeclared fields, and the documentation test
@@ -107,6 +107,14 @@ EVENT_SCHEMA = {
     "interp": {
         "call": ("fn", "code_id", "nargs"),
         "hot_call": ("fn", "code_id", "calls"),
+    },
+    "ic": {
+        "hit": ("fn", "code_id", "pc", "name", "shape", "state"),
+        "miss": ("fn", "code_id", "pc", "name", "shape", "state"),
+        "transition": ("fn", "code_id", "pc", "name", "shape", "state"),
+    },
+    "shape": {
+        "guard": ("fn", "code_id", "reason", "resume_pc", "native_index", "count"),
     },
     "profile": {
         "summary": (

@@ -564,10 +564,12 @@ def build_parser():
         "or a bare benchmark name",
     )
     trace.add_argument("--config", default="all", help="optimization config (see `configs`)")
+    from repro.telemetry.tracing import CHANNELS
+
     trace.add_argument(
         "--channels",
-        help="comma-separated channel subset (default: all): compile,specialize,"
-        "deopt,bailout,cache,osr,pass,interp,profile,fuzz",
+        help="comma-separated channel subset (default: all): %s"
+        % ",".join(CHANNELS),
     )
     trace.add_argument("--jsonl", metavar="PATH", help="write events as JSON Lines")
     trace.add_argument(

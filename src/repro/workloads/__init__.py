@@ -2,13 +2,15 @@
 
 Three suites of guest programs stand in for SunSpider 1.0, V8 v6 and
 Kraken 1.1 (see DESIGN.md's substitution ledger), plus the synthetic
-web corpus that stands in for the Alexa top-100 study.
+web corpus that stands in for the Alexa top-100 study and an
+object-heavy suite exercising the shape/IC machinery (docs/SHAPES.md).
 """
 
 from repro.workloads.benchmark import Benchmark
 from repro.workloads.sunspider import SUNSPIDER
 from repro.workloads.v8 import V8
 from repro.workloads.kraken import KRAKEN
+from repro.workloads.objects import OBJECTS
 from repro.workloads.web import (
     WebCorpusConfig,
     generate_web_trace,
@@ -16,11 +18,11 @@ from repro.workloads.web import (
     WEBSITES,
 )
 
-ALL_SUITES = {"sunspider": SUNSPIDER, "v8": V8, "kraken": KRAKEN}
+ALL_SUITES = {"sunspider": SUNSPIDER, "v8": V8, "kraken": KRAKEN, "objects": OBJECTS}
 
 
 def suite(name):
-    """Look up a suite by name: 'sunspider', 'v8' or 'kraken'."""
+    """Look up a suite by name: 'sunspider', 'v8', 'kraken' or 'objects'."""
     return ALL_SUITES[name]
 
 
@@ -31,6 +33,7 @@ __all__ = [
     "SUNSPIDER",
     "V8",
     "KRAKEN",
+    "OBJECTS",
     "WebCorpusConfig",
     "generate_web_trace",
     "generate_website_program",

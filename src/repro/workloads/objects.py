@@ -1,0 +1,111 @@
+"""Object-heavy benchmark suite: the shape/IC evaluation substrate.
+
+The paper's web study (Figure 4) found *objects* to be the dominant
+parameter type on real websites (35.57%), yet the numeric suites the
+evaluation reuses barely touch property access.  This suite closes
+that gap: three kernels whose hot loops are property reads and writes,
+graded by receiver polymorphism so each exercises a different state of
+the shape inline caches (docs/SHAPES.md):
+
+* ``particle-field`` — **monomorphic**: every receiver shares one
+  hidden class, so every compiled property site is a single-shape
+  ``guardshape`` plus a direct ``loadprop``/``storeprop``;
+* ``poly-records`` — **polymorphic**: the same accessors are fed
+  records built with the same properties in different insertion
+  orders (distinct hidden classes), so sites hold 2–3 shapes;
+* ``shape-churn`` — **megamorphic + transitions**: receivers gain and
+  lose properties mid-run, driving sites past the four-entry IC
+  capacity and forcing shape-guard bailouts on the compiled code.
+"""
+
+from repro.workloads.benchmark import Benchmark
+
+PARTICLE_FIELD = Benchmark(
+    "particle-field",
+    """
+    function makeParticle(seed) {
+        return {x: seed & 255, y: (seed * 7) & 255, vx: 1, vy: 2};
+    }
+    function step(p) {
+        p.x = (p.x + p.vx) & 1023;
+        p.y = (p.y + p.vy) & 1023;
+        return p.x + p.y;
+    }
+    function driver() {
+        var particles = [];
+        for (var i = 0; i < 24; i++) particles[i] = makeParticle(i * 2654435761);
+        var checksum = 0;
+        for (var round = 0; round < 90; round++) {
+            for (var i = 0; i < particles.length; i++)
+                checksum = (checksum + step(particles[i])) & 0xffff;
+        }
+        return checksum;
+    }
+    print(driver());
+    """,
+)
+
+POLY_RECORDS = Benchmark(
+    "poly-records",
+    """
+    function total(r) {
+        return r.price * r.count + r.tax;
+    }
+    function discount(r) {
+        r.price = r.price - (r.price >> 3);
+        return r.price;
+    }
+    function driver() {
+        var records = [];
+        for (var i = 0; i < 30; i++) {
+            var kind = i % 3;
+            if (kind == 0) records[i] = {price: 100 + i, count: 2, tax: 7};
+            else if (kind == 1) records[i] = {count: 3, price: 50 + i, tax: 5};
+            else records[i] = {tax: 9, count: 1, price: 200 + i};
+        }
+        var sum = 0;
+        for (var round = 0; round < 70; round++) {
+            for (var i = 0; i < records.length; i++) {
+                sum = (sum + total(records[i])) & 0xfffff;
+                if (round % 10 == 0) sum = (sum + discount(records[i])) & 0xfffff;
+            }
+        }
+        return sum;
+    }
+    print(driver());
+    """,
+)
+
+SHAPE_CHURN = Benchmark(
+    "shape-churn",
+    """
+    function weigh(o) {
+        return o.a + o.b;
+    }
+    function decorate(o, round) {
+        if (round == 1) o.c = 1;
+        else if (round == 2) o.d = 2;
+        else if (round == 3) o.e = 3;
+        else if (round == 4) { delete o.c; o.f = 4; }
+        else if (round == 5) o.g = 5;
+        return o;
+    }
+    function driver() {
+        var subjects = [];
+        for (var i = 0; i < 12; i++) subjects[i] = {a: i, b: i * 3};
+        var sum = 0;
+        for (var round = 0; round < 8; round++) {
+            for (var i = 0; i < subjects.length; i++) {
+                decorate(subjects[i], (round + i) % 6);
+                for (var k = 0; k < 14; k++)
+                    sum = (sum + weigh(subjects[i])) & 0xfffff;
+            }
+        }
+        return sum;
+    }
+    print(driver());
+    """,
+)
+
+#: The suite, in canonical order.
+OBJECTS = [PARTICLE_FIELD, POLY_RECORDS, SHAPE_CHURN]

@@ -61,6 +61,7 @@ def test_design_and_experiments_exist():
         os.path.join("docs", "TRACING.md"),
         os.path.join("docs", "STATS.md"),
         os.path.join("docs", "FUZZING.md"),
+        os.path.join("docs", "SHAPES.md"),
     ):
         path = os.path.join(root, filename)
         assert os.path.exists(path), "%s missing" % filename
@@ -188,6 +189,78 @@ def test_fuzzing_doc_covers_the_variant_matrix():
     assert FAULT_INJECTED in text
     assert "ddmin" in text
     assert "tests/corpus/" in text
+
+
+def _shapes_doc():
+    import os
+
+    path = os.path.join(
+        os.path.dirname(repro.__file__), "..", "..", "docs", "SHAPES.md"
+    )
+    with open(path) as handle:
+        return handle.read()
+
+
+def test_shapes_doc_ic_state_table_matches_code():
+    """docs/SHAPES.md's IC state-machine table names exactly the states
+    the code can report, and its capacity figure matches the code."""
+    import re
+
+    from repro.jsvm.feedback import MAX_IC_SHAPES, TypeFeedback
+
+    text = _shapes_doc()
+    section = text.split("## The IC state machine", 1)[1].split("\n## ", 1)[0]
+    rows = re.findall(r"^\| `(\w+)` \|", section, re.MULTILINE)
+    # Drive a feedback site through its whole life to enumerate the
+    # states the code actually produces (None before any recording).
+    feedback = TypeFeedback(num_params=0)
+    states = {"unvisited" if feedback.ic_state(0) is None else feedback.ic_state(0)}
+    for shape_id in range(MAX_IC_SHAPES + 1):
+        feedback.record_shape(0, shape_id)
+        states.add(feedback.ic_state(0))
+    assert set(rows) == states, (
+        "documented IC states %s != code states %s"
+        % (sorted(rows), sorted(states))
+    )
+    assert len(rows) == len(set(rows)), "duplicate rows in the IC table"
+    assert "capacity (%d)" % MAX_IC_SHAPES in section, (
+        "IC capacity in the doc must match MAX_IC_SHAPES=%d" % MAX_IC_SHAPES
+    )
+
+
+def test_shapes_doc_trace_event_table_matches_schema():
+    """docs/SHAPES.md's trace-event table covers exactly the `ic` and
+    `shape` channel events from the code's EVENT_SCHEMA."""
+    import re
+
+    from repro.telemetry.tracing import EVENT_SCHEMA
+
+    text = _shapes_doc()
+    section = text.split("## Trace events", 1)[1].split("\n## ", 1)[0]
+    documented = set(re.findall(r"`(ic|shape)\.(\w+)`", section))
+    actual = {
+        (channel, event)
+        for channel in ("ic", "shape")
+        for event in EVENT_SCHEMA[channel]
+    }
+    assert documented == actual, (
+        "events documented but not in schema: %s; in schema but undocumented: %s"
+        % (sorted(documented - actual), sorted(actual - documented))
+    )
+
+
+def test_shapes_doc_names_the_contract_vocabulary():
+    """The guard op, the megamorphic sentinel, and the retrain reason
+    are spelled exactly as the code spells them."""
+    from repro.jsvm.feedback import MEGAMORPHIC
+    from repro.lir.native import GUARD_OPS
+
+    text = _shapes_doc()
+    assert "guardshape" in GUARD_OPS
+    assert "`guardshape`" in text
+    assert "`%s`" % MEGAMORPHIC in text
+    assert "shape-retrain" in text  # the deopt.discard reason
+    assert "reset_shapes" in text
 
 
 def test_profiling_doc_exists_and_mentions_the_invariant():

@@ -26,8 +26,10 @@ class TestSuiteStructure:
             suite("octane")
 
     def test_suites_nonempty(self):
-        for benchmarks in ALL_SUITES.values():
-            assert len(benchmarks) >= 6
+        # The three paper suites are substantial; the object/shape
+        # suite (docs/SHAPES.md) is a focused three-kernel set.
+        for name, benchmarks in ALL_SUITES.items():
+            assert len(benchmarks) >= (3 if name == "objects" else 6)
 
     def test_unique_names(self):
         for benchmarks in ALL_SUITES.values():
