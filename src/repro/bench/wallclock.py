@@ -29,9 +29,9 @@ from repro.engine.config import FULL_SPEC
 from repro.engine.runtime_engine import Engine
 from repro.workloads import ALL_SUITES
 
-#: Backends compared by default: the reference decode loop vs the
-#: closure-compiled blocks.
-DEFAULT_BACKENDS = ("simple", "closure")
+#: Backends compared by default: the reference decode loop, the
+#: closure-compiled blocks, and the whole-binary functions.
+DEFAULT_BACKENDS = ("simple", "closure", "whole")
 
 
 def measure_suite(suite, backend, config=FULL_SPEC, repeats=3):
@@ -241,6 +241,7 @@ def run_wallclock(
     }
     if "backends" in sections:
         speedups = []
+        whole_speedups = []
         for name, suite in suites.items():
             row = {}
             for backend in backends:
@@ -254,10 +255,22 @@ def run_wallclock(
                     row["simple_seconds"] / row["closure_seconds"], 4
                 )
                 speedups.append(row["speedup"])
+            if "closure" in backends and "whole" in backends:
+                row["whole_speedup"] = round(
+                    row["closure_seconds"] / row["whole_seconds"], 4
+                )
+                whole_speedups.append(row["whole_speedup"])
             results["suites"][name] = row
         if speedups:
             results["geomean_speedup"] = round(
                 math.exp(sum(math.log(s) for s in speedups) / len(speedups)), 4
+            )
+        if whole_speedups:
+            results["geomean_whole_speedup"] = round(
+                math.exp(
+                    sum(math.log(s) for s in whole_speedups) / len(whole_speedups)
+                ),
+                4,
             )
     if "background" in sections:
         results["background_compile"] = measure_background_cycles(suites, config=config)
@@ -275,21 +288,35 @@ def format_wallclock(results):
             % (results["protocol"]["config"], results["protocol"]["repeats"])
         )
         lines.append(
-            "%-12s %10s %10s %9s %14s" % ("suite", "simple s", "closure s", "speedup", "closure sips")
+            "%-12s %10s %10s %9s %9s %9s"
+            % ("suite", "simple s", "closure s", "whole s", "clo/simp", "whole/clo")
         )
         for name, row in results["suites"].items():
             lines.append(
-                "%-12s %10.2f %10.2f %8.2fx %14s"
+                "%-12s %10.2f %10.2f %9s %8.2fx %8s"
                 % (
                     name,
                     row["simple_seconds"],
                     row["closure_seconds"],
+                    (
+                        "%.2f" % row["whole_seconds"]
+                        if "whole_seconds" in row
+                        else "-"
+                    ),
                     row.get("speedup", float("nan")),
-                    "{:,}".format(row["closure_sips"]),
+                    (
+                        "%.2fx" % row["whole_speedup"]
+                        if "whole_speedup" in row
+                        else "-"
+                    ),
                 )
             )
         if "geomean_speedup" in results:
-            lines.append("geomean speedup: %.2fx" % results["geomean_speedup"])
+            lines.append("geomean closure/simple: %.2fx" % results["geomean_speedup"])
+        if "geomean_whole_speedup" in results:
+            lines.append(
+                "geomean whole/closure: %.2fx" % results["geomean_whole_speedup"]
+            )
     background = results.get("background_compile")
     if background:
         lines.append("")
@@ -379,6 +406,30 @@ def check_gate(current, baseline, tolerance=0.15):
                         round(tolerance * 100),
                     )
                 )
+        for name, base_row in baseline.get("suites", {}).items():
+            base_whole = base_row.get("whole_speedup")
+            if base_whole is None:
+                continue
+            current_row = current.get("suites", {}).get(name)
+            if current_row is None or "whole_speedup" not in current_row:
+                failures.append(
+                    "suite %s: whole backend present in baseline but not measured"
+                    % name
+                )
+                continue
+            floor = base_whole * (1.0 - tolerance)
+            if current_row["whole_speedup"] < floor:
+                failures.append(
+                    "suite %s: whole/closure speedup %.2fx fell below %.2fx "
+                    "(baseline %.2fx - %d%% tolerance)"
+                    % (
+                        name,
+                        current_row["whole_speedup"],
+                        floor,
+                        base_whole,
+                        round(tolerance * 100),
+                    )
+                )
         base_geo = baseline.get("geomean_speedup")
         cur_geo = current.get("geomean_speedup")
         if base_geo is not None and cur_geo is not None:
@@ -387,6 +438,15 @@ def check_gate(current, baseline, tolerance=0.15):
                 failures.append(
                     "geomean: speedup %.2fx fell below %.2fx (baseline %.2fx)"
                     % (cur_geo, floor, base_geo)
+                )
+        base_geo = baseline.get("geomean_whole_speedup")
+        cur_geo = current.get("geomean_whole_speedup")
+        if base_geo is not None and cur_geo is not None:
+            floor = base_geo * (1.0 - tolerance)
+            if cur_geo < floor:
+                failures.append(
+                    "geomean: whole/closure speedup %.2fx fell below %.2fx "
+                    "(baseline %.2fx)" % (cur_geo, floor, base_geo)
                 )
     # Background-lane cycle ratios are model cycles — deterministic and
     # machine-independent — so they gate with a tiny epsilon (benchmark

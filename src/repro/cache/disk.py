@@ -291,10 +291,12 @@ class DiskCodeCache(object):
     def store(self, key, result, executor=None):
         """Persist ``result`` under ``key``; returns True on success.
 
-        When ``executor`` is the closure backend, the generated block
-        module (source + marshalled code object) rides along so a warm
-        run also skips host ``compile()`` time — the dominant cost on
-        that backend (see :func:`repro.lir.closures.closure_artifact`).
+        When ``executor`` is a codegen backend (closure or whole), its
+        generated module (source + marshalled code object) rides along
+        so a warm run also skips host ``compile()`` time — the dominant
+        cost on those backends (see
+        :func:`repro.lir.closures.closure_artifact` and
+        :func:`repro.lir.wholefn.whole_artifact`).
         """
         try:
             artifact = freeze_result(result, result.native.code)
@@ -303,10 +305,14 @@ class DiskCodeCache(object):
             return False
         if executor is not None:
             from repro.lir.closures import closure_artifact
+            from repro.lir.wholefn import whole_artifact
 
             closure = closure_artifact(result.native, executor)
             if closure is not None:
                 artifact["closure"] = closure
+            whole = whole_artifact(result.native, executor)
+            if whole is not None:
+                artifact["whole"] = whole
         path = self._path(key)
         directory = os.path.dirname(path)
         try:

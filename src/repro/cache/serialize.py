@@ -37,7 +37,8 @@ class Uncacheable(Exception):
 
 #: Bump when the artifact layout changes; part of every cache key, so a
 #: layout change simply misses instead of misreading old entries.
-FORMAT_VERSION = 1
+#: v2: added the whole-function backend's module artifact ("whole").
+FORMAT_VERSION = 2
 
 _PRIMITIVES = (int, float, bool, str)
 
@@ -175,6 +176,7 @@ def freeze_result(result, code):
         "codegen_stats": dict(result.codegen_stats),
         "mir_instructions": result.mir_instructions,
         "closure": None,
+        "whole": None,
     }
 
 
@@ -221,6 +223,9 @@ def thaw_result(artifact, code):
     closure = artifact.get("closure")
     if closure is not None:
         native.disk_closure = (closure["source"], closure["code"])
+    whole = artifact.get("whole")
+    if whole is not None:
+        native.disk_whole = (whole["source"], whole["code"])
     return CompileResult(
         native,
         ReplayedPassWork(artifact["work_units"]),

@@ -30,10 +30,17 @@ from repro.errors import NotCompilable
 from repro.jsvm.bytecompiler import compile_source
 from repro.jsvm.feedback import TypeFeedback
 from repro.jsvm.interpreter import Frame, Interpreter
-from repro.jsvm.values import arguments_key, value_key
+from repro.jsvm.values import (
+    NULL,
+    UNDEFINED,
+    _KEY_TYPE_NAMES,
+    arguments_key,
+    value_key,
+)
 from repro.lir.closures import ClosureExecutor
 from repro.lir.executor import Bailout, NativeExecutor
 from repro.lir.native import FAULT_INJECTED
+from repro.lir.wholefn import WholeExecutor
 from repro.opts.loop_inversion import rotate_loops
 
 #: Compile a function once it has been called this many times...
@@ -43,11 +50,17 @@ OSR_BACKEDGE_THRESHOLD = 100
 #: Give up on type speculation after this many bailouts.
 BAILOUT_LIMIT = 8
 
-#: The selectable native-executor backends.  Both are bit-identical in
-#: every observable (stats, cycles, output, traces; docs/PERF.md);
-#: "closure" pre-compiles each binary into bound Python closures and is
-#: the default, "simple" is the reference re-decoding interpreter loop.
-EXECUTOR_BACKENDS = {"simple": NativeExecutor, "closure": ClosureExecutor}
+#: The selectable native-executor backends.  All are bit-identical in
+#: every observable (stats, cycles, output, traces; docs/PERF.md):
+#: "simple" is the reference re-decoding interpreter loop, "closure"
+#: pre-compiles each binary into per-block bound Python closures (the
+#: default), and "whole" lowers each binary to a single dispatch-free
+#: Python function (docs/CODEGEN.md) — the fastest backend.
+EXECUTOR_BACKENDS = {
+    "simple": NativeExecutor,
+    "closure": ClosureExecutor,
+    "whole": WholeExecutor,
+}
 
 #: Environment override for the executor backend (``REPRO_EXECUTOR=simple``
 #: is the escape hatch if the closure backend ever misbehaves).
@@ -115,6 +128,43 @@ class FunctionState(object):
 
 def _spec_key(this_value, args):
     return (value_key(this_value), arguments_key(args))
+
+
+def _value_matches_key(key, value):
+    """Whether ``value_key(value)`` would equal ``key``, sans allocation.
+
+    Mirrors tuple equality on :func:`value_key` results exactly — the
+    ``is`` check before ``==`` preserves the identity shortcut tuple
+    comparison applies per element (it makes a repeatedly-passed NaN
+    object match itself, as the materialized keys would).
+    """
+    name = _KEY_TYPE_NAMES.get(type(value))
+    if name is not None:
+        return key[0] == name and (key[1] is value or key[1] == value)
+    if value is UNDEFINED:
+        return key[0] == "undefined"
+    if value is NULL:
+        return key[0] == "null"
+    return key[0] == "ref" and key[1] == id(value)
+
+
+def _spec_key_matches(stored, this_value, args):
+    """``_spec_key(this_value, args) == stored`` without building the key.
+
+    The per-call fast path of the specialization cache: a primary-entry
+    hit (the overwhelmingly common case) costs no tuple allocations.
+    """
+    if stored is None:
+        return False
+    this_key, args_key = stored
+    if len(args_key) != len(args):
+        return False
+    if not _value_matches_key(this_key, this_value):
+        return False
+    for key, value in zip(args_key, args):
+        if not _value_matches_key(key, value):
+            return False
+    return True
 
 
 def _osr_key(args, locals_):
@@ -310,18 +360,18 @@ class Engine(object):
         native = state.native
         if native is not None:
             if native.meta["specialized"]:
-                key = _spec_key(this_value, args)
-                if key == state.spec_key:
+                if _spec_key_matches(state.spec_key, this_value, args):
                     if tracer is not None:
                         tracer.emit(
                             "cache",
                             "hit",
                             fn=code.name,
                             code_id=code.code_id,
-                            key=repr(key),
+                            key=repr(state.spec_key),
                             primary=True,
                         )
                     return True, self._run_call(state, function, this_value, args)
+                key = _spec_key(this_value, args)
                 cached = state.spec_cache.get(key)
                 if cached is not None:
                     # Cache hit on a previously specialized set (only

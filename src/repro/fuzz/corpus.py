@@ -8,7 +8,9 @@ through the full differential matrix on every tier-1 run
 
 import os
 
-from repro.fuzz.oracle import check_program
+from repro.errors import JSSyntaxError
+from repro.fuzz.oracle import check_program, resolve_matrix
+from repro.fuzz.shrink import shrink_program
 
 
 def corpus_files(directory):
@@ -33,4 +35,57 @@ def replay_corpus(directory, matrix=None):
         with open(path, "r") as handle:
             source = handle.read()
         results[os.path.basename(path)] = check_program(source, matrix)
+    return results
+
+
+def triage_corpus(directory, matrix=None, reshrink=False, log=None):
+    """Re-run every corpus reproducer; optionally re-shrink failures.
+
+    The triage flow behind ``python -m repro fuzz --replay DIR``: each
+    ``.js`` file runs through the oracle matrix again.  A file that
+    still mismatches is reported (and, with ``reshrink``, ddmin-reduced
+    once more — pinned to its first mismatch kind, exactly like the
+    live fuzzing loop — and rewritten in place when the reducer finds a
+    strictly smaller reproducer).  Returns the same mapping as
+    :func:`replay_corpus`, post-shrink.
+    """
+    matrix = resolve_matrix(matrix)
+    emit = log if log is not None else (lambda message: None)
+    results = {}
+    for path in corpus_files(directory):
+        name = os.path.basename(path)
+        with open(path, "r") as handle:
+            source = handle.read()
+        mismatches = check_program(source, matrix)
+        results[name] = mismatches
+        if not mismatches:
+            emit("ok: %s" % name)
+            continue
+        first = mismatches[0]
+        emit(
+            "MISMATCH %s: %s in %s (%s)"
+            % (name, first.kind, first.variant, first.detail)
+        )
+        if not reshrink:
+            continue
+
+        def still_fails(candidate_source, kind=first.kind):
+            try:
+                found = check_program(candidate_source, matrix)
+            except JSSyntaxError:
+                return False
+            return any(mismatch.kind == kind for mismatch in found)
+
+        result = shrink_program(source, still_fails)
+        if result.to_lines < result.from_lines:
+            header = "// re-shrunk by fuzz --replay: kind=%s variant=%s\n" % (
+                first.kind,
+                first.variant,
+            )
+            with open(path, "w") as handle:
+                handle.write(header + result.source)
+            emit(
+                "  re-shrunk %s: %d -> %d lines (%d steps)"
+                % (name, result.from_lines, result.to_lines, result.steps)
+            )
     return results

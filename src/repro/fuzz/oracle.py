@@ -1,9 +1,9 @@
 """The differential oracle: one program, many engines, one answer.
 
 A program is executed under every *variant* in the requested matrix —
-interpreter, JIT on both executor backends, specialization forced off,
-background compilation, cold and warm persistent cache, and chaos
-deopt (every guard force-failed) on both backends — and the
+interpreter, JIT on all three executor backends, specialization forced
+off, background compilation, cold and warm persistent cache, and chaos
+deopt (every guard force-failed) on all three backends — and the
 observations are compared:
 
 * **output and guest errors** must agree across *every* variant.  The
@@ -12,7 +12,7 @@ observations are compared:
   the exact interpreter state.
 * **stats ledgers and deopt/bailout event streams** must agree within
   *equivalence classes* of variants that promise bit-identical
-  simulation: the two executor backends, and cold vs warm cache runs.
+  simulation: the three executor backends, and cold vs warm cache runs.
   (Background compilation intentionally reorders work, and chaos runs
   intentionally add bailouts, so those classes only pin the backends
   against each other.)
@@ -154,6 +154,10 @@ def _run_jit_simple(source, _context):
     return _observe_engine(source, config=FULL_SPEC, executor_backend="simple")
 
 
+def _run_whole(source, _context):
+    return _observe_engine(source, config=FULL_SPEC, executor_backend="whole")
+
+
 def _run_nospec(source, _context):
     return _observe_engine(source, config=BASELINE, executor_backend="closure")
 
@@ -199,18 +203,30 @@ def _run_chaos_simple(source, _context):
     )
 
 
+def _run_chaos_whole(source, _context):
+    return _observe_engine(
+        source,
+        config=FULL_SPEC,
+        executor_backend="whole",
+        fault_injector=GuardFaultInjector(),
+        bailout_limit=CHAOS_BAILOUT_LIMIT,
+    )
+
+
 #: Variant name -> runner.  Declaration order is execution order
 #: (cache-cold must precede cache-warm).
 _RUNNERS = (
     ("interp", _run_interp),
     ("jit", _run_jit),
     ("jit-simple", _run_jit_simple),
+    ("whole", _run_whole),
     ("nospec", _run_nospec),
     ("bg", _run_background),
     ("cache-cold", _run_cache_cold),
     ("cache-warm", _run_cache_warm),
     ("chaos", _run_chaos),
     ("chaos-simple", _run_chaos_simple),
+    ("chaos-whole", _run_chaos_whole),
 )
 
 #: Every variant name, in execution order.
@@ -222,9 +238,9 @@ DEFAULT_MATRIX = VARIANT_NAMES
 #: Variant groups whose stats ledgers and deopt narratives must be
 #: bit-identical (first member is each group's reference).
 _IDENTICAL_CLASSES = (
-    ("jit", "jit-simple"),
+    ("jit", "jit-simple", "whole"),
     ("cache-cold", "cache-warm"),
-    ("chaos", "chaos-simple"),
+    ("chaos", "chaos-simple", "chaos-whole"),
 )
 
 

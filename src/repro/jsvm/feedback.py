@@ -48,11 +48,31 @@ class TypeFeedback(object):
     # -- recording (called from the interpreter's hot loop) -----------------
 
     def record_args(self, args, this_value):
-        for index, slot in enumerate(self.arg_tags):
+        nargs = len(args)
+        tag = type_tag
+        index = 0
+        # Numeric tags are computed inline: this runs for every guest
+        # call for the function's whole lifetime (monomorphic slots
+        # never saturate), and arguments are overwhelmingly numbers.
+        for slot in self.arg_tags:
             if len(slot) < MAX_TAGS_PER_SITE:
-                slot.add(type_tag(args[index]) if index < len(args) else "undefined")
-        if len(self.this_tags) < MAX_TAGS_PER_SITE:
-            self.this_tags.add(type_tag(this_value))
+                if index < nargs:
+                    value = args[index]
+                    kind = type(value)
+                    if kind is int:
+                        slot.add(
+                            "int" if -2147483648 <= value <= 2147483647 else "double"
+                        )
+                    elif kind is float:
+                        slot.add("double")
+                    else:
+                        slot.add(tag(value))
+                else:
+                    slot.add("undefined")
+            index += 1
+        this_tags = self.this_tags
+        if len(this_tags) < MAX_TAGS_PER_SITE:
+            this_tags.add(tag(this_value))
 
     def record_site(self, pc, value):
         tags = self.site_tags.get(pc)

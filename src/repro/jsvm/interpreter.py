@@ -130,10 +130,15 @@ class Interpreter(object):
 
     def call_value(self, callee, this_value, args):
         """Call any callable guest value."""
+        kind = type(callee)
+        if kind is NativeFunction:
+            # Exact-type fast path: invoke the host callable directly
+            # (NativeFunction.__call__ is just this delegation).
+            return callee.fn(this_value, args)
+        if kind is JSFunction or isinstance(callee, JSFunction):
+            return self.call_function(callee, this_value, args)
         if isinstance(callee, NativeFunction):
             return callee(this_value, args)
-        if isinstance(callee, JSFunction):
-            return self.call_function(callee, this_value, args)
         raise JSTypeError("%s is not a function" % to_js_string(callee))
 
     def call_function(self, function, this_value, args):
@@ -277,6 +282,11 @@ class Interpreter(object):
 
     def get_property(self, value, name):
         """Property read including function statics (String.fromCharCode)."""
+        if type(value) is JSObject:
+            # Hot path: a plain object reads straight off its shape —
+            # exactly what operations.get_property would do after its
+            # string/array/function checks.
+            return value.get(name)
         if isinstance(value, NativeFunction):
             holder = self.runtime.function_statics.get(value)
             if holder is not None:

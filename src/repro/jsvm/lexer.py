@@ -11,6 +11,14 @@ from repro.errors import JSSyntaxError
 from repro.jsvm.tokens import KEYWORDS, PUNCTUATORS, Token, TokenType
 from repro.jsvm.values import normalize_number
 
+# Punctuators bucketed by first character, preserving the registry's
+# longest-first order within each bucket (maximal munch).  The lexer
+# probes one bucket (≤4 entries) instead of scanning all ~35 entries.
+_PUNCT_BY_FIRST = {}
+for _punct in PUNCTUATORS:
+    _PUNCT_BY_FIRST.setdefault(_punct[0], []).append(_punct)
+del _punct
+
 _ESCAPES = {
     "n": "\n",
     "t": "\t",
@@ -44,14 +52,23 @@ class _Lexer(object):
         return ""
 
     def advance(self, count=1):
-        for _ in range(count):
-            if self.pos < len(self.source):
-                if self.source[self.pos] == "\n":
-                    self.line += 1
-                    self.column = 1
-                else:
-                    self.column += 1
-                self.pos += 1
+        source = self.source
+        pos = self.pos
+        end = pos + count
+        if end > len(source):
+            end = len(source)
+        line = self.line
+        column = self.column
+        while pos < end:
+            if source[pos] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            pos += 1
+        self.pos = pos
+        self.line = line
+        self.column = column
 
     def at_end(self):
         return self.pos >= len(self.source)
@@ -185,11 +202,13 @@ class _Lexer(object):
 
     def lex_punctuator(self):
         line, column = self.line, self.column
-        for punct in PUNCTUATORS:
-            if self.source.startswith(punct, self.pos):
-                self.advance(len(punct))
-                self.tokens.append(Token(TokenType.PUNCT, punct, line, column))
-                return
+        candidates = _PUNCT_BY_FIRST.get(self.source[self.pos])
+        if candidates is not None:
+            for punct in candidates:
+                if self.source.startswith(punct, self.pos):
+                    self.advance(len(punct))
+                    self.tokens.append(Token(TokenType.PUNCT, punct, line, column))
+                    return
         self.error("unexpected character %r" % self.peek())
 
 

@@ -29,15 +29,34 @@ class Shape(object):
     add reaches; deleted layouts get their own nodes too (keyed in
     ``deletions``), so delete is not a silent wildcard — an object that
     loses a property moves to a distinct, equally cacheable shape.
+
+    Because ``names`` is immutable, the *slot offset* of a property
+    under a given shape is a compile-time constant: ``offset_of`` is
+    what lets the executor backends replace a guarded name lookup with
+    a direct index into the object's slot vector.
     """
 
-    __slots__ = ("shape_id", "names", "transitions", "deletions")
+    __slots__ = ("shape_id", "names", "transitions", "deletions", "_offsets")
 
     def __init__(self, shape_id, names):
         self.shape_id = shape_id
         self.names = names
         self.transitions = {}
         self.deletions = {}
+        self._offsets = None
+
+    def offset_of(self, name):
+        """Slot index of ``name`` under this shape, or None.
+
+        Shapes are immutable, so the answer never changes: backends may
+        bake it into generated code guarded by this shape's id.
+        """
+        offsets = self._offsets
+        if offsets is None:
+            offsets = self._offsets = {
+                slot_name: index for index, slot_name in enumerate(self.names)
+            }
+        return offsets.get(name)
 
     def __repr__(self):
         return "<Shape %d {%s}>" % (self.shape_id, ", ".join(self.names))
@@ -55,17 +74,22 @@ class ShapeTree(object):
     every variant numbers shapes from the same blank slate).
     """
 
-    __slots__ = ("root", "next_id")
+    __slots__ = ("root", "next_id", "by_id")
 
     def __init__(self):
         self.root = Shape(0, ())
         self.next_id = 1
+        #: Every shape ever created, keyed by id: the JIT resolves the
+        #: ids recorded in inline caches back to layouts at codegen
+        #: time (:func:`common_slot_offset`).
+        self.by_id = {0: self.root}
 
     def transition_add(self, shape, name):
         """The child shape after adding ``name``; created on demand."""
         child = shape.transitions.get(name)
         if child is None:
             child = Shape(self.next_id, shape.names + (name,))
+            self.by_id[child.shape_id] = child
             self.next_id += 1
             shape.transitions[name] = child
         return child
@@ -76,6 +100,7 @@ class ShapeTree(object):
         if child is None:
             names = tuple(n for n in shape.names if n != name)
             child = Shape(self.next_id, names)
+            self.by_id[child.shape_id] = child
             self.next_id += 1
             shape.deletions[name] = child
         return child
@@ -97,40 +122,100 @@ def reset_shapes():
     return SHAPE_TREE
 
 
-class JSObject(object):
-    """A plain JavaScript object: a mutable property map with a shape."""
+def common_slot_offset(shape_ids, name):
+    """Slot offset of ``name`` shared by every shape in ``shape_ids``.
 
-    __slots__ = ("properties", "shape")
+    The codegen backends call this when emitting a ``loadprop`` or
+    ``storeprop`` protected by a ``guardshape`` over ``shape_ids``: a
+    non-None result means every admissible layout stores ``name`` at
+    the same index, so the guarded access compiles to a constant-offset
+    slot read/write with no name lookup at all.  Returns None when the
+    shapes disagree, when any shape lacks the property (a store that
+    transitions), or when an id is unknown to the live tree (a binary
+    thawed against a rewound tree) — all of which fall back to the
+    generic named path, never to wrong code: the result is only ever
+    used under the matching shape guard, and shapes are immutable.
+    """
+    offset = None
+    by_id = SHAPE_TREE.by_id
+    for shape_id in shape_ids:
+        shape = by_id.get(shape_id)
+        if shape is None:
+            return None
+        this_offset = shape.offset_of(name)
+        if this_offset is None:
+            return None
+        if offset is None:
+            offset = this_offset
+        elif this_offset != offset:
+            return None
+    return offset
+
+
+class JSObject(object):
+    """A plain JavaScript object: shape-indexed slot storage.
+
+    Property values live in ``slots``, a list parallel to the shape's
+    ``names`` tuple — the property at ``shape.names[i]`` is stored at
+    ``slots[i]``.  The shape *is* the property map: name lookups go
+    through the shape's cached offset table, and JIT code that has
+    already guarded the shape skips even that, indexing ``slots``
+    directly at a baked-in constant offset.
+    """
+
+    __slots__ = ("slots", "shape")
 
     def __init__(self, properties=None):
-        self.properties = dict(properties) if properties else {}
-        shape = SHAPE_TREE.root
-        for name in self.properties:
-            shape = SHAPE_TREE.transition_add(shape, name)
-        self.shape = shape
+        self.shape = SHAPE_TREE.root
+        self.slots = []
+        if properties:
+            for name, value in properties.items():
+                self.set(name, value)
+
+    @property
+    def properties(self):
+        """The property map as a dict (diagnostics / generic callers)."""
+        return dict(zip(self.shape.names, self.slots))
 
     def get(self, name):
         """Read property ``name``; missing properties read as undefined."""
-        return self.properties.get(name, UNDEFINED)
+        # Inlined Shape.offset_of — property reads are the hottest
+        # object operation and the extra method call is measurable.
+        shape = self.shape
+        offsets = shape._offsets
+        if offsets is None:
+            offsets = shape._offsets = {
+                slot_name: index for index, slot_name in enumerate(shape.names)
+            }
+        offset = offsets.get(name)
+        if offset is None:
+            return UNDEFINED
+        return self.slots[offset]
 
     def set(self, name, value):
         """Write property ``name``, transitioning shape on a new key."""
-        if name not in self.properties:
+        offset = self.shape.offset_of(name)
+        if offset is None:
             self.shape = SHAPE_TREE.transition_add(self.shape, name)
-        self.properties[name] = value
+            self.slots.append(value)
+        else:
+            self.slots[offset] = value
 
     def has(self, name):
         """True when the object owns property ``name``."""
-        return name in self.properties
+        return self.shape.offset_of(name) is not None
 
     def delete(self, name):
         """Remove property ``name``, transitioning shape if it existed."""
-        if name in self.properties:
-            del self.properties[name]
+        offset = self.shape.offset_of(name)
+        if offset is not None:
+            del self.slots[offset]
             self.shape = SHAPE_TREE.transition_delete(self.shape, name)
 
     def __repr__(self):
-        inner = ", ".join("%s: %r" % kv for kv in sorted(self.properties.items()))
+        inner = ", ".join(
+            "%s: %r" % kv for kv in sorted(zip(self.shape.names, self.slots))
+        )
         return "{%s}" % inner
 
 

@@ -55,8 +55,19 @@ def to_uint32(value):
     return n & (_UINT32 - 1)
 
 
+_INT32_MIN = -(2 ** 31)
+_INT32_MAX = 2 ** 31 - 1
+
+
 def js_add(a, b):
     """The JS ``+`` operator: string concatenation or numeric addition."""
+    if type(a) is int and type(b) is int:
+        # Hot path: int32 + int32, normalized inline (identical to
+        # normalize_number on an out-of-range int: widen to double).
+        result = a + b
+        if _INT32_MIN <= result <= _INT32_MAX:
+            return result
+        return float(result)
     if type(a) is str or type(b) is str:
         return to_js_string(a) + to_js_string(b)
     if isinstance(a, JSObject) or isinstance(b, JSObject):
@@ -127,6 +138,17 @@ def js_neg(a):
 
 def js_compare(op, a, b):
     """Shared relational comparison for <, <=, >, >=."""
+    if type(a) is int and type(b) is int:
+        # Hot path: int32 comparison needs no float conversion (floats
+        # represent every int32 exactly, so the result is identical)
+        # and cannot involve NaN.
+        if op == Op.LT:
+            return a < b
+        if op == Op.LE:
+            return a <= b
+        if op == Op.GT:
+            return a > b
+        return a >= b
     if type(a) is str and type(b) is str:
         if op == Op.LT:
             return a < b
@@ -159,46 +181,91 @@ def js_in(key, container):
     raise JSTypeError("'in' requires an object, got %s" % type_of(container))
 
 
+def _js_bitand(a, b):
+    return to_int32(a) & to_int32(b)
+
+
+def _js_bitor(a, b):
+    return to_int32(a) | to_int32(b)
+
+
+def _js_bitxor(a, b):
+    return to_int32(a) ^ to_int32(b)
+
+
+def _js_shl(a, b):
+    shifted = (to_int32(a) << (to_uint32(b) & 31)) & (_UINT32 - 1)
+    if shifted >= _INT32_SIGN:
+        shifted -= _UINT32
+    return shifted
+
+
+def _js_shr(a, b):
+    return to_int32(a) >> (to_uint32(b) & 31)
+
+
+def _js_ushr(a, b):
+    return normalize_number(to_uint32(a) >> (to_uint32(b) & 31))
+
+
+def _js_ne(a, b):
+    return not js_equals(a, b)
+
+
+def _js_strictne(a, b):
+    return not js_strict_equals(a, b)
+
+
+def _js_lt(a, b):
+    return js_compare(Op.LT, a, b)
+
+
+def _js_le(a, b):
+    return js_compare(Op.LE, a, b)
+
+
+def _js_gt(a, b):
+    return js_compare(Op.GT, a, b)
+
+
+def _js_ge(a, b):
+    return js_compare(Op.GE, a, b)
+
+
+#: Dispatch table for :func:`binary_op`: one dict probe replaces the
+#: historical if/elif decode chain (up to 18 comparisons per operator
+#: evaluation on the generic path).  Each entry evaluates exactly the
+#: same expression the chain did.
+_BINARY_TABLE = {
+    Op.ADD: js_add,
+    Op.SUB: js_sub,
+    Op.MUL: js_mul,
+    Op.DIV: js_div,
+    Op.MOD: js_mod,
+    Op.BITAND: _js_bitand,
+    Op.BITOR: _js_bitor,
+    Op.BITXOR: _js_bitxor,
+    Op.SHL: _js_shl,
+    Op.SHR: _js_shr,
+    Op.USHR: _js_ushr,
+    Op.EQ: js_equals,
+    Op.NE: _js_ne,
+    Op.STRICTEQ: js_strict_equals,
+    Op.STRICTNE: _js_strictne,
+    Op.LT: _js_lt,
+    Op.LE: _js_le,
+    Op.GT: _js_gt,
+    Op.GE: _js_ge,
+    Op.IN: js_in,
+}
+
+
 def binary_op(op, a, b):
     """Evaluate one binary bytecode operator on guest values."""
-    if op == Op.ADD:
-        return js_add(a, b)
-    if op == Op.SUB:
-        return js_sub(a, b)
-    if op == Op.MUL:
-        return js_mul(a, b)
-    if op == Op.DIV:
-        return js_div(a, b)
-    if op == Op.MOD:
-        return js_mod(a, b)
-    if op == Op.BITAND:
-        return to_int32(a) & to_int32(b)
-    if op == Op.BITOR:
-        return to_int32(a) | to_int32(b)
-    if op == Op.BITXOR:
-        return to_int32(a) ^ to_int32(b)
-    if op == Op.SHL:
-        shifted = (to_int32(a) << (to_uint32(b) & 31)) & (_UINT32 - 1)
-        if shifted >= _INT32_SIGN:
-            shifted -= _UINT32
-        return shifted
-    if op == Op.SHR:
-        return to_int32(a) >> (to_uint32(b) & 31)
-    if op == Op.USHR:
-        return normalize_number(to_uint32(a) >> (to_uint32(b) & 31))
-    if op == Op.EQ:
-        return js_equals(a, b)
-    if op == Op.NE:
-        return not js_equals(a, b)
-    if op == Op.STRICTEQ:
-        return js_strict_equals(a, b)
-    if op == Op.STRICTNE:
-        return not js_strict_equals(a, b)
-    if op in (Op.LT, Op.LE, Op.GT, Op.GE):
-        return js_compare(op, a, b)
-    if op == Op.IN:
-        return js_in(a, b)
-    raise JSTypeError("unknown binary operator %r" % op)
+    handler = _BINARY_TABLE.get(op)
+    if handler is None:
+        raise JSTypeError("unknown binary operator %r" % op)
+    return handler(a, b)
 
 
 def unary_op(op, a):
@@ -236,8 +303,8 @@ def get_property(value, name, runtime=None):
     if isinstance(value, JSArray):
         if name == "length":
             return value.length
-        if name in value.properties:
-            return value.properties[name]
+        if value.has(name):
+            return value.get(name)
         if runtime is not None:
             method = runtime.array_methods.get(name)
             if method is not None:
@@ -266,6 +333,12 @@ def set_property(value, name, new_value):
 
 def get_element(value, index, runtime=None):
     """Generic indexed read: arrays, strings, objects."""
+    if type(index) is int and isinstance(value, JSArray):
+        # Hot path: int index into a dense array, read inline.
+        elements = value.elements
+        if 0 <= index < len(elements):
+            return elements[index]
+        return UNDEFINED
     if isinstance(value, JSArray) and is_number(index):
         return value.get_element(index)
     if type(value) is str:

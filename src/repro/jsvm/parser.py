@@ -56,8 +56,11 @@ class Parser(object):
     # -- token plumbing ----------------------------------------------------
 
     def peek(self, offset=0):
-        index = min(self.pos + offset, len(self.tokens) - 1)
-        return self.tokens[index]
+        tokens = self.tokens
+        index = self.pos + offset
+        if index >= len(tokens):
+            index = len(tokens) - 1
+        return tokens[index]
 
     def advance(self):
         token = self.tokens[self.pos]

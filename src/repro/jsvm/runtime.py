@@ -43,8 +43,13 @@ def _arg(args, index, default=UNDEFINED):
 
 
 def _int_arg(args, index, default=0):
-    value = _arg(args, index, None)
-    if value is None or value is UNDEFINED:
+    if index >= len(args):
+        return default
+    value = args[index]
+    if type(value) is int:
+        # Hot path: charAt/charCodeAt-style calls pass an int32.
+        return value
+    if value is UNDEFINED:
         return default
     number = to_number(value)
     if type(number) is float:

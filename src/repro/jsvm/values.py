@@ -145,10 +145,26 @@ def normalize_number(value):
     raise TypeError("not a number: %r" % (value,))
 
 
+# Lazily-bound object classes (repro.jsvm.objects imports this module,
+# so a top-level import here would be circular).  Bound once, on first
+# use, instead of re-importing inside every type_of/type_tag call —
+# both sit on the per-call feedback path.
+_JSArray = None
+_JSObject = None
+
+
+def _object_classes():
+    """Bind and return ``(JSArray, JSObject)`` on first use."""
+    global _JSArray, _JSObject
+    if _JSObject is None:
+        from repro.jsvm.objects import JSArray, JSObject
+
+        _JSArray, _JSObject = JSArray, JSObject
+    return _JSArray, _JSObject
+
+
 def type_of(value):
     """Implement the JS ``typeof`` operator."""
-    from repro.jsvm.objects import JSObject
-
     if value is UNDEFINED:
         return "undefined"
     if value is NULL:
@@ -161,7 +177,7 @@ def type_of(value):
         return "string"
     if isinstance(value, (JSFunction, NativeFunction)):
         return "function"
-    if isinstance(value, JSObject):
+    if isinstance(value, _object_classes()[1]):
         return "object"
     raise TypeError("not a JS value: %r" % (value,))
 
@@ -171,31 +187,50 @@ def type_tag(value):
 
     Unlike :func:`type_of`, this distinguishes ``int`` from ``double``,
     ``array`` from ``object``, and ``null`` from ``object`` — the
-    categories of the paper's Figure 4.
+    categories of the paper's Figure 4.  This runs for every argument
+    of every guest call: ints (whose tag depends on the value's range)
+    are handled inline, and every other tag is a function of the exact
+    class alone, memoized in ``_TAG_BY_TYPE``.
     """
-    from repro.jsvm.objects import JSArray, JSObject
-
-    if value is UNDEFINED:
-        return "undefined"
-    if value is NULL:
-        return "null"
-    if type(value) is bool:
-        return "bool"
-    if type(value) is int:
+    kind = type(value)
+    if kind is int:
         if INT32_MIN <= value <= INT32_MAX:
             return "int"
         return "double"  # un-normalized wide integer: still a JS number
-    if type(value) is float:
-        return "double"
-    if type(value) is str:
-        return "string"
-    if isinstance(value, (JSFunction, NativeFunction)):
-        return "function"
-    if isinstance(value, JSArray):
-        return "array"
-    if isinstance(value, JSObject):
-        return "object"
-    raise TypeError("not a JS value: %r" % (value,))
+    tag = _TAG_BY_TYPE.get(kind)
+    if tag is not None:
+        return tag
+    if value is UNDEFINED:
+        tag = "undefined"
+    elif value is NULL:
+        tag = "null"
+    elif isinstance(value, (JSFunction, NativeFunction)):
+        tag = "function"
+    else:
+        array_class, object_class = _object_classes()
+        if isinstance(value, array_class):
+            tag = "array"
+        elif isinstance(value, object_class):
+            tag = "object"
+        else:
+            raise TypeError("not a JS value: %r" % (value,))
+    _TAG_BY_TYPE[kind] = tag
+    return tag
+
+
+#: Exact-type tag memo for :func:`type_tag`.  Sound because every tag
+#: except ``int``/``double`` (handled before the probe) is determined
+#: by the value's class; unseen classes (e.g. JSObject subclasses) are
+#: resolved once through the isinstance ladder and cached.
+_TAG_BY_TYPE = {
+    float: "double",
+    str: "string",
+    bool: "bool",
+    JSUndefined: "undefined",
+    JSNull: "null",
+    JSFunction: "function",
+    NativeFunction: "function",
+}
 
 
 def to_boolean(value):
@@ -333,9 +368,9 @@ def value_key(value):
     match by identity — exactly the notion under which specialized code
     remains valid (an object constant is a baked-in reference).
     """
-    t = type(value)
-    if t is int or t is float or t is bool or t is str:
-        return (t.__name__, value)
+    name = _KEY_TYPE_NAMES.get(type(value))
+    if name is not None:
+        return (name, value)
     if value is UNDEFINED:
         return ("undefined",)
     if value is NULL:
@@ -343,6 +378,12 @@ def value_key(value):
     return ("ref", id(value))
 
 
+#: Primitive types keyed by value in :func:`value_key`; one dict probe
+#: replaces four identity checks plus a ``__name__`` lookup on the
+#: per-call specialization-cache path.
+_KEY_TYPE_NAMES = {int: "int", float: "float", bool: "bool", str: "str"}
+
+
 def arguments_key(args):
     """The cache key for a full argument list."""
-    return tuple(value_key(a) for a in args)
+    return tuple([value_key(a) for a in args])

@@ -44,7 +44,7 @@ from repro.errors import CompilerError
 from repro.jsvm import operations
 from repro.jsvm.bytecode import Op
 from repro.jsvm.interpreter import MAX_CALL_DEPTH
-from repro.jsvm.objects import JSArray, JSObject
+from repro.jsvm.objects import JSArray, JSObject, common_slot_offset
 from repro.jsvm.values import (
     INT32_MAX,
     INT32_MIN,
@@ -129,7 +129,7 @@ class _Binder(object):
         return self.bind(value)
 
 
-def _emit(out, index, instruction, binder, inject=False):
+def _emit(out, index, instruction, binder, inject=False, slot_offset=None):
     """Append the statement(s) for one instruction to ``out``.
 
     Each emitted fragment is a transliteration of the matching if/elif
@@ -143,6 +143,11 @@ def _emit(out, index, instruction, binder, inject=False):
     of the injector — the closure-backend twin of the reference
     backend's pre-dispatch check, so forced bailouts fire at the same
     point with the same partial cycle charge.
+
+    ``slot_offset`` (loadprop/storeprop only) is the constant slot
+    index proven by a dominating ``guardshape`` in the same block
+    (:class:`_ShapeGuardTracker`): the access compiles to a direct
+    ``.slots[offset]`` read/write with no name lookup.
     """
     op = instruction.op
     srcs = instruction.srcs
@@ -324,9 +329,15 @@ def _emit(out, index, instruction, binder, inject=False):
             "_set_element(%s, %s, %s)" % (v(srcs[0]), v(srcs[1]), v(srcs[2]))
         )
     elif op == "loadprop":
-        out.append("%s = %s.get(%s)" % (d(), v(srcs[0]), binder.lit(extra)))
+        if slot_offset is not None:
+            out.append("%s = %s.slots[%d]" % (d(), v(srcs[0]), slot_offset))
+        else:
+            out.append("%s = %s.get(%s)" % (d(), v(srcs[0]), binder.lit(extra)))
     elif op == "storeprop":
-        out.append("%s.set(%s, %s)" % (v(srcs[0]), binder.lit(extra), v(srcs[1])))
+        if slot_offset is not None:
+            out.append("%s.slots[%d] = %s" % (v(srcs[0]), slot_offset, v(srcs[1])))
+        else:
+            out.append("%s.set(%s, %s)" % (v(srcs[0]), binder.lit(extra), v(srcs[1])))
     elif op == "getprop_v":
         out.append("%s = _get_property(%s, %s)" % (d(), v(srcs[0]), binder.lit(extra)))
     elif op == "setprop_v":
@@ -392,6 +403,50 @@ def _emit_type_check(out, expected, snap_ref, reason, guard_op, binder):
     else:
         out.append("if not _matches(_t, %s):" % binder.bind(expected))
     out.append("    _bail(_v, %s, %r, %r, _t)" % (snap_ref, reason, guard_op))
+
+
+#: Ops that may mutate an object's shape out from under a prior
+#: ``guardshape`` without touching the guarded register: arbitrary
+#: guest code (calls) and generic property/element writes.  Any of
+#: these flushes the shape-guard tracker.
+_SHAPE_CLOBBERS = frozenset(["call", "new", "setprop_v", "setelem_v", "storeprop"])
+
+
+class _ShapeGuardTracker(object):
+    """Tracks which value locations are shape-guarded inside a block.
+
+    Codegen walks each block linearly; a ``guardshape`` proves its
+    receiver's shape is one of the guard's ids *from that point on*,
+    until the receiver location is overwritten or any instruction runs
+    that could transition a shape behind the register's back.  Both
+    executor backends consult this to compile guarded ``loadprop`` /
+    ``storeprop`` into constant-offset slot accesses
+    (:func:`repro.jsvm.objects.common_slot_offset`).
+    """
+
+    def __init__(self):
+        self._guards = {}
+
+    def reset(self):
+        self._guards.clear()
+
+    def slot_offset(self, instruction):
+        """Constant slot offset for a loadprop/storeprop, or None."""
+        shape_ids = self._guards.get(instruction.srcs[0])
+        if not shape_ids:
+            return None
+        return common_slot_offset(shape_ids, instruction.extra)
+
+    def observe(self, instruction):
+        """Update tracking *after* codegen of ``instruction``."""
+        if instruction.op in _SHAPE_CLOBBERS:
+            self._guards.clear()
+            return
+        if instruction.op == "guardshape":
+            self._guards[instruction.srcs[0]] = instruction.extra
+        dest = instruction.dest
+        if dest is not None:
+            self._guards.pop(dest, None)
 
 
 def _block_leaders(native):
@@ -504,17 +559,24 @@ def compile_closures(native, executor, capture=None):
             index += 1
 
         lines = ["def _b%d(_v, _c):" % leader, "    _i = 0", "    try:"]
+        shape_tracker = _ShapeGuardTracker()
         for offset, instr_index in enumerate(body):
             if offset:
                 lines.append("        _i = %d" % offset)
+            instruction = instructions[instr_index]
+            slot_offset = None
+            if instruction.op in ("loadprop", "storeprop"):
+                slot_offset = shape_tracker.slot_offset(instruction)
             stmts = []
             _emit(
                 stmts,
                 instr_index,
-                instructions[instr_index],
+                instruction,
                 binder,
                 inject=injector is not None,
+                slot_offset=slot_offset,
             )
+            shape_tracker.observe(instruction)
             lines.extend("        " + stmt for stmt in stmts)
         if fallthrough is not None:
             lines.append("        return %d" % fallthrough)

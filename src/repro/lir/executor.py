@@ -88,53 +88,62 @@ def _matches(value, mirtype):
 _CHECKED_ARITH = CHECKED_ARITH
 
 
+def forced_recovery_value(op, extra, srcvals):
+    """The exact recovery value a forced bailout must hand back.
+
+    ``srcvals`` holds the guard's source values (already read out of
+    their locations — the whole-function backend keeps values in
+    Python locals, so callers pass them explicitly).  The result is
+    computed exactly as the guard's own execution would have: the
+    genuine result for a speculation that held, the genuine bailout
+    value (overflowed double, ``-0.0``, the off-type value) for one
+    that happened to fail on this very execution.
+    """
+    if op == "add_i" or op == "sub_i":
+        a = srcvals[0]
+        b = srcvals[1]
+        result = a + b if op == "add_i" else a - b
+        return float(result) if (result > INT32_MAX or result < INT32_MIN) else result
+    if op == "mul_i":
+        a = srcvals[0]
+        b = srcvals[1]
+        result = a * b
+        if result > INT32_MAX or result < INT32_MIN:
+            return float(result)
+        if result == 0 and (a < 0 or b < 0):
+            return -0.0
+        return result
+    if op == "neg_i":
+        value = srcvals[0]
+        if value == 0:
+            return -0.0
+        if value == INT32_MIN:
+            return -float(value)
+        return -value
+    if op == "bitop_i":
+        return operations.binary_op(extra, srcvals[0], srcvals[1])
+    if op == "unbox" or op == "typebarrier":
+        return srcvals[0]
+    # checkoverrecursed / boundscheck / guardshape resume "at" the
+    # faulting bytecode and re-execute it; no recovery value is needed.
+    return None
+
+
 def forced_bailout(executor, instruction, values):
     """Raise the fault-injected :class:`Bailout` for a guard.
 
-    Called by both backends when the armed
+    Called by the array-based backends when the armed
     :class:`~repro.engine.bailout.GuardFaultInjector` selects a guard,
-    *instead of* executing the guard's arm.  The recovery value
-    (``actual``, pushed on the interpreter stack by "after"-mode
-    snapshots) is computed exactly as the guard's own execution would
-    have: the genuine result for a speculation that held, the genuine
-    bailout value (overflowed double, ``-0.0``, the off-type value)
-    for one that happened to fail on this very execution.  Resuming
-    the interpreter from this state is therefore bit-identical to
-    never having run the native code at all.
+    *instead of* executing the guard's arm.  Resuming the interpreter
+    from the produced state is bit-identical to never having run the
+    native code at all (see :func:`forced_recovery_value`).
     """
-    op = instruction.op
-    srcs = instruction.srcs
-    actual = None
-    if op == "add_i" or op == "sub_i":
-        a = values[srcs[0]]
-        b = values[srcs[1]]
-        result = a + b if op == "add_i" else a - b
-        actual = float(result) if (result > INT32_MAX or result < INT32_MIN) else result
-    elif op == "mul_i":
-        a = values[srcs[0]]
-        b = values[srcs[1]]
-        result = a * b
-        if result > INT32_MAX or result < INT32_MIN:
-            actual = float(result)
-        elif result == 0 and (a < 0 or b < 0):
-            actual = -0.0
-        else:
-            actual = result
-    elif op == "neg_i":
-        value = values[srcs[0]]
-        if value == 0:
-            actual = -0.0
-        elif value == INT32_MIN:
-            actual = -float(value)
-        else:
-            actual = -value
-    elif op == "bitop_i":
-        actual = operations.binary_op(instruction.extra, values[srcs[0]], values[srcs[1]])
-    elif op == "unbox" or op == "typebarrier":
-        actual = values[srcs[0]]
-    # checkoverrecursed / boundscheck / guardshape resume "at" the
-    # faulting bytecode and re-execute it; no recovery value is needed.
-    executor._bail(values, instruction.snapshot, FAULT_INJECTED, op, actual)
+    actual = forced_recovery_value(
+        instruction.op,
+        instruction.extra,
+        [values[loc] for loc in instruction.srcs],
+    )
+    executor._bail(values, instruction.snapshot, FAULT_INJECTED, instruction.op, actual)
 
 
 class NativeExecutor(object):

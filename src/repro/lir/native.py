@@ -130,12 +130,19 @@ class NativeCode(object):
         self._cost_table = None
         self._cost_table_model = None
         self.closure_cache = None
+        #: The whole-function backend's compiled module, keyed by
+        #: (executor, injector, profiled) — distinct instrumentation
+        #: means distinct generated code (repro.lir.wholefn).
+        self.whole_cache = None
         #: Persistent-cache payload for the closure backend: the
         #: generated module ``(source_text, marshalled_code_bytes)``
         #: thawed from disk.  ``compile_closures`` reuses the code
         #: object only after a byte-exact source match, so a stale or
         #: foreign blob silently falls back to compiling fresh.
         self.disk_closure = None
+        #: Same, for the whole-function backend's generated module
+        #: (repro.lir.wholefn applies the identical byte-exact rule).
+        self.disk_whole = None
 
     def cost_table(self, cost_model):
         """Per-pc cycle prices under ``cost_model``, cached.

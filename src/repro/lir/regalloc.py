@@ -68,23 +68,38 @@ def _instruction_uses(instruction):
     return uses
 
 
-def _compute_liveness(lir, regions, by_id):
+def _compute_liveness(regions, by_id, defs_uses):
+    """Backward liveness fixpoint over the region graph.
+
+    ``defs_uses`` is the per-position ``(dest, uses)`` table.  Each
+    region's transfer function ``live_in = gen ∪ (live_out − kill)`` is
+    precomputed once (gen = upward-exposed uses, kill = definitions),
+    so fixpoint rounds are pure set operations instead of re-walking
+    every instruction's operand lists each iteration.
+    """
+    transfers = []
+    for region in regions:
+        gen = set()
+        kill = set()
+        for position in range(region.end - 1, region.start - 1, -1):
+            dest, uses = defs_uses[position]
+            if dest is not None:
+                kill.add(dest)
+                gen.discard(dest)
+            for use in uses:
+                gen.add(use)
+        transfers.append((region, gen, kill))
+    transfers.reverse()
     changed = True
     while changed:
         changed = False
-        for region in reversed(regions):
+        for region, gen, kill in transfers:
             live_out = set()
             for successor_id in region.successor_ids:
                 successor = by_id.get(successor_id)
                 if successor is not None:
                     live_out |= successor.live_in
-            live = set(live_out)
-            for position in range(region.end - 1, region.start - 1, -1):
-                instruction = lir.instructions[position]
-                if instruction.dest is not None:
-                    live.discard(instruction.dest)
-                for use in _instruction_uses(instruction):
-                    live.add(use)
+            live = gen | (live_out - kill)
             if live_out != region.live_out or live != region.live_in:
                 region.live_out = live_out
                 region.live_in = live
@@ -129,7 +144,11 @@ def snapshot_only_vregs(lir):
 def build_intervals(lir):
     """Compute one conservative live interval per virtual register."""
     regions, by_id = _build_regions(lir)
-    _compute_liveness(lir, regions, by_id)
+    defs_uses = [
+        (instruction.dest, _instruction_uses(instruction))
+        for instruction in lir.instructions
+    ]
+    _compute_liveness(regions, by_id, defs_uses)
     ranges = {}
 
     def extend(vreg, start, end):
@@ -145,15 +164,12 @@ def build_intervals(lir):
     for region in regions:
         for vreg in region.live_out:
             extend(vreg, region.start, region.end)
-        live = set(region.live_out)
         for position in range(region.end - 1, region.start - 1, -1):
-            instruction = lir.instructions[position]
-            if instruction.dest is not None:
-                extend(instruction.dest, position, position)
-                live.discard(instruction.dest)
-            for use in _instruction_uses(instruction):
+            dest, uses = defs_uses[position]
+            if dest is not None:
+                extend(dest, position, position)
+            for use in uses:
                 extend(use, region.start, position)
-                live.add(use)
     intervals = [Interval(vreg, span[0], span[1]) for vreg, span in ranges.items()]
     intervals.sort(key=lambda interval: (interval.start, interval.end))
     return intervals

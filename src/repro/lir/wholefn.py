@@ -1,0 +1,1287 @@
+"""Whole-binary codegen: one Python function per compiled binary.
+
+The closure backend (:mod:`repro.lir.closures`) already specializes
+each basic block into straight-line Python, but it still pays
+Python-level dispatch on every block edge: a driver-loop iteration, a
+function call, a return, and three list indexings per block executed.
+This module removes that last layer of interpretation.  An entire
+:class:`~repro.lir.native.NativeCode` binary is lowered to a *single*
+exec-generated Python function:
+
+- **Basic blocks become labeled regions** inside one dispatch-free
+  control-flow skeleton.  Natural loops are rebuilt as *nested Python
+  ``while`` statements*: every back edge ``continue``s the innermost
+  generated loop, so a hot loop header costs a single integer compare
+  per iteration instead of a rescan of the whole region chain.  Within
+  a loop (and at the top level) regions form an ordered chain of
+  ``if _pc == <leader>:`` arms — a forward branch assigns ``_pc`` and
+  falls down the chain; leaving a loop falls out of its ``while``
+  through a range check.  Straight-line runs that merely *flow into* a
+  jump target fall through with a single assignment — no call, no
+  driver.  The nesting is a pure optimization: any jump the structure
+  does not anticipate cascades out through the range checks and is
+  re-dispatched, so irreducible control flow stays correct.
+
+- **Register slots become local variables** (``_r0..`` for the eight
+  registers, ``_s0..`` for spill slots — the same physical locations
+  :mod:`repro.lir.regalloc` assigned), so operand access compiles to
+  ``LOAD_FAST`` instead of a list index.  Immediate-pool operands are
+  inlined as source literals, exactly like x86 instruction immediates.
+
+- **Guards compile to inline ``if`` checks** raising the existing
+  bailout protocol.  The frame-reconstruction values a snapshot needs
+  are spelled out at codegen time as an explicit tuple of locals (and
+  literals for immediates), so a bailout never consults a value array
+  that no longer exists.
+
+- **Shape-guarded property access compiles to constant-offset slot
+  access** — ``obj.slots[2]`` — whenever a dominating ``guardshape``
+  proves a single layout offset (:func:`repro.jsvm.objects.common_slot_offset`),
+  sharing the tracker with the closure backend.
+
+Cycle and instruction accounting is *region*-granular: the generated
+function accumulates the region's precomputed instruction count and
+summed static cost in two locals at every region exit, publishing them
+through the ``ctx`` list on return.  Exactness under faults is kept by
+the same progress-marker scheme the closure backend uses, but cheaper:
+``_i`` is re-stamped only before instructions that can actually raise
+(guards, heap access, calls), so pure arithmetic runs marker-free.  On
+any exception the function publishes ``(_pc, _i, _a)`` and the
+driver charges exactly through the faulting instruction — the same
+cycles, the same ``Bailout.native_index``, bit-identical to both other
+backends (the differential suites prove stats, cycles, output and
+trace streams match on every suite benchmark).
+
+The generated module round-trips through the persistent code cache
+under the closure backend's byte-exact trust rule: the stored marshal
+blob is only used when the source generated *now* matches the stored
+source byte for byte (:func:`whole_artifact`).
+"""
+
+import marshal
+
+from repro.errors import CompilerError
+from repro.jsvm import operations
+from repro.jsvm.bytecode import Op
+from repro.jsvm.interpreter import MAX_CALL_DEPTH
+from repro.jsvm.objects import JSArray, JSObject
+from repro.jsvm.values import (
+    UNDEFINED,
+    JSFunction,
+    NativeFunction,
+    normalize_number,
+    to_boolean,
+    type_of,
+)
+from repro.lir.closures import (
+    _COMPARE_PY,
+    _Binder,
+    _ShapeGuardTracker,
+    _TERMINATORS,
+    CTX_OSR_ARGS,
+    CTX_OSR_LOCALS,
+    CTX_RESULT,
+    CTX_FAULT,
+)
+from repro.lir.executor import (
+    Bailout,
+    NativeExecutor,
+    _compare,
+    _matches,
+    forced_recovery_value,
+)
+from repro.lir.native import FAULT_INJECTED, GUARD_OPS
+from repro.lir.regalloc import NUM_REGS
+from repro.mir.types import MIRType
+
+#: Extra ``ctx`` slots beyond the closure backend's seven: the packed
+#: cycle/instruction accumulator and the faulting region's leader pc.
+#: The whole function has no per-block driver, so these are the only
+#: channel from generated code back to the executor.
+CTX_ACC = 7
+CTX_PC = 8
+
+#: Region accounting is packed into ONE accumulator: every region exit
+#: executes a single ``_a += K`` with the precomputed literal
+#: ``K = (static_cycles << _ACC_SHIFT) | instruction_count``.  Python
+#: ints are unbounded so the high field cannot overflow, and the low
+#: field cannot carry into it before ~2**64 executed instructions —
+#: far beyond any run.  The executor splits the two fields at the end.
+_ACC_SHIFT = 64
+_ACC_MASK = (1 << _ACC_SHIFT) - 1
+
+#: Ops whose generated statements can raise *outside the generated
+#: code's own control* — guest errors out of calls, generic operators
+#: and runtime helpers.  Only these need a hot-path ``_i`` progress
+#: marker.  Guards raise too, but only through their own explicit
+#: ``_bw``/``_fw`` cold branch, so their marker is emitted *inside*
+#: that branch and the speculation-holds path runs marker-free.
+#: Everything else (moves, checked arithmetic whose guard passed,
+#: bounds-checked heap access, comparisons, allocation) is total by
+#: construction.
+_HELPER_RAISES = frozenset(
+    [
+        "osrvalue",
+        "getelem_v",
+        "setelem_v",
+        "getprop_v",
+        "setprop_v",
+        "loadglobal",
+        "storeglobal",
+        "binary_v",
+        "unary_v",
+        "call",
+        "new",
+    ]
+)
+
+
+#: Int32-closed bitwise operators inlined as host operators (see the
+#: ``bitop_i`` emission for the shift family, which needs masking).
+_BITOP_PY = {Op.BITAND: "&", Op.BITOR: "|", Op.BITXOR: "^"}
+
+#: Generic ``binary_v`` operators with an inlineable both-numbers fast
+#: path.  ADD/SUB normalize like the typed double ops; the relational
+#: and equality operators map onto the host operator directly (for two
+#: numbers ``js_compare``/``js_equals``/``js_strict_equals`` all reduce
+#: to an exact host comparison, NaN included).  MUL is excluded: its
+#: int×int negative-zero rule needs the helper.
+_GENERIC_NUMERIC_PY = {
+    Op.ADD: "+",
+    Op.SUB: "-",
+    Op.LT: "<",
+    Op.LE: "<=",
+    Op.GT: ">",
+    Op.GE: ">=",
+    Op.EQ: "==",
+    Op.NE: "!=",
+    Op.STRICTEQ: "==",
+    Op.STRICTNE: "!=",
+}
+
+#: Longest run of chain items emitted linearly before switching to a
+#: binary dispatch tree (see :meth:`_WholeEmitter._emit_items`).
+_LINEAR_LIMIT = 8
+
+#: Deepest ``while`` nesting the loop tree may materialize.  CPython's
+#: compiler refuses functions with more than 20 statically nested
+#: blocks (``CO_MAXBLOCKS``), and the generated function already
+#: spends two on its ``try`` and redispatch loop.  Loops past the cap
+#: are emitted as flat region arms: their back edges ``continue`` the
+#: nearest materialized enclosing loop and re-dispatch from there —
+#: the nesting is a pure optimization, so only speed is lost.
+_MAX_LOOP_DEPTH = 14
+
+
+
+
+def publish_bailout(snapshot, vals, reason, op, actual=None):
+    """Raise the :class:`Bailout` for a guard with pre-read values.
+
+    The whole-function backend keeps values in Python locals, so the
+    generated guard passes the snapshot's reconstruction values as an
+    explicit tuple (in ``snapshot.locations`` order) instead of handing
+    over a value array.  Frame slicing matches
+    :meth:`NativeExecutor._bail` exactly.
+    """
+    num_args = snapshot.num_args
+    num_locals = snapshot.num_locals
+    args = list(vals[:num_args])
+    locals_ = list(vals[num_args : num_args + num_locals])
+    stack = list(vals[num_args + num_locals :])
+    if snapshot.mode == "after":
+        stack.append(actual)
+    raise Bailout(
+        snapshot, args, locals_, stack, snapshot.pc, snapshot.mode, reason, op, actual
+    )
+
+
+def _region_labels(native):
+    """Leaders that start an addressable region: the entry, the OSR
+    entry, and every jump target.  This is exactly the reachable subset
+    of the closure backend's block partition — a post-terminator block
+    that is not a jump target can never execute — so per-region
+    accounting lands on the same leaders as per-block accounting.
+    """
+    labels = {native.entry_index}
+    if native.osr_index is not None:
+        labels.add(native.osr_index)
+    for instruction in native.instructions:
+        if instruction.targets is not None:
+            labels.update(instruction.targets)
+    return sorted(
+        label for label in labels if 0 <= label < len(native.instructions)
+    )
+
+
+class _WholeEmitter(object):
+    """Generates the single-function module for one binary."""
+
+    def __init__(self, native, executor, profiled=False):
+        self.native = native
+        self.executor = executor
+        self.profiled = profiled
+        self.inject = executor.fault_injector is not None
+        self.namespace = {
+            "_UNDEF": UNDEFINED,
+            "_bw": publish_bailout,
+            "_interp": executor.interpreter,
+            "_runtime": executor.runtime,
+            "_normalize": normalize_number,
+            "_js_div": operations.js_div,
+            "_js_mod": operations.js_mod,
+            "_binary": operations.binary_op,
+            "_unary": operations.unary_op,
+            "_to_int32": operations.to_int32,
+            "_to_boolean": to_boolean,
+            "_type_of": type_of,
+            "_cmp": _compare,
+            "_matches": _matches,
+            "_get_element": operations.get_element,
+            "_set_element": operations.set_element,
+            "_get_property": executor.interpreter.get_property,
+            "_set_property": operations.set_property,
+            "_get_global": executor.runtime.get_global,
+            "_set_global": executor.runtime.set_global,
+            "_call_value": executor.interpreter.call_value,
+            "_call_function": executor.interpreter.call_function,
+            "_construct": executor.interpreter.construct,
+            "_JSArray": JSArray,
+            "_JSObject": JSObject,
+            "_JSFunction": JSFunction,
+            "_FUNCS": (JSFunction, NativeFunction),
+            "_badpc": _bad_pc,
+        }
+        if self.inject:
+            injector = executor.fault_injector
+            instructions = native.instructions
+
+            def _fire(index, _injector=injector, _native=native):
+                return _injector.should_fire(_native, index)
+
+            def _fw(index, srcvals, snapvals, _instructions=instructions):
+                instruction = _instructions[index]
+                actual = forced_recovery_value(
+                    instruction.op, instruction.extra, srcvals
+                )
+                publish_bailout(
+                    instruction.snapshot, snapvals, FAULT_INJECTED, instruction.op, actual
+                )
+
+            self.namespace["_fire"] = _fire
+            self.namespace["_fw"] = _fw
+        self.binder = _Binder(self.namespace)
+        # Per-region emission state.
+        self.cur_offset = 0
+        self.args_in_t = False
+        self.known_i = None
+        self.bool_locs = set()
+
+    # -- operand text --------------------------------------------------------
+
+    def val(self, loc):
+        """Source text reading physical location ``loc``."""
+        if loc < 0:
+            return self.binder.lit(self.native.immediates[loc])
+        if loc < NUM_REGS:
+            return "_r%d" % loc
+        return "_s%d" % (loc - NUM_REGS)
+
+    def snap_vals(self, snapshot):
+        """Tuple-display text of the snapshot's located values."""
+        parts = "".join(self.val(loc) + ", " for loc in snapshot.locations)
+        return "(%s)" % parts
+
+    def src_vals(self, instruction):
+        """Tuple-display text of the instruction's source values."""
+        parts = "".join(self.val(loc) + ", " for loc in instruction.srcs)
+        return "(%s)" % parts
+
+    # -- instruction emission ------------------------------------------------
+
+    def emit_instruction(self, out, index, offset, instruction, slot_offset):
+        """Append statements for one instruction of a region body.
+
+        ``offset`` is the in-region offset used for the progress
+        marker.  Hot-path markers are emitted lazily, and only before
+        instructions that can raise out of a runtime helper
+        (``_HELPER_RAISES``); guards stamp their marker inside their
+        own cold bail branch instead (:meth:`_bail`), so passing
+        speculation costs nothing.
+        """
+        self.cur_offset = offset
+        if instruction.op != "getarg":
+            self.args_in_t = False
+        if instruction.op in _HELPER_RAISES:
+            if self.known_i != offset:
+                out.append("_i = %d" % offset)
+                self.known_i = offset
+        if (
+            self.inject
+            and instruction.snapshot is not None
+            and instruction.op in GUARD_OPS
+        ):
+            out.append("if _fire(%d):" % index)
+            if self.known_i != offset:
+                out.append("    _i = %d" % offset)
+            out.append(
+                "    _fw(%d, %s, %s)"
+                % (
+                    index,
+                    self.src_vals(instruction),
+                    self.snap_vals(instruction.snapshot),
+                )
+            )
+        self._emit_op(out, instruction, slot_offset)
+        dest = instruction.dest
+        if dest is not None and dest >= 0:
+            if self._produces_bool(instruction):
+                self.bool_locs.add(dest)
+            else:
+                self.bool_locs.discard(dest)
+
+    def _produces_bool(self, instruction):
+        """True when ``instruction``'s destination provably holds a
+        Python bool, letting a later ``test`` compile to a bare ``if``."""
+        op = instruction.op
+        if op == "compare" or op == "not":
+            return True
+        if op in ("unbox", "typebarrier"):
+            return instruction.extra == MIRType.BOOLEAN
+        if op == "const":
+            return instruction.extra is True or instruction.extra is False
+        if op == "move":
+            return instruction.srcs[0] in self.bool_locs
+        return False
+
+    def _bail(self, out, instruction, reason, actual="None"):
+        """Append the cold bail-branch body for a failed guard: stamp
+        the progress marker (elided from the hot path) and raise
+        through ``_bw``."""
+        if self.known_i != self.cur_offset:
+            out.append("    _i = %d" % self.cur_offset)
+        out.append("    " + self._bail_call(instruction, reason, actual))
+
+    def _bail_call(self, instruction, reason, actual="None"):
+        snap = instruction.snapshot
+        return "_bw(%s, %s, %r, %r, %s)" % (
+            self.binder.bind(snap),
+            self.snap_vals(snap),
+            reason,
+            instruction.op,
+            actual,
+        )
+
+    def _emit_op(self, out, instruction, slot_offset):
+        op = instruction.op
+        srcs = instruction.srcs
+        extra = instruction.extra
+        snap = instruction.snapshot
+        binder = self.binder
+        v = self.val
+        d = lambda: self.val(instruction.dest)
+
+        if op == "move":
+            out.append("%s = %s" % (d(), v(srcs[0])))
+        elif op == "const":
+            out.append("%s = %s" % (d(), binder.lit(extra)))
+        elif op == "getarg":
+            if extra == -1:
+                out.append("%s = _c[0]" % d())
+            else:
+                # Consecutive argument loads (the entry prologue)
+                # share one read of the argument list into ``_t``.
+                if not self.args_in_t:
+                    out.append("_t = _c[1]")
+                    self.args_in_t = True
+                out.append(
+                    "%s = _t[%d] if %d < len(_t) else _UNDEF" % (d(), extra, extra)
+                )
+        elif op == "osrvalue":
+            kind, arg_index = extra
+            slot = CTX_OSR_ARGS if kind == "arg" else CTX_OSR_LOCALS
+            out.append("%s = _c[%d][%d]" % (d(), slot, arg_index))
+        elif op == "self":
+            out.append("%s = _c[2]" % d())
+        elif op in ("add_i", "sub_i"):
+            sign = "+" if op == "add_i" else "-"
+            if snap is None:
+                out.append("%s = %s %s %s" % (d(), v(srcs[0]), sign, v(srcs[1])))
+            else:
+                out.append("_t = %s %s %s" % (v(srcs[0]), sign, v(srcs[1])))
+                out.append("if _t > 2147483647 or _t < -2147483648:")
+                self._bail(out, instruction, "overflow", "float(_t)")
+                out.append("%s = _t" % d())
+        elif op == "mul_i":
+            if snap is None:
+                out.append("%s = %s * %s" % (d(), v(srcs[0]), v(srcs[1])))
+            else:
+                out.append("_x = %s" % v(srcs[0]))
+                out.append("_y = %s" % v(srcs[1]))
+                out.append("_t = _x * _y")
+                out.append("if _t > 2147483647 or _t < -2147483648:")
+                self._bail(out, instruction, "overflow", "float(_t)")
+                out.append("if _t == 0 and (_x < 0 or _y < 0):")
+                self._bail(out, instruction, "negative zero", "-0.0")
+                out.append("%s = _t" % d())
+        elif op == "neg_i":
+            if snap is None:
+                out.append("%s = -%s" % (d(), v(srcs[0])))
+            else:
+                out.append("_t = %s" % v(srcs[0]))
+                out.append("if _t == 0:")
+                self._bail(out, instruction, "negative zero", "-0.0")
+                out.append("if _t == -2147483648:")
+                self._bail(out, instruction, "overflow", "-float(_t)")
+                out.append("%s = -_t" % d())
+        elif op in ("add_d", "sub_d", "mul_d"):
+            # ``_t % 1`` is truthy exactly when the result is a
+            # non-integral float, NaN or an infinity — every value
+            # ``normalize_number`` returns unchanged — so the common
+            # double result skips the helper call.  Integral results
+            # (and int operands) still go through ``_normalize`` for
+            # the int32/-0.0 canonicalization.
+            sign = {"add_d": "+", "sub_d": "-", "mul_d": "*"}[op]
+            out.append("_t = %s %s %s" % (v(srcs[0]), sign, v(srcs[1])))
+            out.append("%s = _t if _t %% 1 else _normalize(_t)" % d())
+        elif op == "div_d":
+            out.append("%s = _js_div(%s, %s)" % (d(), v(srcs[0]), v(srcs[1])))
+        elif op == "mod_d":
+            out.append("%s = _js_mod(%s, %s)" % (d(), v(srcs[0]), v(srcs[1])))
+        elif op == "neg_d":
+            out.append("%s = -%s" % (d(), v(srcs[0])))
+        elif op == "bitop_i":
+            # Operands are INT32-typed, so ``ToInt32`` is the identity
+            # and the generic ``binary_op`` dispatch compiles away to
+            # the host integer operator.  Only ``>>>`` can leave int32
+            # (its result is uint32); every other operator closes over
+            # int32, so its "uint32 overflow" guard can never fire and
+            # is omitted — exactly the check ``type(result) is int``
+            # the other backends evaluate to true.
+            if extra == Op.SHL:
+                out.append("_t = (%s << (%s & 31)) & 4294967295" % (v(srcs[0]), v(srcs[1])))
+                out.append("%s = _t - 4294967296 if _t >= 2147483648 else _t" % d())
+            elif extra == Op.SHR:
+                out.append("%s = %s >> (%s & 31)" % (d(), v(srcs[0]), v(srcs[1])))
+            elif extra == Op.USHR:
+                out.append(
+                    "_t = (%s & 4294967295) >> (%s & 31)" % (v(srcs[0]), v(srcs[1]))
+                )
+                if snap is None:
+                    out.append("%s = float(_t) if _t > 2147483647 else _t" % d())
+                else:
+                    out.append("if _t > 2147483647:")
+                    self._bail(out, instruction, "uint32 overflow", "float(_t)")
+                    out.append("%s = _t" % d())
+            elif extra in _BITOP_PY:
+                out.append(
+                    "%s = %s %s %s" % (d(), v(srcs[0]), _BITOP_PY[extra], v(srcs[1]))
+                )
+            else:
+                raise CompilerError("whole backend: unknown bitop %r" % (extra,))
+        elif op == "toint32":
+            # INT32-range ints pass through ``ToInt32`` unchanged; only
+            # doubles (and exotic inputs) need the helper.
+            out.append("_t = %s" % v(srcs[0]))
+            out.append("%s = _t if type(_t) is int else _to_int32(_t)" % d())
+        elif op == "todouble":
+            out.append("%s = float(%s)" % (d(), v(srcs[0])))
+        elif op == "concat":
+            out.append("%s = %s + %s" % (d(), v(srcs[0]), v(srcs[1])))
+        elif op == "compare":
+            cmp_op, kind = extra
+            py = _COMPARE_PY.get(cmp_op)
+            if py is not None:
+                out.append("%s = %s %s %s" % (d(), v(srcs[0]), py, v(srcs[1])))
+            else:
+                out.append(
+                    "%s = _cmp(%s, %s, %s, %s)"
+                    % (d(), binder.lit(cmp_op), binder.lit(kind), v(srcs[0]), v(srcs[1]))
+                )
+        elif op == "binary_v":
+            # Generic binary sites still dominate unspecialized code;
+            # inline the numeric fast path (exactly the expression
+            # ``binary_op`` would evaluate for two numbers) and keep
+            # the helper call as the slow-path fallback.  Equality is
+            # inlined only when *both* operands are numbers — the
+            # abstract-equality coercion ladder stays in the helper.
+            py = _GENERIC_NUMERIC_PY.get(extra)
+            a, b = v(srcs[0]), v(srcs[1])
+            if py is not None:
+                out.append("_t = type(%s)" % a)
+                out.append("_x = type(%s)" % b)
+                out.append(
+                    "if (_t is int or _t is float) and (_x is int or _x is float):"
+                )
+                if extra in (Op.ADD, Op.SUB):
+                    # Same normalization trick as add_d/sub_d: a
+                    # non-integral float result passes through
+                    # normalize_number unchanged, so only integral
+                    # results (int32 demotion, -0.0) pay the helper.
+                    out.append("    _t = %s %s %s" % (a, py, b))
+                    out.append("    %s = _t if _t %% 1 else _normalize(_t)" % d())
+                else:
+                    # Relational/equality on numbers is the host
+                    # operator verbatim (NaN comparisons are False in
+                    # both languages; int/float mixes compare exactly).
+                    out.append("    %s = %s %s %s" % (d(), a, py, b))
+                out.append("else:")
+                out.append(
+                    "    %s = _binary(%s, %s, %s)" % (d(), binder.lit(extra), a, b)
+                )
+            else:
+                out.append(
+                    "%s = _binary(%s, %s, %s)" % (d(), binder.lit(extra), a, b)
+                )
+        elif op == "unary_v":
+            out.append("%s = _unary(%s, %s)" % (d(), binder.lit(extra), v(srcs[0])))
+        elif op == "not":
+            out.append("%s = not _to_boolean(%s)" % (d(), v(srcs[0])))
+        elif op == "typeof":
+            out.append("%s = _type_of(%s)" % (d(), v(srcs[0])))
+        elif op == "unbox":
+            out.append("_t = %s" % v(srcs[0]))
+            if extra == MIRType.DOUBLE:
+                out.append("_x = type(_t)")
+                out.append("if _x is not float and _x is not int:")
+                self._bail(out, instruction, "type guard", "_t")
+                out.append("%s = float(_t) if _x is int else _t" % d())
+            else:
+                self._emit_type_check(out, extra, instruction, "type guard")
+                out.append("%s = _t" % d())
+        elif op == "typebarrier":
+            out.append("_t = %s" % v(srcs[0]))
+            if extra != MIRType.VALUE:
+                self._emit_type_check(out, extra, instruction, "type barrier")
+            out.append("%s = _t" % d())
+        elif op == "checkoverrecursed":
+            out.append("if _interp.call_depth >= %d:" % MAX_CALL_DEPTH)
+            self._bail(out, instruction, "over-recursed")
+        elif op == "arraylength":
+            out.append("%s = len(%s.elements)" % (d(), v(srcs[0])))
+        elif op == "stringlength":
+            out.append("%s = len(%s)" % (d(), v(srcs[0])))
+        elif op == "boundscheck":
+            out.append("if %s < 0 or %s >= %s:" % (v(srcs[0]), v(srcs[0]), v(srcs[1])))
+            self._bail(out, instruction, "bounds check")
+        elif op == "guardshape":
+            out.append(
+                "if %s.shape.shape_id not in %s:" % (v(srcs[0]), binder.lit(extra))
+            )
+            self._bail(out, instruction, "shape guard")
+        elif op == "loadelement":
+            out.append("%s = %s.elements[%s]" % (d(), v(srcs[0]), v(srcs[1])))
+        elif op == "storeelement":
+            out.append("%s.elements[%s] = %s" % (v(srcs[0]), v(srcs[1]), v(srcs[2])))
+        elif op == "getelem_v":
+            # Inline the dense-array read ``get_element`` would take
+            # for an in-range int index; everything else (doubles,
+            # strings, objects, out-of-range) falls to the helper.
+            a, b = v(srcs[0]), v(srcs[1])
+            out.append(
+                "if type(%s) is _JSArray and type(%s) is int and 0 <= %s < len(%s.elements):"
+                % (a, b, b, a)
+            )
+            out.append("    %s = %s.elements[%s]" % (d(), a, b))
+            out.append("else:")
+            out.append("    %s = _get_element(%s, %s, _runtime)" % (d(), a, b))
+        elif op == "setelem_v":
+            a, b, c = v(srcs[0]), v(srcs[1]), v(srcs[2])
+            out.append(
+                "if type(%s) is _JSArray and type(%s) is int and 0 <= %s < len(%s.elements):"
+                % (a, b, b, a)
+            )
+            out.append("    %s.elements[%s] = %s" % (a, b, c))
+            out.append("else:")
+            out.append("    _set_element(%s, %s, %s)" % (a, b, c))
+        elif op == "loadprop":
+            if slot_offset is not None:
+                out.append("%s = %s.slots[%d]" % (d(), v(srcs[0]), slot_offset))
+            else:
+                out.append("%s = %s.get(%s)" % (d(), v(srcs[0]), binder.lit(extra)))
+        elif op == "storeprop":
+            if slot_offset is not None:
+                out.append("%s.slots[%d] = %s" % (v(srcs[0]), slot_offset, v(srcs[1])))
+            else:
+                out.append("%s.set(%s, %s)" % (v(srcs[0]), binder.lit(extra), v(srcs[1])))
+        elif op == "getprop_v":
+            # A plain object (exact type: arrays and functions fall to
+            # the helper) reads straight off its shape, skipping the
+            # interpreter's receiver dispatch.
+            a, name = v(srcs[0]), binder.lit(extra)
+            out.append(
+                "%s = %s.get(%s) if type(%s) is _JSObject else _get_property(%s, %s)"
+                % (d(), a, name, a, a, name)
+            )
+        elif op == "setprop_v":
+            a, name, value = v(srcs[0]), binder.lit(extra), v(srcs[1])
+            out.append("if type(%s) is _JSObject:" % a)
+            out.append("    %s.set(%s, %s)" % (a, name, value))
+            out.append("else:")
+            out.append("    _set_property(%s, %s, %s)" % (a, name, value))
+        elif op == "loadglobal":
+            out.append("%s = _get_global(%s)" % (d(), binder.lit(extra)))
+        elif op == "storeglobal":
+            out.append("_set_global(%s, %s)" % (binder.lit(extra), v(srcs[0])))
+        elif op == "newarray":
+            out.append("%s = _JSArray([%s])" % (d(), ", ".join(v(loc) for loc in srcs)))
+        elif op == "newobject":
+            out.append("_t = _JSObject()")
+            for key, loc in zip(extra, srcs):
+                out.append("_t.set(%s, %s)" % (binder.lit(key), v(loc)))
+            out.append("%s = _t" % d())
+        elif op == "lambda":
+            out.append("%s = _JSFunction(%s, ())" % (d(), binder.bind(extra)))
+        elif op == "call":
+            # Calling a guest function is by far the common case:
+            # dispatch straight to call_function (what call_value does
+            # after its two isinstance checks) and keep call_value for
+            # native functions and the not-callable error.
+            callee = v(srcs[0])
+            this = v(srcs[1])
+            arg_list = ", ".join(v(loc) for loc in srcs[2:])
+            out.append("_t = %s" % callee)
+            out.append(
+                "%s = _call_function(_t, %s, [%s]) if type(_t) is _JSFunction "
+                "else _call_value(_t, %s, [%s])" % (d(), this, arg_list, this, arg_list)
+            )
+        elif op == "new":
+            out.append(
+                "%s = _construct(%s, [%s])"
+                % (d(), v(srcs[0]), ", ".join(v(loc) for loc in srcs[1:]))
+            )
+        elif op in _TERMINATORS:
+            raise CompilerError("whole backend: terminator %r in region body" % op)
+        else:
+            raise CompilerError("whole backend: unknown op %r" % op)
+
+    def _emit_type_check(self, out, expected, instruction, reason):
+        if expected == MIRType.INT32:
+            out.append("if type(_t) is not int:")
+        elif expected == MIRType.BOOLEAN:
+            out.append("if type(_t) is not bool:")
+        elif expected == MIRType.STRING:
+            out.append("if type(_t) is not str:")
+        elif expected == MIRType.DOUBLE:
+            out.append("if type(_t) is not float and type(_t) is not int:")
+        elif expected == MIRType.FUNCTION:
+            out.append("if not isinstance(_t, _FUNCS):")
+        elif expected == MIRType.ARRAY:
+            out.append("if not isinstance(_t, _JSArray):")
+        elif expected == MIRType.OBJECT:
+            out.append("if not isinstance(_t, _JSObject) or isinstance(_t, _JSArray):")
+        else:
+            out.append("if not _matches(_t, %s):" % self.binder.bind(expected))
+        self._bail(out, instruction, reason, "_t")
+
+    # -- region and skeleton emission ----------------------------------------
+
+    def _init_locations(self, labels, bodies):
+        """Locations that must be pre-set to undefined on entry.
+
+        The other backends allocate a value array initialized to
+        undefined, so any location can be read (a snapshot naming a
+        not-yet-assigned guest local, a merge where only one branch
+        writes).  Materializing that as a per-call assignment chain over
+        *every* read location would tax small hot functions, so a
+        definitely-assigned forward dataflow over the region graph
+        prunes it: a location needs the ``_UNDEF`` init only if some
+        region can read it (as a source or a snapshot reconstruction
+        value) without every path from an entry having written it
+        first.  Reads of immediates are literals and never counted.
+        """
+        instructions = self.native.instructions
+        native = self.native
+        label_set = set(labels)
+        exposed = {}
+        writes = {}
+        successors = {}
+        for label in labels:
+            body = bodies[label]
+            written = set()
+            naked = set()
+            for index in body:
+                instruction = instructions[index]
+                for loc in instruction.srcs:
+                    if loc >= 0 and loc not in written:
+                        naked.add(loc)
+                if instruction.snapshot is not None:
+                    for loc in instruction.snapshot.locations:
+                        if loc >= 0 and loc not in written:
+                            naked.add(loc)
+                dest = instruction.dest
+                if dest is not None and dest >= 0:
+                    written.add(dest)
+            exposed[label] = naked
+            writes[label] = written
+            terminator = instructions[body[-1]]
+            if terminator.op in _TERMINATORS:
+                targets = terminator.targets
+                successors[label] = list(targets) if targets is not None else []
+            else:
+                fall = body[-1] + 1
+                successors[label] = [fall] if fall in label_set else []
+
+        # Definitely-assigned-on-entry per region: intersection over
+        # predecessors, empty at the function entries.
+        assigned = {native.entry_index: set()}
+        if native.osr_index is not None:
+            assigned[native.osr_index] = set()
+        changed = True
+        while changed:
+            changed = False
+            for label in labels:
+                if label not in assigned:
+                    continue
+                flowing = assigned[label] | writes[label]
+                for target in successors[label]:
+                    known = assigned.get(target)
+                    if known is None:
+                        assigned[target] = set(flowing)
+                        changed = True
+                    elif not known <= flowing:
+                        known &= flowing
+                        changed = True
+
+        needs = set()
+        for label in labels:
+            known = assigned.get(label)
+            if known is None:
+                needs |= exposed[label]
+            else:
+                needs |= exposed[label] - known
+        return sorted(needs)
+
+    def _trampolines(self, labels, bodies):
+        """Map of *trivial* regions: pure move runs ending in a jump.
+
+        The lowering splits critical edges into tiny phi-resolution
+        regions — a few register moves and a ``goto`` (or ``return``)
+        — and places them at the *bottom* of the binary.  Dispatching
+        to them is pure overhead, and worse, it makes every back edge
+        look like it originates at the end of the instruction stream,
+        fusing all loop intervals into one giant nest.  These regions
+        are instead inlined at their jump sites (they cannot fault, so
+        charging their region constant at the splice point is exact),
+        and the loop tree is computed over the *effective* edges.
+        Chaos-instrumented translations skip the whole scheme: the
+        injector addresses trampoline instructions by index, so they
+        must stay dispatchable.
+        """
+        instructions = self.native.instructions
+        trivial = {}
+        if self.inject:
+            return trivial
+        for label in labels:
+            body = bodies[label]
+            if any(instructions[i].op != "move" for i in body[:-1]):
+                continue
+            terminator = instructions[body[-1]]
+            if terminator.op == "goto":
+                trivial[label] = ("goto", terminator.targets[0])
+            elif terminator.op == "return":
+                trivial[label] = ("return", terminator.srcs[0])
+        return trivial
+
+    def _resolve_target(self, target):
+        """Resolve a jump target through trivial regions.
+
+        Returns ``(splice, final, ret_src)``: the trivial region labels
+        to inline at the jump site (in execution order), then either
+        the label to dispatch to (``ret_src`` None) or the location to
+        return (``final`` None).  A cyclic trampoline chain (an empty
+        guest infinite loop) stops at the first revisited label, which
+        stays dispatchable.
+        """
+        cached = self._res_cache.get(target)
+        if cached is not None:
+            return cached
+        splice = []
+        seen = set()
+        cur = target
+        result = None
+        while True:
+            kind_target = self.trivial.get(cur)
+            if kind_target is None:
+                result = (tuple(splice), cur, None)
+                break
+            if cur in seen:
+                if cur in splice:
+                    splice = splice[: splice.index(cur)]
+                result = (tuple(splice), cur, None)
+                break
+            seen.add(cur)
+            splice.append(cur)
+            kind, where = kind_target
+            if kind == "return":
+                result = (tuple(splice), None, where)
+                break
+            cur = where
+        self._res_cache[target] = result
+        return result
+
+    def _loop_tree(self, labels, bodies):
+        """Group the region sequence into a tree of natural loops.
+
+        A back edge from region ``L`` to target ``T <= L`` makes ``T``
+        a loop header whose interval spans the labels ``[T, max L]``.
+        Edges are the *effective* ones — jump targets resolved through
+        inlined trampolines, including the fallthrough into a
+        trampoline — so phi-resolution regions at the bottom of the
+        binary do not stretch every interval.  Crossing intervals
+        (irreducible flow) are merged by extension until the set
+        nests, then the label sequence is folded into items:
+        ``("region", label)`` or ``("loop", header, end, sub)``.
+        """
+        instructions = self.native.instructions
+        size = len(instructions)
+        label_set = set(labels)
+        intervals = {}
+        for label in labels:
+            terminator = instructions[bodies[label][-1]]
+            targets = terminator.targets
+            if targets is None:
+                if terminator.op in _TERMINATORS:
+                    continue
+                fall = bodies[label][-1] + 1
+                if fall >= size or fall not in self._all_labels:
+                    continue
+                targets = [fall]
+            for target in targets:
+                _splice, final, _ret = self._resolve_target(target)
+                if final is None:
+                    continue
+                if final <= label:
+                    end = intervals.get(final)
+                    if end is None or label > end:
+                        intervals[final] = label
+        changed = True
+        while changed:
+            changed = False
+            headers = sorted(intervals)
+            for position, header in enumerate(headers):
+                for other in headers[position + 1 :]:
+                    if other <= intervals[header] < intervals[other]:
+                        intervals[header] = intervals[other]
+                        changed = True
+        return self._fold_items(labels, intervals, frozenset(), 1)
+
+    def _fold_items(self, labels, intervals, open_headers, depth):
+        items = []
+        position = 0
+        total = len(labels)
+        while position < total:
+            label = labels[position]
+            if (
+                label in intervals
+                and label not in open_headers
+                and depth < _MAX_LOOP_DEPTH
+            ):
+                end = intervals[label]
+                stop = position
+                while stop < total and labels[stop] <= end:
+                    stop += 1
+                sub = self._fold_items(
+                    labels[position:stop], intervals, open_headers | {label}, depth + 1
+                )
+                items.append(("loop", label, end, sub))
+                position = stop
+            else:
+                items.append(("region", label))
+                position += 1
+        return items
+
+    def _emit_items(self, items, bodies, counts, sums, out):
+        """Chain arms for a (sub)sequence of regions and nested loops.
+
+        Short sequences emit as a linear chain — consecutive regions
+        fall from arm to arm with one integer compare each, which is
+        the straight-line hot path.  Long sequences (big functions can
+        have hundreds of regions) are split into a binary dispatch tree
+        so a redispatch costs O(log n) compares instead of a linear
+        scan; control that falls across a split boundary cascades to
+        the enclosing redispatch point (loop bottom or skeleton top)
+        and descends the tree again.
+        """
+        if len(items) > _LINEAR_LIMIT:
+            mid = len(items) // 2
+            out.append("if _pc < %d:" % items[mid][1])
+            left = []
+            self._emit_items(items[:mid], bodies, counts, sums, left)
+            out.extend("    " + line for line in left)
+            out.append("else:")
+            right = []
+            self._emit_items(items[mid:], bodies, counts, sums, right)
+            out.extend("    " + line for line in right)
+            return
+        for item in items:
+            if item[0] == "region":
+                label = item[1]
+                out.append("if _pc == %d:" % label)
+                region = self._emit_region(label, bodies[label], counts, sums)
+                out.extend("    " + line for line in region)
+            else:
+                _, header, end, sub_items = item
+                out.append("if %d <= _pc <= %d:" % (header, end))
+                out.append("    while True:")
+                sub = []
+                self._emit_items(sub_items, bodies, counts, sums, sub)
+                # Falling past every arm means a jump left this loop
+                # (break out to the enclosing chain) — unless a nested
+                # break cascaded up with the header as target, in which
+                # case re-enter.  Back edges never reach here: they
+                # ``continue`` directly at the jump site.
+                sub.append("if %d <= _pc <= %d:" % (header, end))
+                sub.append("    continue")
+                sub.append("break")
+                out.extend("        " + line for line in sub)
+
+    def generate(self):
+        """Build the module source; returns ``(source, counts, sums, prefix)``."""
+        native = self.native
+        instructions = native.instructions
+        costs = native.cost_table(self.executor.cost_model)
+        size = len(instructions)
+
+        labels = _region_labels(native)
+        label_set = set(labels)
+        bodies = {}
+        for label in labels:
+            body = []
+            index = label
+            while True:
+                body.append(index)
+                if instructions[index].op in _TERMINATORS:
+                    break
+                if index + 1 >= size or index + 1 in label_set:
+                    break
+                index += 1
+            bodies[label] = body
+
+        counts = [0] * size
+        sums = [0] * size
+        prefix = [None] * size
+        for label, body in bodies.items():
+            counts[label] = len(body)
+            running = 0
+            region_prefix = []
+            for index in body:
+                running += costs[index]
+                region_prefix.append(running)
+            sums[label] = running
+            prefix[label] = region_prefix
+
+        self.bodies = bodies
+        self.counts = counts
+        self.sums = sums
+        self._all_labels = label_set
+        self.trivial = self._trampolines(labels, bodies)
+        self._res_cache = {}
+        # Trampolines are inlined at every jump to them, so they leave
+        # the dispatch chain — except the entries (dispatched by pc at
+        # call time) and any cycle-stopping label a resolution targets.
+        kept = set(label for label in labels if label not in self.trivial)
+        kept.add(native.entry_index)
+        if native.osr_index is not None:
+            kept.add(native.osr_index)
+        for label in labels:
+            _splice, final, _ret = self._resolve_target(label)
+            if final is not None:
+                kept.add(final)
+        chain_labels = [label for label in labels if label in kept]
+
+        lines = ["def _w(_c, _pc):"]
+        reads = self._init_locations(labels, bodies)
+        for start in range(0, len(reads), 12):
+            chunk = reads[start : start + 12]
+            lines.append(
+                "    %s = _UNDEF" % " = ".join(self.val(loc) for loc in chunk)
+            )
+        lines.append("    _a = 0")
+        lines.append("    _i = 0")
+        lines.append("    try:")
+        lines.append("        while True:")
+        chain = []
+        self._emit_items(
+            self._loop_tree(chain_labels, bodies), bodies, counts, sums, chain
+        )
+        lines.extend("            " + line for line in chain)
+        # Falling past every arm is either a redispatch (control
+        # crossed a split or loop boundary; rescan from the top) or a
+        # fall off the end of the instruction stream (malformed
+        # binary).
+        lines.append("            if _pc < %d:" % size)
+        lines.append("                continue")
+        lines.append("            raise _badpc(_pc)")
+        lines.append("    except BaseException:")
+        lines.append("        _c[%d] = _i" % CTX_FAULT)
+        lines.append("        _c[%d] = _a" % CTX_ACC)
+        lines.append("        _c[%d] = _pc" % CTX_PC)
+        lines.append("        raise")
+        return "\n".join(lines), counts, sums, prefix
+
+    def _emit_region(self, label, body, counts, sums):
+        """Statements for one region (indented relative to its arm)."""
+        instructions = self.native.instructions
+        out = []
+        self.known_i = None
+        self.args_in_t = False
+        self.bool_locs = set()
+        shape_tracker = _ShapeGuardTracker()
+
+        def charge():
+            if self.profiled:
+                out.append("_bc[%d] += 1" % label)
+            out.append(
+                "_a += %d" % ((sums[label] << _ACC_SHIFT) | counts[label])
+            )
+
+        region_k = (sums[label] << _ACC_SHIFT) | counts[label]
+
+        terminated = False
+        for offset, index in enumerate(body):
+            instruction = instructions[index]
+            op = instruction.op
+            if op == "goto":
+                if self.profiled:
+                    out.append("_bc[%d] += 1" % label)
+                out.extend(
+                    self._jump_lines(instruction.targets[0], label, base=region_k)
+                )
+                terminated = True
+            elif op == "return":
+                # The region's own charge folds into the final publish
+                # (no accumulator update on the return path).
+                if self.profiled:
+                    out.append("_bc[%d] += 1" % label)
+                out.append("_c[%d] = %s" % (CTX_RESULT, self.val(instruction.srcs[0])))
+                out.append(
+                    "_c[%d] = _a + %d"
+                    % (CTX_ACC, (sums[label] << _ACC_SHIFT) | counts[label])
+                )
+                out.append("return")
+                terminated = True
+            elif op == "test":
+                charge()
+                t0, t1 = instruction.targets
+                src = instruction.srcs[0]
+                if src in self.bool_locs:
+                    out.append("if %s:" % self.val(src))
+                    out.extend("    " + line for line in self._jump_lines(t0, label))
+                    out.append("else:")
+                    out.extend("    " + line for line in self._jump_lines(t1, label))
+                else:
+                    out.append("_t = %s" % self.val(src))
+                    out.append("if _t is True:")
+                    out.extend("    " + line for line in self._jump_lines(t0, label))
+                    out.append("elif _t is False:")
+                    out.extend("    " + line for line in self._jump_lines(t1, label))
+                    out.append("elif _to_boolean(_t):")
+                    out.extend("    " + line for line in self._jump_lines(t0, label))
+                    out.append("else:")
+                    out.extend("    " + line for line in self._jump_lines(t1, label))
+                terminated = True
+            else:
+                slot_offset = None
+                if op in ("loadprop", "storeprop"):
+                    slot_offset = shape_tracker.slot_offset(instruction)
+                self.emit_instruction(out, index, offset, instruction, slot_offset)
+                shape_tracker.observe(instruction)
+        if not terminated:
+            # The region flows into the next label: charge it and fall
+            # down the chain to that label's arm (resolving through any
+            # trampoline that happens to sit there).
+            if self.profiled:
+                out.append("_bc[%d] += 1" % label)
+            out.extend(self._jump_lines(body[-1] + 1, label, base=region_k))
+        return out
+
+    def _jump_lines(self, target, label, base=0):
+        """Statements for a jump from region ``label`` to ``target``.
+
+        Trivial trampoline regions on the way are inlined: their moves
+        execute at the splice point and their region constants fold
+        into a single accumulator add (``base`` carries the source
+        region's own constant when the caller wants it folded too).
+        The jump then dispatches to the resolved final label — or
+        returns directly when the chain ends in a trivial return.
+        """
+        splice, final, ret_src = self._resolve_target(target)
+        lines = []
+        total = base
+        instructions = self.native.instructions
+        for tramp in splice:
+            if self.profiled:
+                lines.append("_bc[%d] += 1" % tramp)
+            for index in self.bodies[tramp][:-1]:
+                ins = instructions[index]
+                lines.append("%s = %s" % (self.val(ins.dest), self.val(ins.srcs[0])))
+            total += (self.sums[tramp] << _ACC_SHIFT) | self.counts[tramp]
+        if ret_src is not None:
+            lines.append("_c[%d] = %s" % (CTX_RESULT, self.val(ret_src)))
+            lines.append("_c[%d] = _a + %d" % (CTX_ACC, total))
+            lines.append("return")
+            return lines
+        if total:
+            lines.append("_a += %d" % total)
+        lines.append("_pc = %d" % final)
+        if final <= label:
+            lines.append("continue")
+        return lines
+
+
+def _bad_pc(pc):
+    return CompilerError("whole backend: control reached unknown pc %d" % pc)
+
+
+#: Process-wide source-text → module code object memo (see
+#: :func:`compile_whole`).  Cleared wholesale at the cap — entries are
+#: tiny and identical sources recur heavily within one process.
+_MODULE_CODE_MEMO = {}
+_MODULE_CODE_MEMO_CAP = 512
+
+
+def compile_whole(native, executor, profiled=False, capture=None):
+    """Translate ``native`` into a single whole-binary function.
+
+    Returns ``(fn, counts, sums, prefix)``: the generated function
+    (``fn(ctx, pc)``), and per-region-leader instruction counts, summed
+    static cycle costs, and inclusive cycle prefix-sums — the same
+    accounting tables the closure backend keeps per block, because the
+    region partition *is* the reachable block partition.
+
+    ``profiled`` selects the variant that bumps the binary's per-leader
+    block counters inline (``_bc``), giving the cycle profiler the
+    exact per-block execution counts it folds into per-instruction
+    counts.  Profiled and chaos-instrumented variants are distinct
+    generated code, cached separately and never persisted.
+
+    When the binary carries a thawed module (``native.disk_whole``), the
+    stored code object replaces the host ``compile()`` step only after
+    a byte-exact match against the source generated now — the same
+    trust rule as the closure backend.
+    """
+    emitter = _WholeEmitter(native, executor, profiled=profiled)
+    source, counts, sums, prefix = emitter.generate()
+    namespace = emitter.namespace
+    if profiled:
+        namespace["_bc"] = executor.cycle_profiler.native_profile(native).block_counts
+
+    disk = native.disk_whole
+    if (
+        disk is not None
+        and not profiled
+        and executor.fault_injector is None
+        and disk[0] == source
+    ):
+        module_code = marshal.loads(disk[1])
+    else:
+        # In-process translation cache: the module code object is a
+        # pure function of the source text (profiled and chaos variants
+        # emit different text, so they key separately), and host
+        # ``compile()`` dominates translation cost for small binaries.
+        # Fresh engines re-translating the same binary — benchmark
+        # repeats, the fuzz variant matrix — hit this instead.
+        module_code = _MODULE_CODE_MEMO.get(source)
+        if module_code is None:
+            module_code = compile(
+                source, "<whole-backend %s>" % native.code.name, "exec"
+            )
+            if len(_MODULE_CODE_MEMO) >= _MODULE_CODE_MEMO_CAP:
+                _MODULE_CODE_MEMO.clear()
+            _MODULE_CODE_MEMO[source] = module_code
+    if capture is not None:
+        capture["source"] = source
+        capture["module_code"] = module_code
+    exec(module_code, namespace)
+    return namespace["_w"], counts, sums, prefix
+
+
+def whole_artifact(native, executor):
+    """The persistable whole-function module for ``native``, or None.
+
+    The whole-backend twin of
+    :func:`repro.lir.closures.closure_artifact`: translates the binary
+    now (installing ``native.whole_cache``) and returns ``{"source",
+    "code"}``.  Returns None for other executor types and whenever a
+    fault injector or profiler is armed — instrumented source must
+    never reach the persistent cache.
+    """
+    if not isinstance(executor, WholeExecutor):
+        return None
+    if executor.fault_injector is not None:
+        return None
+    if executor.cycle_profiler is not None:
+        return None
+    capture = {}
+    fn, counts, sums, prefix = compile_whole(native, executor, capture=capture)
+    native.whole_cache = (executor, None, False, fn, counts, sums, prefix)
+    return {
+        "source": capture["source"],
+        "code": marshal.dumps(capture["module_code"]),
+    }
+
+
+class WholeExecutor(NativeExecutor):
+    """The whole-binary backend (``executor_backend="whole"``).
+
+    Runs each binary as one generated Python function; shares guard
+    semantics, cycle accounting and the bailout protocol with the other
+    backends.  ``EngineStats``, cycle counts, printed output and trace
+    streams are bit-identical to both.
+    """
+
+    def run(self, native, function, this_value, args, entry="entry", osr_args=None, osr_locals=None):
+        """Execute ``native`` via its whole-binary function."""
+        # Profiled and chaos-instrumented translations are distinct
+        # generated code, but the injector and profiler are fixed for
+        # the executor's lifetime (the Engine wires them up during
+        # construction, before any code runs) — so a hit needs only the
+        # executor identity check.  The armed injector and profiled
+        # flag still ride along in the tuple for the bailout/profiling
+        # slow paths and for introspection.
+        cache = native.whole_cache
+        if cache is None or cache[0] is not self:
+            profiled = self.cycle_profiler is not None
+            fn, counts, sums, prefix = compile_whole(native, self, profiled=profiled)
+            cache = (self, self.fault_injector, profiled, fn, counts, sums, prefix)
+            native.whole_cache = cache
+
+        if entry == "osr":
+            if native.osr_index is None:
+                raise CompilerError("native code for %s has no OSR entry" % native.code.name)
+            pc = native.osr_index
+        else:
+            pc = native.entry_index
+        ctx = [this_value, args, function, osr_args, osr_locals, None, 0, 0, 0]
+
+        profiled = cache[2]
+        cycles = 0
+        executed = 0
+        try:
+            cache[3](ctx, pc)
+            acc = ctx[CTX_ACC]
+            cycles = acc >> _ACC_SHIFT
+            executed = acc & _ACC_MASK
+            return ctx[CTX_RESULT]
+        except BaseException as exc:
+            # The function published its progress before re-raising:
+            # charge exactly through the faulting instruction, whose
+            # absolute index is the region leader plus the offset.
+            fault_pc = ctx[CTX_PC]
+            fault = ctx[CTX_FAULT]
+            acc = ctx[CTX_ACC]
+            cycles = (acc >> _ACC_SHIFT) + cache[6][fault_pc][fault]
+            executed = (acc & _ACC_MASK) + fault + 1
+            if profiled:
+                instr_counts = self.cycle_profiler.native_profile(native).instr_counts
+                for offset in range(fault + 1):
+                    instr_counts[fault_pc + offset] += 1
+            if isinstance(exc, Bailout) and exc.native_index is None:
+                exc.native_index = fault_pc + fault
+            raise
+        finally:
+            self.cycles += cycles
+            self.instructions_executed += executed
+            if profiled:
+                self.cycle_profiler.charge_native(cycles, executed)

@@ -49,12 +49,17 @@ class ResumePoint(object):
     def __init__(self, pc, mode, args, locals_, stack):
         self.pc = pc
         self.mode = mode
-        self.operands = list(args) + list(locals_) + list(stack)
+        operands = list(args) + list(locals_) + list(stack)
+        self.operands = operands
         self.num_args = len(args)
         self.num_locals = len(locals_)
         self.instruction = None
-        for index, operand in enumerate(self.operands):
-            operand.add_use(self, index)
+        # Inlined add_use: this runs for every live value at every
+        # resume point, the hottest loop of MIR graph construction.
+        index = 0
+        for operand in operands:
+            operand.uses.append((self, index))
+            index += 1
 
     @property
     def args(self):
@@ -103,12 +108,17 @@ class MDefinition(object):
     def __init__(self, operands=(), mirtype=MIRType.VALUE):
         self.id = -1
         self.block = None
-        self.operands = list(operands)
+        ops = list(operands)
+        self.operands = ops
         self.uses = []
         self.type = mirtype
         self.resume_point = None
-        for index, operand in enumerate(self.operands):
-            operand.add_use(self, index)
+        # Inlined add_use (one definition, never overridden): this
+        # constructor runs for every MIR instruction ever built.
+        index = 0
+        for operand in ops:
+            operand.uses.append((self, index))
+            index += 1
 
     # -- def-use web ---------------------------------------------------------
 

@@ -90,6 +90,30 @@ _DISJOINT_TYPES = frozenset(
 )
 
 
+#: The instruction kinds :meth:`ConstantPropagation._evaluate` can fold;
+#: everything else transfers straight to ⊤ without touching operands.
+_EVALUATED_KINDS = (
+    MBinaryArithI,
+    MBinaryArithD,
+    MBitOpI,
+    MBinaryV,
+    MCompare,
+    MConcat,
+    MUnaryV,
+    MNegI,
+    MNegD,
+    MNot,
+    MToDouble,
+    MToInt32,
+    MTypeOf,
+    MUnbox,
+    MTypeBarrier,
+    MStringLength,
+    MGetPropV,
+    MCall,
+)
+
+
 def _meet(a, b):
     """The paper's meet: ⊥∧x = x, ⊤∧x = ⊤, c∧c = c, c0∧c1 = ⊤."""
     if a == _BOTTOM:
@@ -154,15 +178,21 @@ class ConstantPropagation(object):
 
     def analyze(self):
         instructions = list(self.graph.all_instructions())
+        lattice = self.lattice
         changed = True
         while changed:
             changed = False
             for instruction in instructions:
                 if instruction.block is None:
                     continue
+                old = lattice.get(instruction, _BOTTOM)
+                if old is _TOP:
+                    # The transfer is monotone and operand states only
+                    # climb the lattice, so ⊤ is absorbing: skip.
+                    continue
                 new_state = self._transfer(instruction)
-                if not _states_equal(new_state, self.lattice.get(instruction, _BOTTOM)):
-                    self.lattice[instruction] = new_state
+                if not _states_equal(new_state, old):
+                    lattice[instruction] = new_state
                     changed = True
 
     def _transfer(self, instruction):
@@ -187,11 +217,12 @@ class ConstantPropagation(object):
         """
         values = []
         saw_bottom = False
+        lattice_get = self.lattice.get
         for operand in instruction.operands:
-            state = self.state_of(operand)
-            if state == _BOTTOM:
+            state = lattice_get(operand, _BOTTOM)
+            if state is _BOTTOM:
                 saw_bottom = True
-            elif state == _TOP:
+            elif state is _TOP:
                 return _TOP
             else:
                 values.append(state[0])
@@ -218,6 +249,10 @@ class ConstantPropagation(object):
         strict equality of disjoint types) apply even without constant
         operands.
         """
+        if not isinstance(instruction, _EVALUATED_KINDS):
+            # Loads, stores, allocations, guards-without-result and
+            # control flow always evaluate to ⊤ — skip the operand walk.
+            return _TOP
         constants = self._operand_constants(instruction)
         folded = constants not in (_TOP, _BOTTOM)
 

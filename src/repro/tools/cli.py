@@ -432,6 +432,35 @@ def cmd_bench(args, out):
     return 0
 
 
+def _fuzz_replay(args, out, matrix):
+    """``repro fuzz --replay DIR``: corpus triage instead of generation."""
+    import os
+
+    from repro.fuzz.corpus import triage_corpus
+
+    if not os.path.isdir(args.replay):
+        raise SystemExit("fuzz --replay: no such directory: %s" % args.replay)
+    try:
+        results = triage_corpus(
+            args.replay,
+            matrix=matrix,
+            reshrink=args.shrink,
+            log=lambda message: out.write(message + "\n"),
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    failing = sorted(name for name, found in results.items() if found)
+    out.write(
+        "fuzz --replay: %d reproducer(s), %d mismatch(es)\n"
+        % (len(results), len(failing))
+    )
+    if failing:
+        for name in failing:
+            out.write("  still failing: %s\n" % name)
+        return 1
+    return 0
+
+
 def cmd_fuzz(args, out):
     """``repro fuzz``: differential fuzzing campaign (docs/FUZZING.md)."""
     from repro.fuzz import FuzzSession
@@ -439,6 +468,8 @@ def cmd_fuzz(args, out):
     from repro.telemetry.tracing import Tracer, write_jsonl
 
     matrix = args.matrix.split(",") if args.matrix else None
+    if args.replay is not None:
+        return _fuzz_replay(args, out, matrix)
     tracer = Tracer(channels=("fuzz",)) if args.jsonl else None
     try:
         session = FuzzSession(
@@ -548,7 +579,7 @@ def build_parser():
     )
     run.add_argument(
         "--executor",
-        choices=["simple", "closure"],
+        choices=["simple", "closure", "whole"],
         default=None,
         help="executor backend (default: closure, or $REPRO_EXECUTOR)",
     )
@@ -611,7 +642,7 @@ def build_parser():
     )
     profile.add_argument(
         "--executor",
-        choices=["simple", "closure"],
+        choices=["simple", "closure", "whole"],
         default=None,
         help="--cycles: executor backend (default: closure, or $REPRO_EXECUTOR)",
     )
@@ -629,7 +660,7 @@ def build_parser():
     annotate.add_argument("--config", default="all")
     annotate.add_argument(
         "--executor",
-        choices=["simple", "closure"],
+        choices=["simple", "closure", "whole"],
         default=None,
         help="executor backend (default: closure, or $REPRO_EXECUTOR)",
     )
@@ -680,7 +711,7 @@ def build_parser():
     fuzz.add_argument(
         "--matrix",
         help="comma-separated variant subset (default: all): interp,jit,jit-simple,"
-        "nospec,bg,cache-cold,cache-warm,chaos,chaos-simple",
+        "whole,nospec,bg,cache-cold,cache-warm,chaos,chaos-simple,chaos-whole",
     )
     fuzz.add_argument(
         "--shrink",
@@ -693,6 +724,14 @@ def build_parser():
         metavar="DIR",
         default=None,
         help="write (shrunk) reproducers for mismatching programs here",
+    )
+    fuzz.add_argument(
+        "--replay",
+        metavar="DIR",
+        default=None,
+        help="triage mode: re-run every .js reproducer in DIR through the "
+        "oracle instead of generating programs (--shrink re-reduces and "
+        "rewrites still-failing files in place); exits 1 on any mismatch",
     )
     fuzz.add_argument(
         "--jsonl", metavar="PATH", help="write fuzz.* trace events as JSON Lines"

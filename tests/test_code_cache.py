@@ -64,7 +64,7 @@ def run_cached(source, root, backend="closure", trace=False):
 
 
 class TestRoundTrip:
-    @pytest.mark.parametrize("backend", ["simple", "closure"])
+    @pytest.mark.parametrize("backend", ["simple", "closure", "whole"])
     def test_warm_run_is_bit_identical(self, tmp_path, backend):
         cold_printed, cold_engine, cold_cache, _ = run_cached(
             HOT_LOOP, tmp_path, backend
@@ -111,6 +111,26 @@ class TestRoundTrip:
             if native.disk_closure is not None
         )
         assert isinstance(source_text, str) and isinstance(code_bytes, bytes)
+
+    def test_whole_backend_reuses_marshalled_module(self, tmp_path):
+        run_cached(HOT_LOOP, tmp_path, "whole")
+        _, warm_engine, warm_cache, _ = run_cached(HOT_LOOP, tmp_path, "whole")
+        assert warm_cache.hits > 0
+        # The warm load carried the whole-function source + marshalled
+        # module, and running it installed the translation under the
+        # byte-exact trust rule.
+        natives = [
+            state.native
+            for state in warm_engine.states.values()
+            if state.native is not None
+        ]
+        assert any(native.disk_whole is not None for native in natives)
+        source_text, code_bytes = next(
+            native.disk_whole for native in natives if native.disk_whole is not None
+        )
+        assert isinstance(source_text, str) and isinstance(code_bytes, bytes)
+        ran = [n for n in natives if n.whole_cache is not None]
+        assert ran  # the thawed module was translated and executed
 
     def test_corrupt_entry_degrades_to_miss(self, tmp_path):
         _, _, cold_cache, _ = run_cached(HOT_LOOP, tmp_path)

@@ -32,6 +32,7 @@ from repro.jsvm.bytecode import CodeObject
 from repro.jsvm.interpreter import Interpreter
 from repro.jsvm.values import UNDEFINED
 from repro.lir.closures import ClosureExecutor
+from repro.lir.wholefn import WholeExecutor
 from repro.lir.executor import Bailout, NativeExecutor
 from repro.lir.lir_nodes import LInstruction
 from repro.lir.native import NativeCode
@@ -119,7 +120,9 @@ class TestSuiteDifferential:
         source = _bench_source(suite_name, bench_name)
         reference, _ = _run_full(source, "simple", config, **kwargs)
         closure, _ = _run_full(source, "closure", config, **kwargs)
+        whole, _ = _run_full(source, "whole", config, **kwargs)
         assert closure == reference
+        assert whole == reference
 
     @pytest.mark.parametrize(
         "suite_name,bench_name",
@@ -129,8 +132,11 @@ class TestSuiteDifferential:
         source = _bench_source(suite_name, bench_name)
         reference, ref_events = _run_full(source, "simple", FULL_SPEC, trace=True)
         closure, clo_events = _run_full(source, "closure", FULL_SPEC, trace=True)
+        whole, whl_events = _run_full(source, "whole", FULL_SPEC, trace=True)
         assert closure == reference
+        assert whole == reference
         assert _normalized(clo_events) == _normalized(ref_events)
+        assert _normalized(whl_events) == _normalized(ref_events)
 
     def test_osr_differential(self):
         # A loop hot enough for on-stack replacement under the fast
@@ -142,7 +148,9 @@ class TestSuiteDifferential:
         )
         reference, _ = _run_full(source, "simple", FULL_SPEC, **FAST)
         closure, _ = _run_full(source, "closure", FULL_SPEC, **FAST)
+        whole, _ = _run_full(source, "whole", FULL_SPEC, **FAST)
         assert closure == reference
+        assert whole == reference
         assert reference["printed"] == ["124750", "125250"]
 
 
@@ -295,4 +303,9 @@ class TestBackendSelection:
             Engine(config=FULL_SPEC, executor_backend="turbofan")
 
     def test_registry_names(self):
-        assert set(EXECUTOR_BACKENDS) == {"simple", "closure"}
+        assert set(EXECUTOR_BACKENDS) == {"simple", "closure", "whole"}
+
+    def test_explicit_whole(self):
+        engine = Engine(config=FULL_SPEC, executor_backend="whole")
+        assert engine.executor_backend == "whole"
+        assert isinstance(engine.executor, WholeExecutor)

@@ -168,7 +168,7 @@ class TestExactness:
         assert run.profile.attributed_cycles() == total
         assert sum(row["cycles"] for row in run.profile.attribution()) == total
 
-    @pytest.mark.parametrize("backend", ["simple", "closure"])
+    @pytest.mark.parametrize("backend", ["simple", "closure", "whole"])
     @pytest.mark.parametrize("source", [HOT_SRC, DEOPT_SRC, OSR_SRC])
     def test_scripted_transitions_exact(self, backend, source):
         _obs, _events, engine = _run(source, backend, profile=True)
@@ -178,7 +178,7 @@ class TestExactness:
 class TestBitIdentity:
     """Profiling never perturbs any deterministic observable."""
 
-    @pytest.mark.parametrize("backend", ["simple", "closure"])
+    @pytest.mark.parametrize("backend", ["simple", "closure", "whole"])
     @pytest.mark.parametrize("source", [HOT_SRC, DEOPT_SRC, OSR_SRC])
     def test_scripts_identical_with_profiling(self, backend, source):
         plain, plain_events, _ = _run(source, backend, trace=True)
@@ -200,7 +200,7 @@ class TestBitIdentity:
          ("kraken", "audio-beat-detection")],
         ids=["sunspider", "v8", "kraken"],
     )
-    @pytest.mark.parametrize("backend", ["simple", "closure"])
+    @pytest.mark.parametrize("backend", ["simple", "closure", "whole"])
     def test_benchmarks_identical_with_profiling(self, backend, suite_name, bench_name):
         source = _bench(suite_name, bench_name).source
         plain, plain_events, _ = _run(source, backend, trace=True)
@@ -303,7 +303,7 @@ class TestAttribution:
 class TestGuardForensics:
     """The forensics table matches the bailout.guard event stream."""
 
-    @pytest.mark.parametrize("backend", ["simple", "closure"])
+    @pytest.mark.parametrize("backend", ["simple", "closure", "whole"])
     def test_forensics_match_trace_events(self, backend):
         _obs, events, engine = _run(DEOPT_SRC, backend, trace=True, profile=True)
         profiler = engine.cycle_profiler

@@ -91,7 +91,7 @@ def main(argv=None):
         help="cache directory (default: $REPRO_CACHE_DIR, else a temp dir)",
     )
     parser.add_argument(
-        "--backend", default="closure", choices=["simple", "closure"]
+        "--backend", default="closure", choices=["simple", "closure", "whole"]
     )
     parser.add_argument(
         "--phase", default=None, choices=["cold", "warm"], help=argparse.SUPPRESS
