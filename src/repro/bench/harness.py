@@ -33,9 +33,12 @@ class BenchmarkRun(object):
         "deoptimized",
         "trace_events",
         "profile",
+        "metrics",
     )
 
-    def __init__(self, benchmark, config, engine, output, tracer=None, profiler=None):
+    def __init__(
+        self, benchmark, config, engine, output, tracer=None, profiler=None, metrics=None
+    ):
         stats = engine.stats
         self.benchmark = benchmark.name
         self.config = config.name
@@ -53,10 +56,22 @@ class BenchmarkRun(object):
         self.trace_events = list(tracer.events) if tracer is not None else None
         #: The run's CycleProfiler (docs/PROFILING.md) when profiled.
         self.profile = profiler
+        #: Finalized metrics payload (docs/METRICS.md) when collected —
+        #: a plain JSON-safe dict, so it pickles across ``--jobs``
+        #: worker processes and merges exactly with
+        #: ``repro.telemetry.metrics.merge_payloads``.
+        self.metrics = metrics.as_dict() if metrics is not None else None
 
 
 def run_benchmark(
-    benchmark, config, engine_kwargs=None, trace=False, trace_channels=None, profile=False
+    benchmark,
+    config,
+    engine_kwargs=None,
+    trace=False,
+    trace_channels=None,
+    profile=False,
+    collect_metrics=False,
+    metrics_interval=0,
 ):
     """Run one benchmark under one configuration; returns BenchmarkRun.
 
@@ -65,7 +80,11 @@ def run_benchmark(
     carries the event stream in ``trace_events`` — any Figure 9
     configuration can be traced this way.  With ``profile``, it runs
     with a fresh cycle-exact profiler (docs/PROFILING.md), returned in
-    ``run.profile``; neither flag perturbs any measured number.
+    ``run.profile``.  With ``collect_metrics``, it runs with a fresh
+    metrics registry (docs/METRICS.md; ``metrics_interval`` > 0 adds
+    periodic cycle-driven snapshots) and the finalized payload dict is
+    returned in ``run.metrics``.  None of these flags perturbs any
+    measured number.
     """
     tracer = Tracer(channels=trace_channels) if trace else None
     profiler = None
@@ -73,11 +92,28 @@ def run_benchmark(
         from repro.telemetry.profiler import CycleProfiler
 
         profiler = CycleProfiler()
+    metrics = None
+    if collect_metrics:
+        from repro.telemetry.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry(snapshot_interval=metrics_interval)
     engine = Engine(
-        config=config, tracer=tracer, cycle_profiler=profiler, **(engine_kwargs or {})
+        config=config,
+        tracer=tracer,
+        cycle_profiler=profiler,
+        metrics=metrics,
+        **(engine_kwargs or {})
     )
     output = engine.run_source(benchmark.source)
-    return BenchmarkRun(benchmark, config, engine, output, tracer=tracer, profiler=profiler)
+    return BenchmarkRun(
+        benchmark,
+        config,
+        engine,
+        output,
+        tracer=tracer,
+        profiler=profiler,
+        metrics=metrics,
+    )
 
 
 def _run_benchmark_job(job):
@@ -88,9 +124,14 @@ def _run_benchmark_job(job):
     deterministic engine, so the returned measurements are identical
     to a serial run — parallelism is purely a wall-clock optimization.
     """
-    benchmark, config, engine_kwargs, trace, trace_channels = job
+    benchmark, config, engine_kwargs, trace, trace_channels, collect_metrics = job
     return run_benchmark(
-        benchmark, config, engine_kwargs, trace=trace, trace_channels=trace_channels
+        benchmark,
+        config,
+        engine_kwargs,
+        trace=trace,
+        trace_channels=trace_channels,
+        collect_metrics=collect_metrics,
     )
 
 
@@ -121,26 +162,30 @@ def run_suite_sweep(
     trace=False,
     trace_channels=None,
     jobs=1,
+    collect_metrics=False,
 ):
     """Run every benchmark under baseline + every configuration.
 
     With ``verify``, every configuration's printed output must equal
     the baseline's (the correctness oracle built into the harness).
     With ``trace``, every run records its JIT event stream on
-    ``BenchmarkRun.trace_events``.  ``jobs > 1`` fans the runs out
-    across worker processes (``repro bench --jobs N``); because every
-    run is deterministic this changes wall-clock time only — results,
-    ordering and verification are identical to a serial sweep.
+    ``BenchmarkRun.trace_events``.  With ``collect_metrics``, every
+    run carries its metrics payload in ``run.metrics`` (fold them
+    into one fleet view with ``merge_payloads``).  ``jobs > 1`` fans
+    the runs out across worker processes (``repro bench --jobs N``);
+    because every run is deterministic this changes wall-clock time
+    only — results, ordering, verification and metrics are identical
+    to a serial sweep.
     """
     configs = configs if configs is not None else PAPER_CONFIGS
     sweep = SweepResult(suite_name)
     pending = [
-        (benchmark, BASELINE, engine_kwargs, trace, trace_channels)
+        (benchmark, BASELINE, engine_kwargs, trace, trace_channels, collect_metrics)
         for benchmark in suite
     ]
     for config in configs:
         pending.extend(
-            (benchmark, config, engine_kwargs, trace, trace_channels)
+            (benchmark, config, engine_kwargs, trace, trace_channels, collect_metrics)
             for benchmark in suite
         )
     if jobs > 1:

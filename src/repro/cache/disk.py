@@ -198,6 +198,14 @@ class DiskCodeCache(object):
         self.misses = 0
         self.stores = 0
         self.uncacheable = 0
+        #: Misses caused by a *present but unusable* entry — torn or
+        #: bit-flipped frame, unmarshalable payload, version skew, or a
+        #: thaw failure.  Every corruption-degraded read also counts as
+        #: a miss; this counter says how many of the misses were
+        #: degradations rather than absences.
+        self.corrupt = 0
+        #: Entries removed by :meth:`evict` (size/entry pressure).
+        self.evictions = 0
 
     # -- keying --------------------------------------------------------------
 
@@ -270,19 +278,23 @@ class DiskCodeCache(object):
             return None
         payload = _unframe_entry(blob)
         if payload is None:
+            self.corrupt += 1
             self.misses += 1
             return None
         try:
             artifact = marshal.loads(payload)
         except (ValueError, EOFError, TypeError):
+            self.corrupt += 1
             self.misses += 1
             return None
         if not isinstance(artifact, dict) or artifact.get("format") != FORMAT_VERSION:
+            self.corrupt += 1
             self.misses += 1
             return None
         try:
             result = thaw_result(artifact, code)
         except Exception:
+            self.corrupt += 1
             self.misses += 1
             return None
         self.hits += 1
@@ -363,7 +375,62 @@ class DiskCodeCache(object):
             "misses": self.misses,
             "stores": self.stores,
             "uncacheable": self.uncacheable,
+            "corrupt": self.corrupt,
+            "evictions": self.evictions,
         }
+
+    def _entries(self):
+        """Every stored artifact as ``(mtime, path, size)``, sorted.
+
+        Oldest first; ties break on path so eviction order is
+        deterministic for a given directory state.
+        """
+        found = []
+        code_root = os.path.join(self.root, "code")
+        if not os.path.isdir(code_root):
+            return found
+        for dirpath, _dirnames, filenames in os.walk(code_root):
+            for filename in filenames:
+                if not filename.endswith(".bin"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                try:
+                    status = os.stat(path)
+                except OSError:
+                    continue
+                found.append((status.st_mtime, path, status.st_size))
+        found.sort()
+        return found
+
+    def evict(self, max_bytes=None, max_entries=None):
+        """Prune oldest entries until the store fits the given bounds.
+
+        LRU-by-mtime (``load`` leaves mtimes untouched, so "oldest"
+        means least-recently *written*; a warm artifact that keeps
+        getting re-stored stays young).  Either bound may be None
+        (unbounded); with both None this is a no-op.  Returns the
+        number of entries removed and adds it to ``evictions``.
+        """
+        if max_bytes is None and max_entries is None:
+            return 0
+        entries = self._entries()
+        total_bytes = sum(size for _mtime, _path, size in entries)
+        total_entries = len(entries)
+        removed = 0
+        for _mtime, path, size in entries:
+            over_bytes = max_bytes is not None and total_bytes > max_bytes
+            over_entries = max_entries is not None and total_entries > max_entries
+            if not over_bytes and not over_entries:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            removed += 1
+            total_bytes -= size
+            total_entries -= 1
+        self.evictions += removed
+        return removed
 
     def clear(self):
         """Delete every stored artifact; returns the number removed."""

@@ -65,13 +65,31 @@ class CompileJob(object):
 class CompileQueue(object):
     """FIFO job timeline for the single-helper compiler lane."""
 
-    __slots__ = ("dispatch_delay", "lane_cycle", "pending", "enqueued", "installed", "dropped")
+    __slots__ = (
+        "dispatch_delay",
+        "lane_cycle",
+        "lane_high_water",
+        "depth_high_water",
+        "pending",
+        "enqueued",
+        "installed",
+        "dropped",
+    )
 
     def __init__(self, dispatch_delay):
         #: Main-lane cycles between enqueue and the lane starting work.
         self.dispatch_delay = dispatch_delay
         #: The lane's own clock: when it finishes its last queued job.
         self.lane_cycle = 0
+        #: High-water mark of the lane clock: the furthest point the
+        #: helper's timeline has ever been scheduled to.  ``schedule``
+        #: only moves ``lane_cycle`` forward today, but the mark is
+        #: tracked explicitly so the ``repro_compile_queue_lane_cycle``
+        #: gauge stays correct if cancellation semantics ever change.
+        self.lane_high_water = 0
+        #: Deepest ``pending`` has ever been (jobs awaiting install),
+        #: the ``repro_compile_queue_depth_high_water`` gauge.
+        self.depth_high_water = 0
         #: code_id -> CompileJob, insertion (= completion) ordered.
         #: At most one in-flight job per function.
         self.pending = {}
@@ -88,7 +106,11 @@ class CompileQueue(object):
         job.enqueue_cycle = now
         job.ready_at = start + job.compile_cycles
         self.lane_cycle = job.ready_at
+        if self.lane_cycle > self.lane_high_water:
+            self.lane_high_water = self.lane_cycle
         self.pending[code_id] = job
+        if len(self.pending) > self.depth_high_water:
+            self.depth_high_water = len(self.pending)
         self.enqueued += 1
         return job.ready_at
 
@@ -97,9 +119,14 @@ class CompileQueue(object):
 
         The lane clock does not rewind: the helper already spent those
         cycles, the work is simply wasted — as it would be for real.
+        Returns True when a job was actually pending (and is now
+        dropped), so callers can emit the ``compile.queue_depth`` drop
+        event only for real cancellations.
         """
         if self.pending.pop(code_id, None) is not None:
             self.dropped += 1
+            return True
+        return False
 
     def take_ready(self, now):
         """Pop and return every job with ``ready_at <= now``, FIFO."""

@@ -190,6 +190,7 @@ class Engine(object):
         background_compile=False,
         code_cache=None,
         fault_injector=None,
+        metrics=None,
     ):
         self.config = config
         self.cost_model = cost_model if cost_model is not None else CostModel()
@@ -252,6 +253,16 @@ class Engine(object):
         #: MIR→LIR→codegen pipeline on the host — pure wall-clock; the
         #: simulated compile cycles are charged identically either way.
         self.code_cache = code_cache
+        #: Optional deterministic metrics registry
+        #: (``repro.telemetry.metrics.MetricsRegistry``).  None (the
+        #: default) means zero events and zero overhead — the same
+        #: contract as the tracer; attached, the registry's clock is
+        #: the engine's cycle clock and its collector samples the live
+        #: engine state at every snapshot (docs/METRICS.md).
+        self.metrics = metrics
+        if metrics is not None:
+            metrics.bind_clock(self.trace_clock)
+            metrics.collectors.append(self._collect_metrics)
 
     # -- program entry -------------------------------------------------------
 
@@ -279,6 +290,15 @@ class Engine(object):
         self.stats.ic_transitions = self.interpreter.ic_transitions
         self.stats.native_cycles = self.executor.cycles
         self.stats.native_instructions = self.executor.instructions_executed
+        cache = self.code_cache
+        if cache is not None:
+            self.stats.disk_hits = cache.hits
+            self.stats.disk_misses = cache.misses
+            self.stats.disk_stores = cache.stores
+            self.stats.disk_corrupt = cache.corrupt
+            self.stats.disk_evictions = cache.evictions
+        if self.metrics is not None:
+            self.metrics.finalize()
         if self.tracer is not None and self.cycle_profiler is not None:
             self.tracer.emit(
                 "profile",
@@ -306,6 +326,102 @@ class Engine(object):
             + stats.invalidation_cycles
         )
 
+    # -- metrics collection (docs/METRICS.md) --------------------------------------
+
+    def _collect_metrics(self):
+        """Sample the live engine state into the metrics registry.
+
+        Registered as the registry's collector and run before every
+        snapshot: counters mirrored from authoritative ledgers (stats,
+        queue, disk cache) are re-read, occupancy gauges are recomputed.
+        Pure reads — never touches the cost model, so attaching metrics
+        cannot perturb any observable.
+        """
+        registry = self.metrics
+        stats = self.stats
+        cost = self.cost_model
+        total_calls = 0
+        spec_entries = 0
+        ic_mono = ic_poly = ic_mega = 0
+        for state in self.states.values():
+            total_calls += state.call_count
+            spec_entries += len(state.spec_cache)
+            feedback = state.code.feedback
+            if feedback is not None:
+                for pc in feedback.shape_ics:
+                    ic_state = feedback.ic_state(pc)
+                    if ic_state == "mono":
+                        ic_mono += 1
+                    elif ic_state == "poly":
+                        ic_poly += 1
+                    elif ic_state == "mega":
+                        ic_mega += 1
+        registry.set_counter("repro_engine_calls_interp_total", stats.interp_calls)
+        registry.set_counter(
+            "repro_engine_calls_native_total", total_calls - stats.interp_calls
+        )
+        registry.set_counter("repro_engine_compiles_total", stats.compiles)
+        registry.set_counter("repro_engine_osr_compiles_total", stats.osr_compiles)
+        registry.set_counter(
+            "repro_engine_recompilations_total", stats.recompilations
+        )
+        registry.set_counter("repro_engine_bailouts_total", stats.bailouts)
+        registry.set_counter(
+            "repro_engine_shape_guard_bailouts_total", stats.shape_guard_bailouts
+        )
+        registry.set_counter(
+            "repro_engine_invalidations_total", stats.invalidations
+        )
+        registry.set_counter(
+            "repro_engine_ic_transitions_total", self.interpreter.ic_transitions
+        )
+        registry.set_gauge("repro_engine_total_cycles", self.trace_clock())
+        registry.set_gauge(
+            "repro_engine_interp_cycles",
+            self.interpreter.ops_executed * cost.interp_op
+            + stats.interp_calls * cost.interp_call,
+        )
+        registry.set_gauge("repro_engine_native_cycles", self.executor.cycles)
+        registry.set_gauge(
+            "repro_engine_compile_cycles_stalled", stats.compile_cycles_stalled
+        )
+        registry.set_gauge(
+            "repro_engine_compile_cycles_hidden", stats.compile_cycles_hidden
+        )
+        registry.set_gauge("repro_engine_bailout_cycles", stats.bailout_cycles)
+        registry.set_gauge(
+            "repro_engine_invalidation_cycles", stats.invalidation_cycles
+        )
+        registry.set_gauge("repro_engine_functions_hot", len(self.states))
+        registry.set_gauge("repro_spec_cache_entries", spec_entries)
+        registry.set_gauge("repro_engine_ic_sites_mono", ic_mono)
+        registry.set_gauge("repro_engine_ic_sites_poly", ic_poly)
+        registry.set_gauge("repro_engine_ic_sites_mega", ic_mega)
+        queue = self.compile_queue
+        if queue is not None:
+            registry.set_counter("repro_compile_queue_enqueued_total", queue.enqueued)
+            registry.set_counter(
+                "repro_compile_queue_installed_total", queue.installed
+            )
+            registry.set_counter("repro_compile_queue_dropped_total", queue.dropped)
+            registry.set_gauge("repro_compile_queue_depth", len(queue.pending))
+            registry.set_gauge(
+                "repro_compile_queue_depth_high_water", queue.depth_high_water
+            )
+            registry.set_gauge("repro_compile_queue_lane_cycle", queue.lane_high_water)
+        cache = self.code_cache
+        if cache is not None:
+            registry.set_counter("repro_cache_disk_hits_total", cache.hits)
+            registry.set_counter("repro_cache_disk_misses_total", cache.misses)
+            registry.set_counter("repro_cache_disk_stores_total", cache.stores)
+            registry.set_counter(
+                "repro_cache_disk_evictions_total", cache.evictions
+            )
+            registry.set_counter("repro_cache_disk_corrupt_total", cache.corrupt)
+            registry.set_counter(
+                "repro_cache_disk_uncacheable_total", cache.uncacheable
+            )
+
     # -- state -------------------------------------------------------------------
 
     def _state(self, code):
@@ -325,6 +441,9 @@ class Engine(object):
         code = function.code
         state = self._state(code)
         state.call_count += 1
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.maybe_snapshot()
         tracer = self.tracer
         if (
             tracer is not None
@@ -361,6 +480,8 @@ class Engine(object):
         if native is not None:
             if native.meta["specialized"]:
                 if _spec_key_matches(state.spec_key, this_value, args):
+                    if metrics is not None:
+                        metrics.inc("repro_spec_cache_hits_total")
                     if tracer is not None:
                         tracer.emit(
                             "cache",
@@ -378,6 +499,8 @@ class Engine(object):
                     # possible with capacity > 1, the §6 extension).
                     state.native, state.osr_state_key = cached
                     state.spec_key = key
+                    if metrics is not None:
+                        metrics.inc("repro_spec_cache_hits_total")
                     if tracer is not None:
                         tracer.emit(
                             "cache",
@@ -388,6 +511,8 @@ class Engine(object):
                             primary=False,
                         )
                     return True, self._run_call(state, function, this_value, args)
+                if metrics is not None:
+                    metrics.inc("repro_spec_cache_misses_total")
                 if tracer is not None:
                     tracer.emit(
                         "cache",
@@ -440,6 +565,8 @@ class Engine(object):
         """
         code = frame.code
         state = self._state(code)
+        if self.metrics is not None:
+            self.metrics.maybe_snapshot()
         queue = self.compile_queue
         if queue is not None and queue.pending:
             self._install_ready(queue)
@@ -494,6 +621,8 @@ class Engine(object):
                 state, frame.function, frame.this_value, frame.args, osr_frame=(target_pc, frame)
             ):
                 return None
+        if self.metrics is not None:
+            self.metrics.inc("repro_engine_osr_enters_total")
         if tracer is not None:
             tracer.emit(
                 "osr",
@@ -610,6 +739,8 @@ class Engine(object):
             self.cycle_profiler.record_compile(
                 code, result.native, compile_cycles, hidden=hidden
             )
+        if self.metrics is not None:
+            self.metrics.observe("repro_compile_cycles_per_compile", compile_cycles)
         if tracer is not None:
             tracer.emit(
                 "compile",
@@ -649,6 +780,8 @@ class Engine(object):
                 _osr_key(osr_args, osr_locals) if osr_pc is not None else None
             )
             state.spec_cache[state.spec_key] = (state.native, state.osr_state_key)
+            if self.metrics is not None:
+                self.metrics.inc("repro_spec_cache_stores_total")
             if tracer is not None:
                 tracer.emit(
                     "specialize",
@@ -716,6 +849,15 @@ class Engine(object):
         if result.native.meta["specialized"]:
             job.spec_key = _spec_key(this_value, args)
         queue.schedule(code.code_id, job, self.trace_clock())
+        if tracer is not None:
+            tracer.emit(
+                "compile",
+                "queue_depth",
+                fn=code.name,
+                code_id=code.code_id,
+                action="enqueue",
+                depth=len(queue.pending),
+            )
 
     def _install_ready(self, queue):
         """Install every finished background binary at this poll point."""
@@ -736,6 +878,7 @@ class Engine(object):
         code = state.code
         native = job.result.native
         specialized = native.meta["specialized"]
+        tracer = self.tracer
         stale = (
             state.not_compilable
             or (specialized and (state.never_specialize or state.force_generic))
@@ -744,6 +887,15 @@ class Engine(object):
         )
         if stale:
             queue.dropped += 1
+            if tracer is not None:
+                tracer.emit(
+                    "compile",
+                    "queue_depth",
+                    fn=code.name,
+                    code_id=code.code_id,
+                    action="drop",
+                    depth=len(queue.pending),
+                )
             return
         queue.installed += 1
         state.native = native
@@ -752,7 +904,10 @@ class Engine(object):
         # recompile of the binary that just landed.
         state.backedge_count = 0
         self.stats.background_installs += 1
-        tracer = self.tracer
+        if self.metrics is not None:
+            self.metrics.observe(
+                "repro_compile_install_latency_cycles", now - job.enqueue_cycle
+            )
         if tracer is not None:
             tracer.emit(
                 "compile",
@@ -763,11 +918,21 @@ class Engine(object):
                 waited_cycles=now - job.ready_at,
                 specialized=specialized,
             )
+            tracer.emit(
+                "compile",
+                "queue_depth",
+                fn=code.name,
+                code_id=code.code_id,
+                action="install",
+                depth=len(queue.pending),
+            )
         if specialized:
             self.stats.specialized_functions.add(code.code_id)
             state.spec_key = job.spec_key
             state.osr_state_key = None
             state.spec_cache[state.spec_key] = (native, None)
+            if self.metrics is not None:
+                self.metrics.inc("repro_spec_cache_stores_total")
             if tracer is not None:
                 tracer.emit(
                     "specialize",
@@ -804,7 +969,16 @@ class Engine(object):
             # Any in-flight job for this function compiled against a
             # policy state that no longer exists; the lane's cycles
             # are spent either way (wasted speculative work).
-            self.compile_queue.cancel(state.code.code_id)
+            if self.compile_queue.cancel(state.code.code_id):
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "compile",
+                        "queue_depth",
+                        fn=state.code.name,
+                        code_id=state.code.code_id,
+                        action="drop",
+                        depth=len(self.compile_queue.pending),
+                    )
         if self.tracer is not None:
             self.tracer.emit(
                 "deopt",
@@ -941,6 +1115,8 @@ class Engine(object):
             state.native = None
             state.spec_key = None
             state.osr_state_key = None
+            if self.metrics is not None:
+                self.metrics.inc("repro_engine_retrains_total")
             self.stats.record_invalidation()
             if self.cycle_profiler is not None:
                 self.cycle_profiler.record_invalidation(

@@ -10,6 +10,20 @@ specialization counters feed the §4 policy paragraphs.
 """
 
 
+#: Ledger keys that count *host-side* disk-cache traffic rather than
+#: simulated work.  They legitimately differ between a cold and a warm
+#: run of the same program (that is their whole point), so the
+#: bit-identical round-trip checks (``tools/cache_roundtrip.py``,
+#: ``tests/test_code_cache.py``) compare ledgers modulo this set.
+DISK_TRAFFIC_KEYS = (
+    "disk_hits",
+    "disk_misses",
+    "disk_stores",
+    "disk_corrupt",
+    "disk_evictions",
+)
+
+
 class EngineStats(object):
     """Counters for one engine run."""
 
@@ -61,6 +75,18 @@ class EngineStats(object):
         self.code_sizes = {}
         #: code_id -> function name (for reports).
         self.function_names = {}
+
+        # -- persistent disk code cache (folded at finish) --------------------
+        #: Mirrors of the attached ``DiskCodeCache`` counters (all zero
+        #: when the engine runs without one): warm-start hit-rate
+        #: telemetry in the same ledger as everything else, so bench
+        #: rows and ``--stats`` summaries carry it without consulting
+        #: the cache object.
+        self.disk_hits = 0
+        self.disk_misses = 0
+        self.disk_stores = 0
+        self.disk_corrupt = 0
+        self.disk_evictions = 0
 
         # -- misc -------------------------------------------------------------------
         self.not_compilable = set()
@@ -168,6 +194,11 @@ class EngineStats(object):
             "invalidations": self.invalidations,
             "ic_transitions": self.ic_transitions,
             "shape_guard_bailouts": self.shape_guard_bailouts,
+            "disk_hits": self.disk_hits,
+            "disk_misses": self.disk_misses,
+            "disk_stores": self.disk_stores,
+            "disk_corrupt": self.disk_corrupt,
+            "disk_evictions": self.disk_evictions,
             "specialized_functions": sorted(self.specialized_functions),
             "successfully_specialized": sorted(self.successfully_specialized),
             "deoptimized_functions": sorted(self.deoptimized_functions),
@@ -192,6 +223,8 @@ class EngineStats(object):
             "bailouts": self.bailouts,
             "ic_transitions": self.ic_transitions,
             "shape_guard_bailouts": self.shape_guard_bailouts,
+            "disk_hits": self.disk_hits,
+            "disk_misses": self.disk_misses,
             "specialized": len(self.specialized_functions),
             "successful": len(self.successfully_specialized),
             "deoptimized": len(self.deoptimized_functions),

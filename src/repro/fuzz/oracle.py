@@ -28,6 +28,7 @@ from repro.cache import DiskCodeCache
 from repro.engine.bailout import GuardFaultInjector
 from repro.engine.config import BASELINE, FULL_SPEC
 from repro.engine.runtime_engine import Engine
+from repro.engine.stats import DISK_TRAFFIC_KEYS
 from repro.errors import CompilerError, ReproError
 from repro.jsvm.bytecode import CodeObject
 from repro.jsvm.interpreter import Interpreter
@@ -333,12 +334,15 @@ def check_program(source, matrix=None):
         base = observations[members[0]]
         for name in members[1:]:
             observation = observations[name]
-            if observation.stats != base.stats:
-                keys = sorted(
-                    key
-                    for key in set(base.stats) | set(observation.stats)
-                    if base.stats.get(key) != observation.stats.get(key)
-                )
+            keys = sorted(
+                key
+                for key in set(base.stats) | set(observation.stats)
+                # Disk-traffic counters are host-side accounting and
+                # differ between cache-cold and cache-warm by design.
+                if key not in DISK_TRAFFIC_KEYS
+                and base.stats.get(key) != observation.stats.get(key)
+            )
+            if keys:
                 mismatches.append(
                     Mismatch(
                         "stats",

@@ -9,6 +9,18 @@ from repro.telemetry.histograms import (
     type_distribution,
 )
 from repro.telemetry.codesize import CodeSizeReport
+from repro.telemetry.metrics import (
+    METRIC_NAMES,
+    METRIC_SCHEMA,
+    MetricsRegistry,
+    empty_payload,
+    format_dashboard,
+    merge_payloads,
+    snapshots_to_jsonl,
+    to_prometheus,
+    write_metrics_jsonl,
+    write_prometheus,
+)
 from repro.telemetry.tracing import (
     CHANNELS,
     EVENT_SCHEMA,
@@ -26,6 +38,16 @@ __all__ = [
     "percent_histogram",
     "type_distribution",
     "CodeSizeReport",
+    "METRIC_NAMES",
+    "METRIC_SCHEMA",
+    "MetricsRegistry",
+    "empty_payload",
+    "format_dashboard",
+    "merge_payloads",
+    "snapshots_to_jsonl",
+    "to_prometheus",
+    "write_metrics_jsonl",
+    "write_prometheus",
     "CHANNELS",
     "EVENT_SCHEMA",
     "Tracer",

@@ -1,0 +1,703 @@
+"""Deterministic process-wide metrics: the fleet-health counterpart of
+the per-run :class:`~repro.engine.stats.EngineStats` ledger.
+
+`EngineStats` answers "what did this run cost"; this module answers the
+questions a production serving tier asks continuously — tier mix, deopt
+and invalidation rates, specialization-cache occupancy, compile-lane
+depth and install latency, disk-cache hit rate — as a **time series**
+over the engine's deterministic cycle clock, mergeable across worker
+processes into one fleet view.
+
+Design rules (the same contract as the trace layer, docs/TRACING.md):
+
+* **Zero overhead when disabled.**  The engine holds ``metrics = None``
+  by default; every instrumentation site is a single ``is not None``
+  check, and nothing here ever touches the cost model — enabling
+  metrics cannot change any observable (stats, cycles, output, traces).
+* **A closed name registry.**  Every metric the engine may record is
+  declared in :data:`METRIC_SCHEMA` with its type (``counter`` /
+  ``gauge`` / ``histogram``), its merge policy, and — for histograms —
+  its fixed bucket bounds.  :class:`MetricsRegistry` rejects undeclared
+  names, and ``docs/METRICS.md`` is schema-checked against the same
+  table, exactly like the trace event schema.
+* **Deterministic snapshots.**  Snapshots are timestamped on the
+  engine's cycle clock (not wall time), taken when the clock crosses
+  fixed interval boundaries, so two runs of the same workload produce
+  bit-identical JSONL time series on every backend and every machine.
+* **Exact merge.**  Counters and histogram buckets are integers summed
+  exactly; gauges fold by their declared policy (``sum`` for
+  occupancies and cycle meters, ``max`` for high-water marks).  Folding
+  the per-worker registries of ``bench --jobs N`` therefore yields the
+  *same numbers* as a single-process run — tested, not hoped.
+
+Two exporters turn a registry (or a merged payload) into artifacts:
+
+* :func:`to_prometheus` — Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` / samples, histograms with cumulative
+  ``_bucket{le=...}`` rows);
+* :func:`write_metrics_jsonl` — one JSON object per snapshot, the
+  machine-readable time series.
+
+See ``docs/METRICS.md`` for the full metric name registry, bucket
+schemes, exporter formats and merge semantics.
+"""
+
+import json
+
+#: Fixed bucket upper bounds (cycles) for the background-lane install
+#: latency histogram: enqueue-to-install distance on the main-lane
+#: clock.  Powers of four, spanning "installed at the next poll point"
+#: through "sat behind a deep queue".
+INSTALL_LATENCY_BUCKETS = (256, 1024, 4096, 16384, 65536, 262144)
+
+#: Fixed bucket upper bounds (cycles) for the per-compilation cost
+#: histogram (the ``cycles`` field of ``compile.finish`` events).
+COMPILE_COST_BUCKETS = (1024, 2048, 4096, 8192, 16384, 32768, 65536)
+
+#: Every metric the engine may record: name -> declaration.  Each
+#: declaration carries ``type`` (``counter`` | ``gauge`` |
+#: ``histogram``), ``help`` (the Prometheus HELP string), ``merge``
+#: (how multi-process folding combines values: ``sum`` or ``max``;
+#: counters and histograms always sum), and for histograms the fixed
+#: ``buckets`` bounds.  This registry is the single source of truth:
+#: :class:`MetricsRegistry` validates every record against it and
+#: ``tests/test_documentation.py`` checks ``docs/METRICS.md`` covers
+#: exactly these names.
+METRIC_SCHEMA = {
+    # -- tier mix ---------------------------------------------------------
+    "repro_engine_calls_interp_total": {
+        "type": "counter",
+        "help": "guest calls executed by the interpreter (JIT declined)",
+    },
+    "repro_engine_calls_native_total": {
+        "type": "counter",
+        "help": "guest calls dispatched to a compiled binary",
+    },
+    "repro_engine_osr_enters_total": {
+        "type": "counter",
+        "help": "loop back-edge (on-stack replacement) entries into native code",
+    },
+    # -- compilation ------------------------------------------------------
+    "repro_engine_compiles_total": {
+        "type": "counter",
+        "help": "successful compilations (either lane)",
+    },
+    "repro_engine_osr_compiles_total": {
+        "type": "counter",
+        "help": "compilations entered from a loop back edge",
+    },
+    "repro_engine_recompilations_total": {
+        "type": "counter",
+        "help": "compilations beyond the first, summed over functions",
+    },
+    # -- guard / deopt / invalidation rates -------------------------------
+    "repro_engine_bailouts_total": {
+        "type": "counter",
+        "help": "guard failures (deoptimizations to the interpreter)",
+    },
+    "repro_engine_shape_guard_bailouts_total": {
+        "type": "counter",
+        "help": "bailouts whose failing guard was a guardshape",
+    },
+    "repro_engine_invalidations_total": {
+        "type": "counter",
+        "help": "compiled binaries discarded (any reason)",
+    },
+    "repro_engine_retrains_total": {
+        "type": "counter",
+        "help": "shape-retrain discards (binary dropped so the IC can relearn)",
+    },
+    "repro_engine_ic_transitions_total": {
+        "type": "counter",
+        "help": "property-site inline caches learning a new receiver shape",
+    },
+    # -- specialization cache ---------------------------------------------
+    "repro_spec_cache_hits_total": {
+        "type": "counter",
+        "help": "calls served by a cached specialized binary",
+    },
+    "repro_spec_cache_misses_total": {
+        "type": "counter",
+        "help": "specialized-call lookups that found no matching binary",
+    },
+    "repro_spec_cache_stores_total": {
+        "type": "counter",
+        "help": "specialized binaries inserted into the per-function cache",
+    },
+    # -- background compile lane ------------------------------------------
+    "repro_compile_queue_enqueued_total": {
+        "type": "counter",
+        "help": "compile jobs handed to the background lane",
+    },
+    "repro_compile_queue_installed_total": {
+        "type": "counter",
+        "help": "background binaries installed at a main-lane poll point",
+    },
+    "repro_compile_queue_dropped_total": {
+        "type": "counter",
+        "help": "background jobs dropped (stale policy state or cancelled)",
+    },
+    # -- persistent disk code cache ---------------------------------------
+    "repro_cache_disk_hits_total": {
+        "type": "counter",
+        "help": "disk code cache hits (compile pipeline skipped)",
+    },
+    "repro_cache_disk_misses_total": {
+        "type": "counter",
+        "help": "disk code cache misses (including corruption-degraded reads)",
+    },
+    "repro_cache_disk_stores_total": {
+        "type": "counter",
+        "help": "artifacts persisted to the disk code cache",
+    },
+    "repro_cache_disk_evictions_total": {
+        "type": "counter",
+        "help": "artifacts removed by cache eviction (size/entry pressure)",
+    },
+    "repro_cache_disk_corrupt_total": {
+        "type": "counter",
+        "help": "disk entries rejected as torn/corrupt/unreadable (degraded to miss)",
+    },
+    "repro_cache_disk_uncacheable_total": {
+        "type": "counter",
+        "help": "compiles that could not be content-addressed (identity values)",
+    },
+    # -- cycle meters (gauges: monotonically sampled from the clock) ------
+    "repro_engine_total_cycles": {
+        "type": "gauge",
+        "merge": "sum",
+        "help": "the deterministic cycle clock (interp + native + stalled compile + penalties)",
+    },
+    "repro_engine_interp_cycles": {
+        "type": "gauge",
+        "merge": "sum",
+        "help": "cycles spent interpreting (ops + call setup)",
+    },
+    "repro_engine_native_cycles": {
+        "type": "gauge",
+        "merge": "sum",
+        "help": "cycles spent in compiled code",
+    },
+    "repro_engine_compile_cycles_stalled": {
+        "type": "gauge",
+        "merge": "sum",
+        "help": "compile cycles charged on the main lane (program stalled)",
+    },
+    "repro_engine_compile_cycles_hidden": {
+        "type": "gauge",
+        "merge": "sum",
+        "help": "compile cycles charged to the background lane (overlapped)",
+    },
+    "repro_engine_bailout_cycles": {
+        "type": "gauge",
+        "merge": "sum",
+        "help": "cycles paid in bailout penalties",
+    },
+    "repro_engine_invalidation_cycles": {
+        "type": "gauge",
+        "merge": "sum",
+        "help": "cycles paid in invalidation penalties",
+    },
+    # -- occupancy gauges -------------------------------------------------
+    "repro_engine_functions_hot": {
+        "type": "gauge",
+        "merge": "sum",
+        "help": "functions the engine tracks JIT state for",
+    },
+    "repro_spec_cache_entries": {
+        "type": "gauge",
+        "merge": "sum",
+        "help": "specialized binaries currently cached across all functions",
+    },
+    "repro_engine_ic_sites_mono": {
+        "type": "gauge",
+        "merge": "sum",
+        "help": "property sites whose inline cache holds one shape",
+    },
+    "repro_engine_ic_sites_poly": {
+        "type": "gauge",
+        "merge": "sum",
+        "help": "property sites whose inline cache holds several shapes",
+    },
+    "repro_engine_ic_sites_mega": {
+        "type": "gauge",
+        "merge": "sum",
+        "help": "property sites degraded to megamorphic",
+    },
+    "repro_compile_queue_depth": {
+        "type": "gauge",
+        "merge": "sum",
+        "help": "compile jobs currently pending on the background lane",
+    },
+    "repro_compile_queue_depth_high_water": {
+        "type": "gauge",
+        "merge": "max",
+        "help": "deepest the background lane's queue has ever been",
+    },
+    "repro_compile_queue_lane_cycle": {
+        "type": "gauge",
+        "merge": "max",
+        "help": "the compiler lane clock's high-water mark (when it last goes idle)",
+    },
+    # -- histograms -------------------------------------------------------
+    "repro_compile_install_latency_cycles": {
+        "type": "histogram",
+        "help": "main-lane cycles between enqueue and install of background binaries",
+        "buckets": INSTALL_LATENCY_BUCKETS,
+    },
+    "repro_compile_cycles_per_compile": {
+        "type": "histogram",
+        "help": "cycle cost of each compilation",
+        "buckets": COMPILE_COST_BUCKETS,
+    },
+}
+
+#: Metric names in registry (= documentation = export) order.
+METRIC_NAMES = tuple(METRIC_SCHEMA)
+
+
+def _zero_clock():
+    """Default clock for a registry not yet bound to an engine."""
+    return 0
+
+
+def _empty_histogram(spec):
+    """A zeroed histogram cell for one schema declaration.
+
+    ``counts`` has one slot per finite bucket plus the +Inf overflow;
+    ``sum``/``count`` mirror the Prometheus ``_sum``/``_count`` series.
+    """
+    return {
+        "buckets": list(spec["buckets"]),
+        "counts": [0] * (len(spec["buckets"]) + 1),
+        "sum": 0,
+        "count": 0,
+    }
+
+
+def empty_payload():
+    """A zeroed metrics payload with the full schema key set.
+
+    The payload shape is what :meth:`MetricsRegistry.as_dict` returns
+    and what :func:`merge_payloads` folds — every metric present, every
+    value zero, ``snapshots`` empty.
+    """
+    counters = {}
+    gauges = {}
+    histograms = {}
+    for name, spec in METRIC_SCHEMA.items():
+        kind = spec["type"]
+        if kind == "counter":
+            counters[name] = 0
+        elif kind == "gauge":
+            gauges[name] = 0
+        else:
+            histograms[name] = _empty_histogram(spec)
+    return {
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+        "snapshots": [],
+    }
+
+
+class MetricsRegistry(object):
+    """Holds every declared metric for one engine (or one merged fleet).
+
+    All metrics exist from construction (zeroed), so exports and merges
+    always carry the full, stable key set.  ``snapshot_interval`` (in
+    model cycles) arms periodic snapshotting: the engine polls
+    :meth:`maybe_snapshot` at its safe points and a snapshot is taken
+    each time the cycle clock crosses an interval boundary.  ``0``
+    disables the time series; :meth:`finalize` always records one
+    closing snapshot.
+    """
+
+    def __init__(self, snapshot_interval=0, clock=None):
+        self.snapshot_interval = snapshot_interval
+        self._clock = clock if clock is not None else _zero_clock
+        self._next_due = snapshot_interval if snapshot_interval else 0
+        payload = empty_payload()
+        self.counters = payload["counters"]
+        self.gauges = payload["gauges"]
+        self.histograms = payload["histograms"]
+        #: The cycle-stamped time series (list of snapshot dicts).
+        self.snapshots = []
+        #: 0-arg callables invoked before every snapshot so gauges and
+        #: folded counters reflect the instant of the snapshot (the
+        #: engine registers its collector here).
+        self.collectors = []
+
+    # -- wiring ---------------------------------------------------------------
+
+    def bind_clock(self, clock):
+        """Use ``clock`` (a 0-arg callable) to timestamp snapshots."""
+        self._clock = clock
+
+    # -- recording ------------------------------------------------------------
+
+    def inc(self, name, amount=1):
+        """Add ``amount`` to counter ``name``; rejects undeclared names."""
+        if name not in self.counters:
+            self._reject(name, "counter")
+        self.counters[name] += amount
+
+    def set_counter(self, name, value):
+        """Set a *collected* counter to its monotonic source value.
+
+        For counters mirrored from an authoritative live ledger (the
+        stats object, the queue, the disk cache) rather than counted at
+        instrumentation sites — the collector re-reads the source at
+        every snapshot, so the counter can only move forward.
+        """
+        if name not in self.counters:
+            self._reject(name, "counter")
+        self.counters[name] = value
+
+    def set_gauge(self, name, value):
+        """Set gauge ``name``; rejects undeclared names."""
+        if name not in self.gauges:
+            self._reject(name, "gauge")
+        self.gauges[name] = value
+
+    def observe(self, name, value):
+        """Record ``value`` into histogram ``name``'s fixed buckets."""
+        cell = self.histograms.get(name)
+        if cell is None:
+            self._reject(name, "histogram")
+        index = 0
+        for bound in cell["buckets"]:
+            if value <= bound:
+                break
+            index += 1
+        cell["counts"][index] += 1
+        cell["sum"] += value
+        cell["count"] += 1
+
+    def _reject(self, name, kind):
+        spec = METRIC_SCHEMA.get(name)
+        if spec is None:
+            raise ValueError("unknown metric %r (see METRIC_SCHEMA)" % name)
+        raise ValueError(
+            "metric %r is a %s, not a %s" % (name, spec["type"], kind)
+        )
+
+    # -- snapshots ------------------------------------------------------------
+
+    def collect(self):
+        """Run every registered collector (refresh sampled metrics)."""
+        for collector in self.collectors:
+            collector()
+
+    def _snapshot_record(self, ts):
+        return {
+            "ts": ts,
+            "seq": len(self.snapshots),
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: {
+                    "buckets": list(cell["buckets"]),
+                    "counts": list(cell["counts"]),
+                    "sum": cell["sum"],
+                    "count": cell["count"],
+                }
+                for name, cell in self.histograms.items()
+            },
+        }
+
+    def maybe_snapshot(self):
+        """Take a snapshot if the cycle clock crossed the next boundary.
+
+        Called from the engine's poll points; a no-op (one integer
+        compare) until the boundary, and at most one snapshot is taken
+        per crossing however far the clock jumped — so the series is a
+        deterministic function of the clock alone.
+        """
+        if not self.snapshot_interval:
+            return
+        now = self._clock()
+        if now < self._next_due:
+            return
+        self.collect()
+        self.snapshots.append(self._snapshot_record(now))
+        self._next_due = (now // self.snapshot_interval + 1) * self.snapshot_interval
+
+    def finalize(self):
+        """Collect and record the closing snapshot (any interval)."""
+        self.collect()
+        self.snapshots.append(self._snapshot_record(self._clock()))
+
+    # -- export ---------------------------------------------------------------
+
+    def as_dict(self):
+        """The full registry as a JSON-safe payload (stable key set)."""
+        payload = self._snapshot_record(self._clock())
+        return {
+            "counters": payload["counters"],
+            "gauges": payload["gauges"],
+            "histograms": payload["histograms"],
+            "snapshots": list(self.snapshots),
+        }
+
+
+# -- merge --------------------------------------------------------------------
+
+
+def merge_payloads(payloads):
+    """Fold per-process metric payloads into one exact fleet view.
+
+    Counters and histogram cells (integer buckets, sums, counts) are
+    summed exactly; gauges fold by their declared ``merge`` policy
+    (``sum`` for occupancies and cycle meters, ``max`` for high-water
+    marks).  Snapshots are per-process time series and are *not*
+    merged — the fleet payload carries an empty list.  Summing is
+    associative and commutative on integers, so the fold is
+    order-independent: the per-worker registries of ``bench --jobs N``
+    merge to exactly the single-process totals.
+    """
+    merged = empty_payload()
+    for payload in payloads:
+        for name, value in payload.get("counters", {}).items():
+            if name in merged["counters"]:
+                merged["counters"][name] += value
+        for name, value in payload.get("gauges", {}).items():
+            if name not in merged["gauges"]:
+                continue
+            if METRIC_SCHEMA[name].get("merge") == "max":
+                if value > merged["gauges"][name]:
+                    merged["gauges"][name] = value
+            else:
+                merged["gauges"][name] += value
+        for name, cell in payload.get("histograms", {}).items():
+            target = merged["histograms"].get(name)
+            if target is None or list(cell["buckets"]) != target["buckets"]:
+                continue
+            for index, count in enumerate(cell["counts"]):
+                target["counts"][index] += count
+            target["sum"] += cell["sum"]
+            target["count"] += cell["count"]
+    return merged
+
+
+# -- exporters ----------------------------------------------------------------
+
+
+def _coerce_payload(source):
+    """Accept a registry or an already-built payload dict."""
+    if isinstance(source, MetricsRegistry):
+        return source.as_dict()
+    return source
+
+
+def to_prometheus(source):
+    """Render a registry or payload in Prometheus text exposition format.
+
+    Deterministic: metrics appear in :data:`METRIC_SCHEMA` order, each
+    with its ``# HELP`` and ``# TYPE`` preamble; histograms expose the
+    standard cumulative ``_bucket{le="..."}`` series (a ``+Inf`` bucket
+    included) plus ``_sum`` and ``_count``.
+    """
+    payload = _coerce_payload(source)
+    lines = []
+    for name, spec in METRIC_SCHEMA.items():
+        kind = spec["type"]
+        lines.append("# HELP %s %s" % (name, spec["help"]))
+        lines.append("# TYPE %s %s" % (name, kind))
+        if kind == "counter":
+            lines.append("%s %d" % (name, payload["counters"].get(name, 0)))
+        elif kind == "gauge":
+            lines.append("%s %d" % (name, payload["gauges"].get(name, 0)))
+        else:
+            cell = payload["histograms"].get(name) or _empty_histogram(spec)
+            cumulative = 0
+            for bound, count in zip(cell["buckets"], cell["counts"]):
+                cumulative += count
+                lines.append('%s_bucket{le="%d"} %d' % (name, bound, cumulative))
+            cumulative += cell["counts"][-1]
+            lines.append('%s_bucket{le="+Inf"} %d' % (name, cumulative))
+            lines.append("%s_sum %d" % (name, cell["sum"]))
+            lines.append("%s_count %d" % (name, cell["count"]))
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(source, path):
+    """Write :func:`to_prometheus` output to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(to_prometheus(source))
+
+
+def snapshots_to_jsonl(source):
+    """Render a payload's snapshots as JSON Lines (one per snapshot).
+
+    When the source recorded no periodic snapshots, a single line
+    holding the final aggregate state (``ts`` = final clock) is
+    emitted, so the output is never empty.  Keys are sorted, so two
+    identical runs produce bit-identical text.
+    """
+    payload = _coerce_payload(source)
+    snapshots = payload.get("snapshots") or []
+    if not snapshots:
+        record = {
+            "ts": payload.get("ts", 0),
+            "seq": 0,
+            "counters": payload["counters"],
+            "gauges": payload["gauges"],
+            "histograms": payload["histograms"],
+        }
+        snapshots = [record]
+    return "\n".join(json.dumps(snap, sort_keys=True) for snap in snapshots)
+
+
+def write_metrics_jsonl(source, path):
+    """Write :func:`snapshots_to_jsonl` output to ``path``."""
+    with open(path, "w") as handle:
+        text = snapshots_to_jsonl(source)
+        if text:
+            handle.write(text + "\n")
+
+
+# -- console dashboard (`repro top`) ------------------------------------------
+
+#: Eight-level bar glyphs for the dashboard sparklines.
+SPARK_GLYPHS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width=40):
+    """Render ``values`` as a fixed-width unicode sparkline.
+
+    Values are downsampled (bucket means) to ``width`` columns and
+    scaled against the series maximum; an empty or all-zero series
+    renders as spaces.  Deterministic — no wall-clock, no randomness.
+    """
+    if not values:
+        return " " * width
+    if len(values) > width:
+        step = len(values) / float(width)
+        sampled = []
+        for column in range(width):
+            lo = int(column * step)
+            hi = max(lo + 1, int((column + 1) * step))
+            chunk = values[lo:hi]
+            sampled.append(sum(chunk) / float(len(chunk)))
+        values = sampled
+    peak = max(values)
+    if peak <= 0:
+        return " " * width
+    glyphs = []
+    for value in values:
+        level = int(round((len(SPARK_GLYPHS) - 1) * (value / float(peak))))
+        glyphs.append(SPARK_GLYPHS[min(max(level, 0), len(SPARK_GLYPHS) - 1)])
+    return ("".join(glyphs)).ljust(width)
+
+
+def _rate(part, whole):
+    return 100.0 * part / whole if whole else 0.0
+
+
+def format_dashboard(source, title="repro top"):
+    """Render the ``repro top`` console health dashboard.
+
+    A static, deterministic panel: tier mix, compile/deopt health,
+    specialization- and disk-cache hit rates, lane occupancy and IC
+    distribution, plus per-snapshot sparklines of the cycle clock and
+    the lane depth when a time series was recorded.
+    """
+    payload = _coerce_payload(source)
+    c = payload["counters"]
+    g = payload["gauges"]
+    lines = []
+    lines.append("== %s ==" % title)
+    total = g["repro_engine_total_cycles"]
+    lines.append(
+        "cycles     total %s  (interp %s · native %s · compile-stalled %s · hidden %s)"
+        % (
+            "{:,}".format(total),
+            "{:,}".format(g["repro_engine_interp_cycles"]),
+            "{:,}".format(g["repro_engine_native_cycles"]),
+            "{:,}".format(g["repro_engine_compile_cycles_stalled"]),
+            "{:,}".format(g["repro_engine_compile_cycles_hidden"]),
+        )
+    )
+    interp_calls = c["repro_engine_calls_interp_total"]
+    native_calls = c["repro_engine_calls_native_total"]
+    all_calls = interp_calls + native_calls
+    lines.append(
+        "tier mix   %d calls: native %.1f%% · interp %.1f%% · %d OSR entries"
+        % (
+            all_calls,
+            _rate(native_calls, all_calls),
+            _rate(interp_calls, all_calls),
+            c["repro_engine_osr_enters_total"],
+        )
+    )
+    lines.append(
+        "compile    %d compiles (%d OSR, %d recompiles) · queue depth %d (hwm %d) · "
+        "installed %d · dropped %d"
+        % (
+            c["repro_engine_compiles_total"],
+            c["repro_engine_osr_compiles_total"],
+            c["repro_engine_recompilations_total"],
+            g["repro_compile_queue_depth"],
+            g["repro_compile_queue_depth_high_water"],
+            c["repro_compile_queue_installed_total"],
+            c["repro_compile_queue_dropped_total"],
+        )
+    )
+    lines.append(
+        "deopt      %d bailouts (%d shape) · %d invalidations · %d retrains"
+        % (
+            c["repro_engine_bailouts_total"],
+            c["repro_engine_shape_guard_bailouts_total"],
+            c["repro_engine_invalidations_total"],
+            c["repro_engine_retrains_total"],
+        )
+    )
+    spec_hits = c["repro_spec_cache_hits_total"]
+    spec_misses = c["repro_spec_cache_misses_total"]
+    lines.append(
+        "spec cache %d entries · %d hits / %d misses (%.1f%% hit rate) · %d stores"
+        % (
+            g["repro_spec_cache_entries"],
+            spec_hits,
+            spec_misses,
+            _rate(spec_hits, spec_hits + spec_misses),
+            c["repro_spec_cache_stores_total"],
+        )
+    )
+    disk_hits = c["repro_cache_disk_hits_total"]
+    disk_misses = c["repro_cache_disk_misses_total"]
+    lines.append(
+        "disk cache %d hits / %d misses (%.1f%% hit rate) · %d stores · "
+        "%d evictions · %d corrupt"
+        % (
+            disk_hits,
+            disk_misses,
+            _rate(disk_hits, disk_hits + disk_misses),
+            c["repro_cache_disk_stores_total"],
+            c["repro_cache_disk_evictions_total"],
+            c["repro_cache_disk_corrupt_total"],
+        )
+    )
+    lines.append(
+        "IC sites   mono %d · poly %d · mega %d · %d transitions"
+        % (
+            g["repro_engine_ic_sites_mono"],
+            g["repro_engine_ic_sites_poly"],
+            g["repro_engine_ic_sites_mega"],
+            c["repro_engine_ic_transitions_total"],
+        )
+    )
+    snapshots = payload.get("snapshots") or []
+    if len(snapshots) > 1:
+        deltas = []
+        previous = 0
+        for snap in snapshots:
+            deltas.append(snap["gauges"]["repro_engine_total_cycles"] - previous)
+            previous = snap["gauges"]["repro_engine_total_cycles"]
+        depths = [snap["gauges"]["repro_compile_queue_depth"] for snap in snapshots]
+        lines.append(
+            "cycle rate %s (%d snapshots)" % (sparkline(deltas), len(snapshots))
+        )
+        lines.append("lane depth %s" % sparkline(depths))
+    return "\n".join(lines)

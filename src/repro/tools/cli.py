@@ -8,10 +8,13 @@ Subcommands::
     python -m repro profile script.js --cycles [--json] [--collapsed f] [--top 20]
     python -m repro annotate script.js --function f [--config all]
     python -m repro disasm script.js --function f [--config all]
-    python -m repro bench --suite sunspider [--configs PS,PS+CP,all] [--jobs N]
+    python -m repro bench --suite sunspider [--configs PS,PS+CP,all] [--jobs N] [--metrics]
     python -m repro bench --wallclock [--repeats 3] [--output BENCH_wallclock.json]
+    python -m repro bench --compare BASELINE.json [--input NEW.json] [--report-only]
+    python -m repro metrics workload [--interval N] [--prometheus f] [--jsonl f] [--json]
+    python -m repro top workload [--interval N]
     python -m repro fuzz [--seed 0] [--iterations 100] [--matrix jit,chaos] [--corpus-dir DIR]
-    python -m repro cache stats|clear [--dir DIR]
+    python -m repro cache stats|clear|evict [--dir DIR] [--max-bytes N] [--max-entries N]
     python -m repro configs
 
 ``run`` executes a guest script under the JIT; ``trace`` runs a script
@@ -24,7 +27,12 @@ writing JSONL and Chrome ``trace_event`` files (see docs/TRACING.md);
 ``annotate`` interleaves a function's native disassembly with
 per-instruction execution counts, cycle shares and guard failures;
 ``disasm`` shows a function's optimized MIR and native code; ``bench``
-runs a suite sweep and prints its Figure 9 row; ``fuzz`` runs the
+runs a suite sweep and prints its Figure 9 row — with ``--compare``
+it instead runs the bench regression sentinel against a stored
+baseline (docs/METRICS.md); ``metrics`` runs a workload with the
+deterministic metrics registry attached and exports Prometheus text
+or JSONL snapshots; ``top`` renders the same registry as a one-shot
+console dashboard; ``fuzz`` runs the
 differential fuzzer — seeded program generation, the cross-engine
 oracle, chaos deopt and ddmin shrinking (docs/FUZZING.md); ``cache``
 inspects or clears the persistent cross-run code cache
@@ -187,6 +195,72 @@ def cmd_trace(args, out):
     out.write(
         "-- %d events under %s (clock: model cycles) --\n"
         % (len(tracer.events), config.describe())
+    )
+    return 0
+
+
+def _run_with_metrics(args):
+    """Run ``args.workload`` under an engine with a metrics registry.
+
+    Returns ``(engine, registry)``; shared by ``metrics`` and ``top``.
+    """
+    from repro.telemetry.metrics import MetricsRegistry
+
+    config = _resolve_config(args.config)
+    registry = MetricsRegistry(snapshot_interval=args.interval)
+    engine = Engine(
+        config=config,
+        metrics=registry,
+        executor_backend=args.executor,
+        background_compile=args.background,
+        code_cache=_make_code_cache(args),
+    )
+    engine.run_source(_resolve_workload(args.workload))
+    return engine, registry
+
+
+def cmd_metrics(args, out):
+    """``repro metrics``: run a workload and export its metrics."""
+    import json
+
+    from repro.telemetry.metrics import (
+        to_prometheus,
+        write_metrics_jsonl,
+        write_prometheus,
+    )
+
+    engine, registry = _run_with_metrics(args)
+    payload = registry.as_dict()
+    wrote = False
+    if args.prometheus:
+        write_prometheus(payload, args.prometheus)
+        out.write("wrote Prometheus exposition to %s\n" % args.prometheus)
+        wrote = True
+    if args.jsonl:
+        write_metrics_jsonl(payload, args.jsonl)
+        out.write(
+            "wrote %d snapshot(s) to %s\n"
+            % (len(payload["snapshots"]) or 1, args.jsonl)
+        )
+        wrote = True
+    if args.json:
+        out.write(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        wrote = True
+    if not wrote:
+        out.write(to_prometheus(payload))
+    return 0
+
+
+def cmd_top(args, out):
+    """``repro top``: one-shot console dashboard for a workload's run."""
+    from repro.telemetry.metrics import format_dashboard
+
+    engine, registry = _run_with_metrics(args)
+    out.write(
+        format_dashboard(
+            registry.as_dict(), title="repro top — %s" % args.workload
+        )
+        + "\n"
     )
     return 0
 
@@ -385,9 +459,51 @@ def cmd_disasm(args, out):
 
 
 def cmd_bench(args, out):
-    """``repro bench``: Figure 9 rows, or ``--wallclock`` backend timing."""
+    """``repro bench``: Figure 9 rows, ``--wallclock`` timing, or
+    ``--compare`` regression sentinel."""
     from repro.bench.harness import format_figure9, run_suite_sweep
     from repro.workloads import ALL_SUITES
+
+    if args.compare:
+        import os
+
+        from repro.bench.compare import (
+            compare_results,
+            format_compare,
+            write_compare_json,
+        )
+        from repro.bench.wallclock import (
+            ALL_SECTIONS,
+            load_wallclock_json,
+            run_wallclock,
+        )
+
+        if not os.path.exists(args.compare):
+            raise SystemExit("no baseline at %s" % args.compare)
+        sections = ALL_SECTIONS
+        if args.sections:
+            sections = tuple(
+                part.strip() for part in args.sections.split(",") if part.strip()
+            )
+            unknown = [part for part in sections if part not in ALL_SECTIONS]
+            if unknown:
+                raise SystemExit(
+                    "unknown sections %s; available: %s"
+                    % (", ".join(unknown), ", ".join(ALL_SECTIONS))
+                )
+        baseline = load_wallclock_json(args.compare)
+        if args.input:
+            current = load_wallclock_json(args.input)
+        else:
+            current = run_wallclock(repeats=args.repeats, sections=sections)
+        report = compare_results(current, baseline, sections=sections)
+        out.write(format_compare(report) + "\n")
+        if args.json_out:
+            write_compare_json(report, args.json_out)
+            out.write("delta report written: %s\n" % args.json_out)
+        if report["regressions"] and not args.report_only:
+            return 1
+        return 0
 
     if args.wallclock:
         from repro.bench.wallclock import (
@@ -423,12 +539,34 @@ def cmd_bench(args, out):
     else:
         configs = PAPER_CONFIGS
     sweep = run_suite_sweep(
-        args.suite, ALL_SUITES[args.suite], configs=configs, jobs=args.jobs
+        args.suite,
+        ALL_SUITES[args.suite],
+        configs=configs,
+        jobs=args.jobs,
+        collect_metrics=args.metrics,
     )
     out.write(format_figure9([sweep], configs, "total_cycles", "runtime speedup") + "\n")
     out.write(
         format_figure9([sweep], configs, "compile_cycles", "compilation overhead") + "\n"
     )
+    if args.metrics:
+        from repro.telemetry.metrics import format_dashboard, merge_payloads
+
+        payloads = [
+            run.metrics
+            for by_bench in sweep.runs.values()
+            for run in by_bench.values()
+            if run.metrics is not None
+        ]
+        fleet = merge_payloads(payloads)
+        out.write(
+            format_dashboard(
+                fleet,
+                title="repro top — %s fleet (%d runs)"
+                % (args.suite, len(payloads)),
+            )
+            + "\n"
+        )
     return 0
 
 
@@ -516,7 +654,7 @@ def cmd_fuzz(args, out):
 
 
 def cmd_cache(args, out):
-    """``repro cache``: inspect or clear the persistent code cache."""
+    """``repro cache``: inspect, clear or evict the persistent code cache."""
     from repro.cache import DiskCodeCache
 
     cache = DiskCodeCache(root=args.dir)
@@ -525,6 +663,16 @@ def cmd_cache(args, out):
         out.write("cache root: %s\n" % info["root"])
         out.write("entries:    %d\n" % info["entries"])
         out.write("bytes:      %d\n" % info["bytes"])
+        return 0
+    if args.action == "evict":
+        if args.max_bytes is None and args.max_entries is None:
+            raise SystemExit("cache evict: need --max-bytes and/or --max-entries")
+        removed = cache.evict(max_bytes=args.max_bytes, max_entries=args.max_entries)
+        info = cache.stats()
+        out.write(
+            "evicted %d artifact(s) from %s (%d entries, %d bytes remain)\n"
+            % (removed, cache.root, info["entries"], info["bytes"])
+        )
         return 0
     removed = cache.clear()
     out.write("removed %d cached artifact(s) from %s\n" % (removed, cache.root))
@@ -698,7 +846,90 @@ def build_parser():
         help="suite sweep: parallel worker processes (wall-clock only; "
         "results are order-preserving and identical to --jobs 1)",
     )
+    bench.add_argument(
+        "--metrics",
+        action="store_true",
+        help="suite sweep: collect per-run metrics and print the merged "
+        "fleet dashboard (docs/METRICS.md)",
+    )
+    bench.add_argument(
+        "--compare",
+        metavar="BASELINE_JSON",
+        default=None,
+        help="regression sentinel: diff a bench run against this baseline "
+        "(e.g. BENCH_wallclock.json) instead of sweeping",
+    )
+    bench.add_argument(
+        "--input",
+        metavar="PATH",
+        default=None,
+        help="--compare: stored current results JSON (default: measure now)",
+    )
+    bench.add_argument(
+        "--sections",
+        default=None,
+        help="--compare: comma-separated subset of backends,background,warm-cache",
+    )
+    bench.add_argument(
+        "--json-out",
+        metavar="PATH",
+        default=None,
+        help="--compare: write the machine-readable delta report here",
+    )
+    bench.add_argument(
+        "--report-only",
+        action="store_true",
+        help="--compare: always exit 0; regressions reported, not fatal",
+    )
     bench.set_defaults(handler=cmd_bench)
+
+    def _add_metrics_flags(subparser, default_interval):
+        subparser.add_argument(
+            "workload",
+            help="script path, -, suite/benchmark, or a bare benchmark name",
+        )
+        subparser.add_argument(
+            "--config", default="all", help="optimization config (see `configs`)"
+        )
+        subparser.add_argument(
+            "--interval",
+            type=int,
+            default=default_interval,
+            help="cycles between periodic snapshots (0: final snapshot only; "
+            "default %d)" % default_interval,
+        )
+        subparser.add_argument(
+            "--executor",
+            choices=["simple", "closure", "whole"],
+            default=None,
+            help="executor backend (default: closure, or $REPRO_EXECUTOR)",
+        )
+        _add_lane_and_cache_flags(subparser)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a workload with the metrics registry on (docs/METRICS.md)",
+    )
+    _add_metrics_flags(metrics, default_interval=0)
+    metrics.add_argument(
+        "--prometheus",
+        metavar="PATH",
+        help="write Prometheus text exposition (default output when no "
+        "export flag is given: exposition on stdout)",
+    )
+    metrics.add_argument(
+        "--jsonl", metavar="PATH", help="write snapshot time series as JSON Lines"
+    )
+    metrics.add_argument(
+        "--json", action="store_true", help="print the full payload dict as JSON"
+    )
+    metrics.set_defaults(handler=cmd_metrics)
+
+    top = sub.add_parser(
+        "top", help="console health dashboard for one workload run"
+    )
+    _add_metrics_flags(top, default_interval=10000)
+    top.set_defaults(handler=cmd_top)
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -739,13 +970,27 @@ def build_parser():
     fuzz.set_defaults(handler=cmd_fuzz)
 
     cache = sub.add_parser(
-        "cache", help="inspect or clear the persistent code cache"
+        "cache", help="inspect, clear or evict the persistent code cache"
     )
-    cache.add_argument("action", choices=["stats", "clear"], help="what to do")
+    cache.add_argument(
+        "action", choices=["stats", "clear", "evict"], help="what to do"
+    )
     cache.add_argument(
         "--dir",
         default=None,
         help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    cache.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="evict: prune oldest artifacts until total size fits",
+    )
+    cache.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        help="evict: prune oldest artifacts until this many remain",
     )
     cache.set_defaults(handler=cmd_cache)
 

@@ -62,6 +62,7 @@ def test_design_and_experiments_exist():
         os.path.join("docs", "STATS.md"),
         os.path.join("docs", "FUZZING.md"),
         os.path.join("docs", "SHAPES.md"),
+        os.path.join("docs", "METRICS.md"),
     ):
         path = os.path.join(root, filename)
         assert os.path.exists(path), "%s missing" % filename
@@ -261,6 +262,67 @@ def test_shapes_doc_names_the_contract_vocabulary():
     assert "`%s`" % MEGAMORPHIC in text
     assert "shape-retrain" in text  # the deopt.discard reason
     assert "reset_shapes" in text
+
+
+def _metrics_doc():
+    import os
+
+    path = os.path.join(
+        os.path.dirname(repro.__file__), "..", "..", "docs", "METRICS.md"
+    )
+    with open(path) as handle:
+        return handle.read()
+
+
+def test_metrics_doc_matches_metric_schema():
+    """docs/METRICS.md's registry table matches METRIC_SCHEMA exactly —
+    names, types and merge policies, in both directions."""
+    import re
+
+    from repro.telemetry.metrics import METRIC_SCHEMA
+
+    text = _metrics_doc()
+    rows = re.findall(
+        r"^\| `(\w+)` \| (counter|gauge|histogram) \| (sum|max) \|",
+        text,
+        re.MULTILINE,
+    )
+    documented = {name: (kind, merge) for name, kind, merge in rows}
+    assert len(rows) == len(documented), "duplicate rows in the metric table"
+    assert set(documented) == set(METRIC_SCHEMA), (
+        "metrics documented but not in code: %s; in code but undocumented: %s"
+        % (
+            sorted(set(documented) - set(METRIC_SCHEMA)),
+            sorted(set(METRIC_SCHEMA) - set(documented)),
+        )
+    )
+    for name, spec in METRIC_SCHEMA.items():
+        kind, merge = documented[name]
+        assert kind == spec["type"], (
+            "%s: documented type %r != code type %r" % (name, kind, spec["type"])
+        )
+        assert merge == spec.get("merge", "sum"), (
+            "%s: documented merge %r != code merge %r"
+            % (name, merge, spec.get("merge", "sum"))
+        )
+
+
+def test_metrics_doc_names_the_contract_vocabulary():
+    """The buckets, exporters and sentinel kinds are spelled exactly as
+    the code spells them."""
+    from repro.bench.compare import THRESHOLDS
+
+    text = _metrics_doc()
+    assert "INSTALL_LATENCY_BUCKETS" in text
+    assert "COMPILE_COST_BUCKETS" in text
+    assert "merge_payloads" in text
+    assert "to_prometheus" in text
+    assert "write_metrics_jsonl" in text
+    assert "format_dashboard" in text
+    for kind in THRESHOLDS:
+        assert "`%s`" % kind in text, "sentinel kind %r undocumented" % kind
+    assert "--from-compare" in text
+    assert "bench-delta.json" in text
 
 
 def test_profiling_doc_exists_and_mentions_the_invariant():

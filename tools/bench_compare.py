@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Bench regression sentinel: what moved between two bench runs.
+
+Where ``tools/perf_gate.py`` answers pass/fail, this tool produces the
+full per-suite per-metric delta report (``repro.bench.compare``):
+every measurement of the wall-clock protocol diffed against a baseline
+``BENCH_wallclock.json``, classified by kind (host time, speedup
+ratio, deterministic cycles, exact counters) and judged against
+per-kind thresholds.  Deterministic model cycles compare with zero
+tolerance — a planted 10% cycle regression is flagged while two runs
+of the same tree compare clean.
+
+Usage::
+
+    # measure now, diff against the checked-in baseline
+    PYTHONPATH=src python tools/bench_compare.py --baseline BENCH_wallclock.json
+
+    # diff two stored result files (no measurement)
+    PYTHONPATH=src python tools/bench_compare.py --baseline OLD.json --input NEW.json
+
+    # CI: deterministic sections only, machine-readable artifact, never fail
+    PYTHONPATH=src python tools/bench_compare.py --sections background \\
+        --json-out bench-delta.json --report-only
+
+Exit status: 1 when any metric regressed (unless ``--report-only``),
+2 on usage errors, 0 otherwise.
+"""
+
+import argparse
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_wallclock.json")
+
+
+def parse_thresholds(pairs):
+    """``kind=fraction`` strings -> {kind: float}; raises ValueError."""
+    from repro.bench.compare import THRESHOLDS
+
+    thresholds = {}
+    for pair in pairs or ():
+        if "=" not in pair:
+            raise ValueError("expected kind=fraction, got %r" % pair)
+        kind, _, value = pair.partition("=")
+        kind = kind.strip()
+        if kind not in THRESHOLDS:
+            raise ValueError(
+                "unknown threshold kind %r; available: %s"
+                % (kind, ", ".join(sorted(THRESHOLDS)))
+            )
+        thresholds[kind] = float(value)
+    return thresholds
+
+
+def main(argv=None):
+    """Run the sentinel; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE, help="baseline results JSON"
+    )
+    parser.add_argument(
+        "--input",
+        default=None,
+        help="current results JSON (default: run the bench now)",
+    )
+    parser.add_argument(
+        "--sections",
+        default=None,
+        help="comma-separated subset of backends,background,warm-cache "
+        "(default: all)",
+    )
+    parser.add_argument(
+        "--threshold",
+        action="append",
+        metavar="KIND=FRACTION",
+        help="override a kind's tolerance, e.g. time=0.25 (repeatable)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N suite passes"
+    )
+    parser.add_argument(
+        "--json-out", default=None, help="write the delta report JSON here"
+    )
+    parser.add_argument(
+        "--report-only",
+        action="store_true",
+        help="always exit 0; regressions are reported, not fatal",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="show in-threshold rows too"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench.compare import compare_results, format_compare, write_compare_json
+    from repro.bench.wallclock import ALL_SECTIONS, load_wallclock_json, run_wallclock
+
+    sections = ALL_SECTIONS
+    if args.sections:
+        sections = tuple(
+            part.strip() for part in args.sections.split(",") if part.strip()
+        )
+        unknown = [part for part in sections if part not in ALL_SECTIONS]
+        if unknown:
+            print(
+                "unknown sections %s; available: %s"
+                % (", ".join(unknown), ", ".join(ALL_SECTIONS))
+            )
+            return 2
+
+    try:
+        thresholds = parse_thresholds(args.threshold)
+    except ValueError as error:
+        print(str(error))
+        return 2
+
+    if not os.path.exists(args.baseline):
+        print("no baseline at %s" % args.baseline)
+        return 2
+    baseline = load_wallclock_json(args.baseline)
+    if args.input is not None:
+        current = load_wallclock_json(args.input)
+    else:
+        current = run_wallclock(repeats=args.repeats, sections=sections)
+
+    report = compare_results(
+        current, baseline, thresholds=thresholds, sections=sections
+    )
+    print(format_compare(report, verbose=args.verbose))
+    if args.json_out:
+        write_compare_json(report, args.json_out)
+        print("delta report written: %s" % args.json_out)
+    if report["regressions"] and not args.report_only:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

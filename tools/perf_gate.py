@@ -61,7 +61,26 @@ def main(argv=None):
         help="comma-separated subset of backends,background,warm-cache "
         "(default: all)",
     )
+    parser.add_argument(
+        "--from-compare",
+        default=None,
+        metavar="DELTA_JSON",
+        help="gate on a stored bench_compare.py delta report instead of "
+        "measuring: exit 1 if it recorded any regression",
+    )
     args = parser.parse_args(argv)
+
+    if args.from_compare is not None:
+        from repro.bench.compare import format_compare, load_compare_json
+
+        report = load_compare_json(args.from_compare)
+        print(format_compare(report))
+        if report.get("regressions"):
+            print("PERF GATE FAILED (%d regressions in %s)"
+                  % (report["regressions"], args.from_compare))
+            return 1
+        print("perf gate passed (delta report %s)" % args.from_compare)
+        return 0
 
     from repro.bench.wallclock import (
         ALL_SECTIONS,
