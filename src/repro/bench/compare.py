@@ -17,7 +17,8 @@ Metric kinds and their default thresholds:
     geomeans, warm-cache speedup).  Machine-comparable; 10% tolerance.
     Higher is better.
 ``cycles``
-    Deterministic model cycles (the background-lane section).  Bit
+    Deterministic model cycles (the background-lane and deoptless
+    sections).  Bit
     reproducible, so the tolerance is exactly zero: any rise is a
     regression, and two runs of the same tree compare clean.  Lower
     is better.
@@ -153,6 +154,40 @@ def compare_results(current, baseline, thresholds=None, sections=None):
         if "geomean_cycle_ratio" in base_bg:
             diff("background", "geomean", "geomean_cycle_ratio", "cycles",
                  base_bg["geomean_cycle_ratio"], cur_bg.get("geomean_cycle_ratio"))
+    if "deoptless" in sections and current.get("deoptless"):
+        base_dl = baseline.get("deoptless", {})
+        cur_dl = current.get("deoptless", {})
+        if base_dl:
+            for metric in ("off_cycles", "on_cycles", "cycle_ratio",
+                           "invalidation_ratio"):
+                if metric in base_dl:
+                    diff("deoptless", "churn", metric, "cycles",
+                         base_dl[metric], cur_dl.get(metric))
+            for metric in ("off_invalidations", "on_invalidations",
+                           "deoptless_reentries", "deoptless_misses",
+                           "deoptless_generalized_compiles"):
+                if metric in base_dl:
+                    diff("deoptless", "churn", metric, "exact",
+                         base_dl[metric], cur_dl.get(metric))
+            for bench, base_row in sorted(base_dl.get("benchmarks", {}).items()):
+                cur_row = cur_dl.get("benchmarks", {}).get(bench, {})
+                for metric in ("off_cycles", "on_cycles", "cycle_ratio"):
+                    if metric in base_row:
+                        diff("deoptless", bench, metric, "cycles",
+                             base_row[metric], cur_row.get(metric))
+            for flag in ("outputs_identical", "backends_identical"):
+                if not cur_dl.get(flag, True):
+                    deltas.append({
+                        "section": "deoptless",
+                        "suite": "churn",
+                        "metric": flag,
+                        "kind": "exact",
+                        "baseline": True,
+                        "current": False,
+                        "delta_pct": None,
+                        "threshold_pct": None,
+                        "status": "regressed",
+                    })
     if "warm-cache" in sections and current.get("warm_cache"):
         base_warm = baseline.get("warm_cache", {})
         cur_warm = current.get("warm_cache", {})

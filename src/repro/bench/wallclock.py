@@ -110,6 +110,82 @@ def measure_background_cycles(suites=None, config=FULL_SPEC):
     return section
 
 
+def measure_deoptless_cycles(config=FULL_SPEC, backends=DEFAULT_BACKENDS):
+    """Simulated-cycle comparison: §4 bail-and-recompile vs deoptless.
+
+    Runs the precondition-churn suite (``repro.workloads.churn``,
+    docs/DEOPTLESS.md) with the specialization dispatch table off
+    (``Engine(deoptless=False)`` — the paper's §4 discard policy) and
+    on, on the reference backend.  Like the background section these
+    are *model cycles*: deterministic, machine-independent, gated
+    exactly.  Per benchmark the table must also be **observably
+    free**: guest output is compared between off and on, and the on
+    run is repeated under every other executor backend, which must
+    reproduce both the output and the cycle total bit for bit.
+
+    The headline ratios carry the feature's acceptance floors
+    (``DEOPTLESS_CYCLE_CEILING``, ``DEOPTLESS_DISCARD_CEILING``):
+    dispatching into retained siblings must cut the suite's total
+    cycles by >= 20% and its binary discards by >= 50% versus the
+    bail-and-recompile policy.
+    """
+    from repro.workloads import ALL_SUITES as _SUITES
+
+    suite = _SUITES["churn"]
+    off_cycles = on_cycles = 0
+    off_invalidations = on_invalidations = 0
+    reentries = misses = generalized = 0
+    outputs_identical = True
+    backends_identical = True
+    benchmarks = {}
+    for benchmark in suite:
+        off_engine = Engine(config=config, deoptless=False)
+        off_output = off_engine.run_source(benchmark.source)
+        on_engine = Engine(config=config, deoptless=True)
+        on_output = on_engine.run_source(benchmark.source)
+        outputs_identical = outputs_identical and off_output == on_output
+        for backend in backends:
+            if backend == "simple":
+                continue
+            alt = Engine(config=config, deoptless=True, executor_backend=backend)
+            alt_output = alt.run_source(benchmark.source)
+            backends_identical = backends_identical and (
+                alt_output == on_output
+                and alt.stats.total_cycles == on_engine.stats.total_cycles
+            )
+        off_cycles += off_engine.stats.total_cycles
+        on_cycles += on_engine.stats.total_cycles
+        off_invalidations += off_engine.stats.invalidations
+        on_invalidations += on_engine.stats.invalidations
+        reentries += on_engine.stats.deoptless_reentries
+        misses += on_engine.stats.deoptless_misses
+        generalized += on_engine.stats.deoptless_generalized_compiles
+        benchmarks[benchmark.name] = {
+            "off_cycles": off_engine.stats.total_cycles,
+            "on_cycles": on_engine.stats.total_cycles,
+            "cycle_ratio": round(
+                on_engine.stats.total_cycles / off_engine.stats.total_cycles, 5
+            ),
+        }
+    return {
+        "suite": "churn",
+        "off_cycles": off_cycles,
+        "on_cycles": on_cycles,
+        "cycle_ratio": round(on_cycles / off_cycles, 5),
+        "off_invalidations": off_invalidations,
+        "on_invalidations": on_invalidations,
+        "invalidation_ratio": round(
+            on_invalidations / off_invalidations, 5
+        ) if off_invalidations else 0.0,
+        "deoptless_reentries": reentries,
+        "deoptless_misses": misses,
+        "deoptless_generalized_compiles": generalized,
+        "outputs_identical": outputs_identical,
+        "backends_identical": backends_identical,
+        "benchmarks": benchmarks,
+    }
+
+
 def _web_programs():
     """The deterministic page-load workload for the warm-cache bench."""
     from repro.workloads import WEBSITES, generate_website_program
@@ -193,11 +269,17 @@ def measure_warm_cache(repeats=3, config=FULL_SPEC, backend="closure", cache_roo
 
 
 #: The independently runnable parts of the wall-clock protocol.
-ALL_SECTIONS = ("backends", "background", "warm-cache")
+ALL_SECTIONS = ("backends", "background", "warm-cache", "deoptless")
 
 #: Minimum acceptable warm-over-cold speedup of the persistent code
 #: cache on the web workload (docs/PERF.md); the gate's hard floor.
 WARM_CACHE_FLOOR = 1.3
+
+#: Acceptance ceilings for the deoptless dispatch table on the churn
+#: suite (docs/DEOPTLESS.md): total model cycles with the table on
+#: must be <= 80% of the §4 policy's, and binary discards <= 50%.
+DEOPTLESS_CYCLE_CEILING = 0.8
+DEOPTLESS_DISCARD_CEILING = 0.5
 
 
 def run_wallclock(
@@ -220,13 +302,16 @@ def run_wallclock(
                            "<backend>_sips": work/s}},
          "geomean_speedup": g,
          "background_compile": {...},   # model cycles, sync vs lane
-         "warm_cache": {...}}           # cold vs warm disk cache
+         "warm_cache": {...},           # cold vs warm disk cache
+         "deoptless": {...}}            # model cycles, §4 vs table
 
     ``sections`` selects which parts run (``tools/perf_gate.py
     --sections``): ``backends`` is the executor comparison,
     ``background`` the lane cycle ratios, ``warm-cache`` the disk
-    cache cold/warm timing.  Skipped sections are absent from the
-    result and skipped by :func:`check_gate`.
+    cache cold/warm timing, ``deoptless`` the churn-suite cycle
+    comparison of the §4 discard policy against the specialization
+    dispatch table.  Skipped sections are absent from the result and
+    skipped by :func:`check_gate`.
     """
     if suites is None:
         suites = ALL_SUITES
@@ -276,6 +361,10 @@ def run_wallclock(
         results["background_compile"] = measure_background_cycles(suites, config=config)
     if "warm-cache" in sections:
         results["warm_cache"] = measure_warm_cache(repeats=repeats, config=config)
+    if "deoptless" in sections:
+        results["deoptless"] = measure_deoptless_cycles(
+            config=config, backends=backends
+        )
     return results
 
 
@@ -352,6 +441,43 @@ def format_wallclock(results):
                 warm["speedup"],
                 warm["disk_hits"],
                 warm["cycles_identical"],
+            )
+        )
+    deoptless = results.get("deoptless")
+    if deoptless:
+        lines.append("")
+        lines.append(
+            "-- deoptless dispatch table (churn suite, model cycles, off vs on) --"
+        )
+        lines.append(
+            "%-22s %14s %14s %12s"
+            % ("benchmark", "off cycles", "on cycles", "cycle ratio")
+        )
+        for name, row in deoptless["benchmarks"].items():
+            lines.append(
+                "%-22s %14s %14s %12.5f"
+                % (
+                    name,
+                    "{:,}".format(row["off_cycles"]),
+                    "{:,}".format(row["on_cycles"]),
+                    row["cycle_ratio"],
+                )
+            )
+        lines.append(
+            "suite cycles %s -> %s (ratio %.5f); discards %d -> %d; "
+            "%d reentries, %d misses, %d generalized; outputs identical: %s; "
+            "backends identical: %s"
+            % (
+                "{:,}".format(deoptless["off_cycles"]),
+                "{:,}".format(deoptless["on_cycles"]),
+                deoptless["cycle_ratio"],
+                deoptless["off_invalidations"],
+                deoptless["on_invalidations"],
+                deoptless["deoptless_reentries"],
+                deoptless["deoptless_misses"],
+                deoptless["deoptless_generalized_compiles"],
+                deoptless["outputs_identical"],
+                deoptless["backends_identical"],
             )
         )
     return "\n".join(lines)
@@ -481,4 +607,33 @@ def check_gate(current, baseline, tolerance=0.15):
                 failures.append(
                     "warm cache: simulated cycles differ between cold and warm runs"
                 )
+    # The deoptless section is model cycles like the background lane:
+    # deterministic, so the acceptance ceilings are hard floors, and
+    # the baseline comparison uses the same tiny epsilon.
+    deoptless = current.get("deoptless")
+    if deoptless is not None:
+        if deoptless["cycle_ratio"] > DEOPTLESS_CYCLE_CEILING:
+            failures.append(
+                "deoptless: churn cycle ratio %.5f above the %.2f acceptance ceiling"
+                % (deoptless["cycle_ratio"], DEOPTLESS_CYCLE_CEILING)
+            )
+        if deoptless["invalidation_ratio"] > DEOPTLESS_DISCARD_CEILING:
+            failures.append(
+                "deoptless: churn discard ratio %.5f above the %.2f acceptance ceiling"
+                % (deoptless["invalidation_ratio"], DEOPTLESS_DISCARD_CEILING)
+            )
+        if not deoptless.get("outputs_identical", True):
+            failures.append(
+                "deoptless: guest output differs between table off and on"
+            )
+        if not deoptless.get("backends_identical", True):
+            failures.append(
+                "deoptless: executor backends disagree with the table on"
+            )
+        base_ratio = baseline.get("deoptless", {}).get("cycle_ratio")
+        if base_ratio is not None and deoptless["cycle_ratio"] > base_ratio + 0.002:
+            failures.append(
+                "deoptless: churn cycle ratio %.5f rose above %.5f (baseline %.5f)"
+                % (deoptless["cycle_ratio"], base_ratio + 0.002, base_ratio)
+            )
     return failures

@@ -34,6 +34,7 @@ from repro.cache.serialize import (
     thaw_result,
 )
 from repro.jsvm.bytecode import CodeObject
+from repro.jsvm.feedback import shape_ic_fingerprint
 from repro.jsvm.values import value_key
 
 
@@ -149,21 +150,9 @@ def _value_keys(values):
     return tuple(keys)
 
 
-def _shape_ic_fingerprint(shape_ics):
-    """Canonical snapshot of the per-site shape inline caches.
-
-    Sites are sorted by pc, but each site's shape-id list keeps its
-    recording order — the builder bakes the ids into ``guardshape``
-    extras in exactly that order, so two ICs holding the same shapes
-    in a different order are different compiles.  A megamorphic site
-    fingerprints as its sentinel string.
-    """
-    return tuple(
-        sorted(
-            (pc, entries if isinstance(entries, str) else tuple(entries))
-            for pc, entries in shape_ics.items()
-        )
-    )
+# Canonical shape-IC fingerprint: shared with the engine's
+# retrain-noop detector, so the definition lives next to the IC itself.
+_shape_ic_fingerprint = shape_ic_fingerprint
 
 
 def _feedback_fingerprint(feedback):
@@ -220,18 +209,20 @@ class DiskCodeCache(object):
         osr_args=None,
         osr_locals=None,
         generic=False,
+        shape_guards=True,
     ):
         """The content key for one compile, or None if uncacheable.
 
         The key covers, in order: the artifact format version and host
         marshal format (so incompatible stores read as misses), the
         recursive code fingerprint, the optimization configuration, the
-        generic flag, the OSR entry state (pc plus the value keys of the
-        live frame), the specialization values (value keys of ``this``
-        and the arguments when parameter specialization will bake them
-        in), and the type-feedback snapshot.  Any component that is
-        identity-based — an object-reference argument, a constant with
-        no content name — makes the whole compile uncacheable.
+        generic and shape-guard flags, the OSR entry state (pc plus the
+        value keys of the live frame), the specialization values (value
+        keys of ``this`` and the arguments when parameter
+        specialization will bake them in), and the type-feedback
+        snapshot.  Any component that is identity-based — an
+        object-reference argument, a constant with no content name —
+        makes the whole compile uncacheable.
         """
         if not config.param_spec:
             param_values = None
@@ -245,6 +236,7 @@ class DiskCodeCache(object):
                 _code_fingerprint(code),
                 tuple((slot, getattr(config, slot)) for slot in config.__slots__),
                 bool(generic),
+                bool(shape_guards),
                 osr_pc,
                 None if param_values is None else _value_keys(param_values),
                 None if this_value is None else _value_keys([this_value]),

@@ -38,7 +38,9 @@ class Uncacheable(Exception):
 #: Bump when the artifact layout changes; part of every cache key, so a
 #: layout change simply misses instead of misreading old entries.
 #: v2: added the whole-function backend's module artifact ("whole").
-FORMAT_VERSION = 2
+#: v3: guardshape bails carry the observed shape id (changes the
+#: generated closure/whole sources) and meta gained "ic_fingerprint".
+FORMAT_VERSION = 3
 
 _PRIMITIVES = (int, float, bool, str)
 

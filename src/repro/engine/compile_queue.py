@@ -48,6 +48,7 @@ class CompileJob(object):
         "spec_key",
         "enqueue_cycle",
         "ready_at",
+        "generalized",
     )
 
     def __init__(self, state, function, this_value, args, result, compile_cycles):
@@ -60,6 +61,10 @@ class CompileJob(object):
         self.spec_key = None
         self.enqueue_cycle = None
         self.ready_at = None
+        #: True for a deoptless generalized-sibling compile: on install
+        #: it becomes the function's dispatch-table fallback
+        #: (docs/DEOPTLESS.md) as well as the active binary.
+        self.generalized = False
 
 
 class CompileQueue(object):

@@ -222,6 +222,11 @@ class CostModel(object):
     invalidation = 120
     #: Price of entering/leaving native code per call.
     native_call_entry = 4
+    #: Price of a deoptless dispatch: consulting the specialization
+    #: dispatch table and side-entering a sibling binary at an OSR
+    #: point instead of falling back to the interpreter
+    #: (docs/DEOPTLESS.md).  Charged on top of ``native_call_entry``.
+    deoptless_dispatch = 30
 
     def native_cost(self, op):
         return self.native_costs.get(op, self.native_op)

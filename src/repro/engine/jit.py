@@ -7,6 +7,7 @@ sitting on the interpreter's stack.
 """
 
 from repro.errors import NotCompilable
+from repro.jsvm.feedback import shape_ic_fingerprint
 from repro.lir.native import generate_native
 from repro.mir.builder import build_mir
 from repro.opts.pass_manager import optimize
@@ -43,6 +44,7 @@ def compile_function(
     osr_args=None,
     osr_locals=None,
     generic=False,
+    shape_guards=True,
     keep_graph=False,
     tracer=None,
 ):
@@ -50,7 +52,10 @@ def compile_function(
 
     ``param_values`` (plus ``this_value``) activates parameter
     specialization; ``osr_pc`` adds the OSR entry block; ``generic``
-    disables type speculation entirely (used after repeated bailouts).
+    disables type speculation entirely (used after repeated bailouts);
+    ``shape_guards=False`` widens only the shape-guarded property fast
+    paths while keeping type speculation (deoptless generalized
+    siblings, docs/DEOPTLESS.md).
     ``tracer`` receives per-pass ``pass.run`` events (docs/TRACING.md).
     Raises :class:`NotCompilable` for functions the JIT refuses.
     """
@@ -66,11 +71,20 @@ def compile_function(
         osr_args=osr_args,
         osr_locals=osr_locals,
         generic=generic,
+        shape_guards=shape_guards,
     )
     work = optimize(
         graph, config, loop_inversion_applied=config.loop_inversion, tracer=tracer
     )
     native, codegen_stats = generate_native(graph)
+    # Stamp the IC snapshot the compile consumed: the engine compares
+    # it against the live IC on a shape-retrain to detect recompiles
+    # that would reproduce the binary bit-identically (retrain_noop,
+    # docs/DEOPTLESS.md).  repr() keeps meta marshal-safe for the
+    # persistent code cache.
+    native.meta["ic_fingerprint"] = repr(
+        shape_ic_fingerprint(feedback.shape_ics) if feedback is not None else ()
+    )
     if _MISCOMPILE_HOOK is not None:
         _MISCOMPILE_HOOK(native)
     return CompileResult(

@@ -28,7 +28,7 @@ from repro.engine.jit import compile_function
 from repro.engine.stats import EngineStats
 from repro.errors import NotCompilable
 from repro.jsvm.bytecompiler import compile_source
-from repro.jsvm.feedback import TypeFeedback
+from repro.jsvm.feedback import TypeFeedback, shape_ic_fingerprint
 from repro.jsvm.interpreter import Frame, Interpreter
 from repro.jsvm.values import (
     NULL,
@@ -109,6 +109,11 @@ class FunctionState(object):
         "force_generic",
         "not_compilable",
         "bailout_count",
+        "generalized",
+        "generalized_osr",
+        "deoptless_misses",
+        "miss_keys",
+        "last_call",
     )
 
     def __init__(self, code):
@@ -124,10 +129,62 @@ class FunctionState(object):
         self.force_generic = False
         self.not_compilable = False
         self.bailout_count = 0
+        #: The deoptless dispatch table's convergence target: the
+        #: call-entry generalized sibling, a guard-widened binary whose
+        #: entry preconditions accept any argument values
+        #: (docs/DEOPTLESS.md).  Retained alongside ``spec_cache`` —
+        #: together with ``generalized_osr`` they are the function's
+        #: specialization dispatch table.
+        self.generalized = None
+        #: The OSR-entry generalized sibling: same widened guards plus
+        #: an OSR entry for mid-loop re-entry.  Kept as a separate table
+        #: line because the OSR entry has a real per-iteration price
+        #: (it blocks loop-invariant hoisting past the entry merge), so
+        #: the call path must never be stuck running it.
+        self.generalized_osr = None
+        #: Dispatch-table misses (precondition mismatches with no
+        #: compatible sibling); at the engine's threshold the function
+        #: is judged genuinely polymorphic and a generalized sibling
+        #: is compiled.
+        self.deoptless_misses = 0
+        #: Spec-key miss counts: how often each argument-set key has
+        #: reached the call path without a matching table line.  A key
+        #: seen twice marks a *recurring* precondition regime and earns
+        #: its own specialized sibling while the table has room
+        #: (docs/DEOPTLESS.md); bounded — cleared at
+        #: ``_MISS_KEY_BOUND`` so churning identities cannot grow it.
+        self.miss_keys = {}
+        #: Most recent call's ``(function, this_value, args)`` — host
+        #: bookkeeping for the post-run entry-guard re-entry harness
+        #: (``repro.engine.bailout.exercise_entry_guards``).
+        self.last_call = None
+
+
+#: Cap on ``FunctionState.miss_keys``: past this many distinct miss
+#: keys the recurrence counters reset, bounding host memory against
+#: callers that never repeat an argument set.
+_MISS_KEY_BOUND = 64
 
 
 def _spec_key(this_value, args):
     return (value_key(this_value), arguments_key(args))
+
+
+def _key_recurrable(key):
+    """Whether a spec key can match again after its values die.
+
+    Primitive components match by value, so the same regime can return
+    forever; a ``('ref', id)`` component matches by identity and dies
+    with the object, so such a key marks a one-allocation regime that
+    is not worth a specialized table line of its own.
+    """
+    this_key, args_key = key
+    if this_key[0] == "ref":
+        return False
+    for part in args_key:
+        if part[0] == "ref":
+            return False
+    return True
 
 
 def _value_matches_key(key, value):
@@ -191,6 +248,9 @@ class Engine(object):
         code_cache=None,
         fault_injector=None,
         metrics=None,
+        deoptless=False,
+        deoptless_miss_threshold=2,
+        deoptless_table_capacity=4,
     ):
         self.config = config
         self.cost_model = cost_model if cost_model is not None else CostModel()
@@ -263,6 +323,25 @@ class Engine(object):
         if metrics is not None:
             metrics.bind_clock(self.trace_clock)
             metrics.collectors.append(self._collect_metrics)
+        #: Deoptless recovery (docs/DEOPTLESS.md): keep every compiled
+        #: sibling in the per-function dispatch table and, on a guard
+        #: precondition miss, dispatch into a compatible sibling (via
+        #: OSR at the next loop back edge, or at the next call) instead
+        #: of the §4 discard-and-recompile.  Off by default: ``False``
+        #: keeps every observable bit-identical to the paper's policy.
+        self.deoptless = deoptless
+        #: Table misses per function before the engine judges it
+        #: genuinely polymorphic and compiles one generalized sibling
+        #: (guards widened to accept anything) so the table converges.
+        self.deoptless_miss_threshold = deoptless_miss_threshold
+        #: Specialized table lines per function under deoptless: a
+        #: recurring argument-set regime earns its own sibling while
+        #: the table is below this; past it, calls fall through to the
+        #: generalized catch-all.  Never below the engine's plain
+        #: ``spec_cache_capacity``.
+        self.deoptless_table_capacity = max(
+            spec_cache_capacity, deoptless_table_capacity
+        )
 
     # -- program entry -------------------------------------------------------
 
@@ -375,6 +454,17 @@ class Engine(object):
         registry.set_counter(
             "repro_engine_ic_transitions_total", self.interpreter.ic_transitions
         )
+        registry.set_counter(
+            "repro_engine_retrain_noops_total", stats.retrain_noops
+        )
+        registry.set_counter(
+            "repro_deoptless_reentries_total", stats.deoptless_reentries
+        )
+        registry.set_counter("repro_deoptless_misses_total", stats.deoptless_misses)
+        registry.set_counter(
+            "repro_deoptless_generalized_compiles_total",
+            stats.deoptless_generalized_compiles,
+        )
         registry.set_gauge("repro_engine_total_cycles", self.trace_clock())
         registry.set_gauge(
             "repro_engine_interp_cycles",
@@ -441,6 +531,7 @@ class Engine(object):
         code = function.code
         state = self._state(code)
         state.call_count += 1
+        state.last_call = (function, this_value, args)
         metrics = self.metrics
         if metrics is not None:
             metrics.maybe_snapshot()
@@ -522,8 +613,10 @@ class Engine(object):
                         key=repr(key),
                         entries=len(state.spec_cache),
                     )
-                if len(state.spec_cache) < self.spec_cache_capacity:
-                    # Room for another specialized binary.
+                if not self.deoptless and len(state.spec_cache) < self.spec_cache_capacity:
+                    # Room for another specialized binary (the §6
+                    # eager extension; under deoptless, growth instead
+                    # waits for the key to recur — ``_deoptless_call``).
                     if use_queue:
                         # Keep running the current binary's sibling in
                         # the interpreter while the lane compiles the
@@ -535,10 +628,74 @@ class Engine(object):
                         return False, None
                     if self._compile(state, function, this_value, args, osr_frame=None):
                         return True, self._run_call(state, function, this_value, args)
-                # §4: one distinct argument set too many — discard,
-                # mark, recompile in IonMonkey's traditional mode.
-                self._discard_specialized(state, "new-args")
+                if self.deoptless:
+                    # Deoptless: the table is over capacity but nothing
+                    # is discarded — dispatch into the generalized
+                    # sibling (compiling it once the miss count proves
+                    # real polymorphism), else interpret this call.
+                    if self._deoptless_call(state, function, this_value, args, use_queue):
+                        return True, self._run_call(state, function, this_value, args)
+                else:
+                    # §4: one distinct argument set too many — discard,
+                    # mark, recompile in IonMonkey's traditional mode.
+                    self._discard_specialized(state, "new-args")
             else:
+                if self.deoptless:
+                    dispatched = False
+                    key = _spec_key(this_value, args)
+                    cached = state.spec_cache.get(key)
+                    if cached is not None and cached[0] is not state.native:
+                        # A generalized sibling is active but the table
+                        # still holds specialized siblings: when this
+                        # call's values satisfy one's baked
+                        # preconditions, dispatch back into it — the
+                        # specialized code is strictly faster in its
+                        # own steady state.
+                        state.native, state.osr_state_key = cached
+                        state.spec_key = key
+                        self._charge_dispatch(state.native)
+                        self.stats.deoptless_reentries += 1
+                        dispatched = True
+                        if metrics is not None:
+                            metrics.inc("repro_deoptless_reentries_total")
+                            metrics.inc("repro_spec_cache_hits_total")
+                        if tracer is not None:
+                            tracer.emit(
+                                "deoptless",
+                                "dispatch",
+                                fn=code.name,
+                                code_id=code.code_id,
+                                kind="respecialize",
+                                osr_pc=None,
+                                misses=state.deoptless_misses,
+                            )
+                    if (
+                        not dispatched
+                        and cached is None
+                        and self._deoptless_promote(
+                            state, function, this_value, args, key, use_queue
+                        )
+                    ):
+                        # A recurring regime reached the generalized
+                        # catch-all often enough to earn its own line.
+                        dispatched = True
+                    if (
+                        not dispatched
+                        and state.native is state.generalized_osr
+                        and state.native is not state.generalized
+                    ):
+                        # A call landed on the OSR-entry sibling, which
+                        # pays the entry-merge price on every loop
+                        # iteration: move the call path onto the lean
+                        # call-entry line, compiling it on first need.
+                        if state.generalized is None:
+                            self._generalize(
+                                state, function, this_value, args, osr_frame=None
+                            )
+                        if state.generalized is not None:
+                            self._dispatch_into(
+                                state, state.generalized, "call", None
+                            )
                 return True, self._run_call(state, function, this_value, args)
 
         if state.native is None and state.call_count >= self.hot_call_threshold:
@@ -602,13 +759,36 @@ class Engine(object):
             or native.meta.get("osr_pc") != target_pc
         )
         if not needs_osr_compile and not self._can_reenter_osr(state, frame, target_pc):
-            # A specialized binary whose baked-in OSR state no longer
-            # matches this frame (e.g. we bailed out mid-loop and the
-            # locals moved on).  Per the §4 policy this is a different
-            # input: discard, mark, and recompile generically below.
-            self._discard_specialized(state, "osr-state-mismatch")
-            native = None
-            needs_osr_compile = True
+            if self.deoptless:
+                # Dispatched OSR: the active binary's baked-in OSR
+                # preconditions no longer hold, but the dispatch table
+                # may hold (or earn) a generalized sibling whose OSR
+                # entry accepts this frame unconditionally.  Nothing is
+                # discarded either way.
+                if not self._deoptless_osr(state, frame, target_pc):
+                    return None
+                needs_osr_compile = False
+            else:
+                # A specialized binary whose baked-in OSR state no longer
+                # matches this frame (e.g. we bailed out mid-loop and the
+                # locals moved on).  Per the §4 policy this is a different
+                # input: discard, mark, and recompile generically below.
+                self._discard_specialized(state, "osr-state-mismatch")
+                native = None
+                needs_osr_compile = True
+        elif (
+            needs_osr_compile
+            and self.deoptless
+            and native is not None
+            and (native is state.generalized or native is state.generalized_osr)
+        ):
+            # The generalized sibling lacks a usable OSR entry at this
+            # loop: widen it in place (recompile generalized with the
+            # OSR entry) rather than growing a new specialized table
+            # line that would miss again on the next shape/value flip.
+            if not self._deoptless_osr(state, frame, target_pc):
+                return None
+            needs_osr_compile = False
         if needs_osr_compile:
             if native is not None and native.meta["specialized"]:
                 # Keep the specialized call-entry binary; adding an OSR
@@ -644,9 +824,184 @@ class Engine(object):
             return state.osr_state_key == _osr_key(frame.args, frame.locals)
         return True
 
+    # -- deoptless dispatch (docs/DEOPTLESS.md) ----------------------------------------------
+
+    def _charge_dispatch(self, native):
+        """Charge the table-consult + side-entry cost of one dispatch."""
+        cost = self.cost_model.deoptless_dispatch
+        self.executor.cycles += cost
+        if self.cycle_profiler is not None:
+            self.cycle_profiler.charge_entry(native, cost)
+
+    def _dispatch_into(self, state, native, kind, osr_pc):
+        """Activate a dispatch-table sibling for immediate re-entry."""
+        state.native = native
+        state.spec_key = None
+        state.osr_state_key = None
+        self._charge_dispatch(native)
+        self.stats.deoptless_reentries += 1
+        if self.metrics is not None:
+            self.metrics.inc("repro_deoptless_reentries_total")
+        if self.tracer is not None:
+            self.tracer.emit(
+                "deoptless",
+                "dispatch",
+                fn=state.code.name,
+                code_id=state.code.code_id,
+                kind=kind,
+                osr_pc=osr_pc,
+                misses=state.deoptless_misses,
+            )
+
+    def _deoptless_miss(self, state, reason):
+        """Count one dispatch-table miss (no compatible sibling yet)."""
+        state.deoptless_misses += 1
+        self.stats.deoptless_misses += 1
+        if self.metrics is not None:
+            self.metrics.inc("repro_deoptless_misses_total")
+        if self.tracer is not None:
+            self.tracer.emit(
+                "deoptless",
+                "miss",
+                fn=state.code.name,
+                code_id=state.code.code_id,
+                reason=reason,
+                misses=state.deoptless_misses,
+            )
+
+    def _generalize(self, state, function, this_value, args, osr_frame):
+        """Compile the generalized sibling and record it in the table.
+
+        "Generalized" widens exactly the guards that churn: no baked
+        argument values and no shape guards (property ops compile to
+        their generic forms), while type speculation — which converges
+        even on polymorphic functions — stays on, so the sibling's
+        steady state matches the §4 policy's post-discard code.  The
+        sibling lands in the table line matching its entry kind:
+        ``generalized_osr`` when compiled with an OSR entry,
+        ``generalized`` (the call-entry line) otherwise.
+        Returns the new native, or None when the JIT refuses.
+        """
+        produced = self._produce(
+            state, function, this_value, args, osr_frame=osr_frame, generalized=True
+        )
+        if produced is None:
+            return None
+        result, _cycles = produced
+        if osr_frame is not None:
+            state.generalized_osr = result.native
+        else:
+            state.generalized = result.native
+        self.stats.deoptless_generalized_compiles += 1
+        if self.metrics is not None:
+            self.metrics.inc("repro_deoptless_generalized_compiles_total")
+        if self.tracer is not None:
+            self.tracer.emit(
+                "deoptless",
+                "generalize",
+                fn=state.code.name,
+                code_id=state.code.code_id,
+                osr=osr_frame is not None,
+                osr_pc=None if osr_frame is None else osr_frame[0],
+                misses=state.deoptless_misses,
+            )
+        return result.native
+
+    def _deoptless_promote(self, state, function, this_value, args, key, use_queue):
+        """Grow a specialized table line for a recurring argument set.
+
+        Counts ``key`` against the function's recurrence counters and,
+        on its second arrival while the table has room, compiles the
+        specialized sibling for it — the table's "multiple compiled
+        versions keyed by guard preconditions" (docs/DEOPTLESS.md).
+        One-allocation keys (identity-matched components) never earn a
+        line.  Returns True when ``state.native`` is now that sibling;
+        False also covers the background lane, which hides the compile
+        and installs the line at a later poll point.
+        """
+        if not _key_recurrable(key):
+            return False
+        if len(state.miss_keys) >= _MISS_KEY_BOUND:
+            state.miss_keys.clear()
+        seen = state.miss_keys.get(key, 0) + 1
+        state.miss_keys[key] = seen
+        if seen < 2 or len(state.spec_cache) >= self.deoptless_table_capacity:
+            return False
+        if use_queue:
+            self._enqueue_compile(state, function, this_value, args)
+            return False
+        if self._compile(state, function, this_value, args, osr_frame=None):
+            state.miss_keys.pop(key, None)
+            return True
+        return False
+
+    def _deoptless_call(self, state, function, this_value, args, use_queue):
+        """Spec-table miss on the call path: grow, dispatch, or widen.
+
+        Policy, in order: an argument-set key arriving for the second
+        time marks a *recurring* precondition regime and earns its own
+        specialized table line while the table has room (the "multiple
+        compiled versions keyed by guard preconditions" of
+        docs/DEOPTLESS.md); otherwise dispatch into the generalized
+        catch-all when it exists; otherwise count a table miss and, at
+        the engine's threshold, compile the generalized sibling.
+        Returns True when ``state.native`` now accepts this call (the
+        caller runs it natively); False to interpret this call.
+        """
+        if self._deoptless_promote(
+            state, function, this_value, args, _spec_key(this_value, args), use_queue
+        ):
+            return True
+        if state.generalized is not None:
+            self._dispatch_into(state, state.generalized, "call", None)
+            return True
+        self._deoptless_miss(state, "new-args")
+        if state.deoptless_misses < self.deoptless_miss_threshold:
+            return False
+        if use_queue:
+            # Siblings compile on the background lane when one is
+            # available: keep interpreting, install at a poll point.
+            self._enqueue_compile(state, function, this_value, args, generalized=True)
+            return False
+        if self._generalize(state, function, this_value, args, osr_frame=None) is None:
+            return False
+        self._dispatch_into(state, state.generalized, "call", None)
+        return True
+
+    def _deoptless_osr(self, state, frame, target_pc):
+        """OSR-precondition miss: dispatch into the generalized sibling.
+
+        Returns True when ``state.native`` can now be OSR-entered at
+        ``target_pc`` (the caller emits ``osr.enter`` and runs it);
+        False to keep interpreting this iteration.
+        """
+        generalized = state.generalized_osr
+        if (
+            generalized is not None
+            and generalized.osr_index is not None
+            and generalized.meta.get("osr_pc") == target_pc
+        ):
+            self._dispatch_into(state, generalized, "osr", target_pc)
+            return True
+        if generalized is None and state.generalized is None:
+            self._deoptless_miss(state, "osr-state-mismatch")
+            if state.deoptless_misses < self.deoptless_miss_threshold:
+                return False
+        generalized = self._generalize(
+            state,
+            frame.function,
+            frame.this_value,
+            frame.args,
+            osr_frame=(target_pc, frame),
+        )
+        if generalized is None:
+            return False
+        self._dispatch_into(state, generalized, "osr", target_pc)
+        return True
+
     # -- compilation -------------------------------------------------------------------------
 
-    def _produce(self, state, function, this_value, args, osr_frame, hidden=False):
+    def _produce(self, state, function, this_value, args, osr_frame, hidden=False, generalized=False):
         """Run one compilation and account it; no installation.
 
         Emits ``compile.start``/``compile.finish`` (or ``reject``),
@@ -655,13 +1010,20 @@ class Engine(object):
         refuses the function.  Consulting the persistent code cache
         happens here: a disk hit replays the stored artifact instead of
         running MIR→LIR→codegen, with identical cycle accounting.
+        ``generalized`` compiles the deoptless sibling: parameter
+        values unbaked and shape guards widened away, but type
+        speculation kept and no §4 policy bit on the function flipped
+        (docs/DEOPTLESS.md).
         """
         code = state.code
         tracer = self.tracer
+        generic = state.force_generic
+        shape_guards = not generalized
         specialize = (
             self.config.param_spec
             and not state.never_specialize
-            and not state.force_generic
+            and not generic
+            and not generalized
         )
         osr_pc = None
         osr_args = None
@@ -678,7 +1040,7 @@ class Engine(object):
                 code_id=code.code_id,
                 reason="osr" if osr_frame is not None else "call",
                 attempt_specialize=specialize,
-                generic=state.force_generic,
+                generic=generic,
             )
         result = None
         cache = self.code_cache
@@ -693,7 +1055,8 @@ class Engine(object):
                 osr_pc=osr_pc,
                 osr_args=osr_args,
                 osr_locals=osr_locals,
-                generic=state.force_generic,
+                generic=generic,
+                shape_guards=shape_guards,
             )
             if cache_key is not None:
                 result = cache.load(cache_key, code)
@@ -716,7 +1079,8 @@ class Engine(object):
                     osr_pc=osr_pc,
                     osr_args=osr_args,
                     osr_locals=osr_locals,
-                    generic=state.force_generic,
+                    generic=generic,
+                    shape_guards=shape_guards,
                     tracer=tracer,
                 )
             except NotCompilable:
@@ -816,7 +1180,7 @@ class Engine(object):
 
     # -- background lane (docs/COMPILE_PIPELINE.md) -----------------------------------------
 
-    def _enqueue_compile(self, state, function, this_value, args):
+    def _enqueue_compile(self, state, function, this_value, args, generalized=False):
         """Hand a call-path compile to the background lane.
 
         The compilation itself runs now (its inputs — bytecode,
@@ -824,7 +1188,8 @@ class Engine(object):
         real engine does before dispatching to a helper thread) but is
         charged to the lane's clock as hidden cycles; the binary only
         becomes visible at ``ready_at`` on the main-lane clock.  At
-        most one job per function is in flight.
+        most one job per function is in flight.  ``generalized`` jobs
+        carry the deoptless sibling compile (docs/DEOPTLESS.md).
         """
         queue = self.compile_queue
         code = state.code
@@ -837,15 +1202,22 @@ class Engine(object):
                 "enqueue",
                 fn=code.name,
                 code_id=code.code_id,
-                reason="call",
+                reason="generalize" if generalized else "call",
             )
         produced = self._produce(
-            state, function, this_value, args, osr_frame=None, hidden=True
+            state,
+            function,
+            this_value,
+            args,
+            osr_frame=None,
+            hidden=True,
+            generalized=generalized,
         )
         if produced is None:
             return
         result, compile_cycles = produced
         job = CompileJob(state, function, this_value, args, result, compile_cycles)
+        job.generalized = generalized
         if result.native.meta["specialized"]:
             job.spec_key = _spec_key(this_value, args)
         queue.schedule(code.code_id, job, self.trace_clock())
@@ -884,6 +1256,7 @@ class Engine(object):
             or (specialized and (state.never_specialize or state.force_generic))
             or (state.native is not None and state.native.osr_index is not None)
             or (job.spec_key is not None and job.spec_key in state.spec_cache)
+            or (job.generalized and state.generalized is not None)
         )
         if stale:
             queue.dropped += 1
@@ -904,6 +1277,23 @@ class Engine(object):
         # recompile of the binary that just landed.
         state.backedge_count = 0
         self.stats.background_installs += 1
+        if job.generalized:
+            # The deoptless sibling lands: record it in the dispatch
+            # table — calls from here on enter it natively.
+            state.generalized = native
+            self.stats.deoptless_generalized_compiles += 1
+            if self.metrics is not None:
+                self.metrics.inc("repro_deoptless_generalized_compiles_total")
+            if tracer is not None:
+                tracer.emit(
+                    "deoptless",
+                    "generalize",
+                    fn=code.name,
+                    code_id=code.code_id,
+                    osr=False,
+                    osr_pc=None,
+                    misses=state.deoptless_misses,
+                )
         if self.metrics is not None:
             self.metrics.observe(
                 "repro_compile_install_latency_cycles", now - job.enqueue_cycle
@@ -1020,6 +1410,22 @@ class Engine(object):
 
     def _handle_call_bailout(self, state, function, this_value, args, bail):
         self._note_bailout(state, bail, this_value)
+        if (
+            self.deoptless
+            and state.generalized is None
+            and state.backedge_count == 0
+            and state.deoptless_misses >= self.deoptless_miss_threshold
+            and not state.not_compilable
+        ):
+            # A loop-free function churning on shape guards has no back
+            # edge to dispatch at, so widen now: the *next* call enters
+            # the generalized sibling natively (this one resumes in the
+            # interpreter — its frame is mid-expression, not at an OSR
+            # point).
+            if self._generalize(state, function, this_value, args, osr_frame=None) is not None:
+                state.native = state.generalized
+                state.spec_key = None
+                state.osr_state_key = None
         frame = Frame(state.code, function, this_value, list(bail.frame_args))
         frame.locals[:] = bail.frame_locals
         pc = bail.pc + 1 if bail.mode == "after" else bail.pc
@@ -1050,6 +1456,26 @@ class Engine(object):
             frame.locals[:] = bail.frame_locals
             pc = bail.pc + 1 if bail.mode == "after" else bail.pc
             return ("resume", (pc, list(bail.frame_stack)))
+
+    def _retrain_noop(self, state, bail):
+        """Whether a shape-retrain recompile would be bit-identical.
+
+        True when recording the failing shape would not change the IC
+        (it is already cached at the site, or the site is megamorphic)
+        *and* the live IC still matches the fingerprint the binary was
+        compiled from — the recompile would reproduce the same content
+        key, so the discard is skipped (``retrain_noops`` in
+        docs/STATS.md).
+        """
+        feedback = state.code.feedback
+        if feedback is None or bail.actual is None:
+            return False
+        if feedback.shape_record_would_change(bail.pc, bail.actual):
+            return False
+        fingerprint = state.native.meta.get("ic_fingerprint")
+        return fingerprint is not None and fingerprint == repr(
+            shape_ic_fingerprint(feedback.shape_ics)
+        )
 
     def _note_bailout(self, state, bail, this_value):
         """Account a bailout and feed the observation back into typing."""
@@ -1101,36 +1527,60 @@ class Engine(object):
             and bail.reason != FAULT_INJECTED
             and state.native is not None
         ):
-            # Retrain rather than re-bail: the resumed interpreter is
-            # about to record the unexpected shape into the site's IC,
-            # which makes the installed binary's baked-in guard set
-            # permanently stale — every future call with this receiver
-            # would bail again.  Drop the binary; the next hot call
-            # recompiles against the enriched cache (a wider poly
-            # guard, or guard-free once the site goes megamorphic).
-            # Injector-forced failures skip this: the speculation they
-            # fail actually holds, so the binary is still right.
-            if state.spec_key is not None:
-                state.spec_cache.pop(state.spec_key, None)
-            state.native = None
-            state.spec_key = None
-            state.osr_state_key = None
-            if self.metrics is not None:
-                self.metrics.inc("repro_engine_retrains_total")
-            self.stats.record_invalidation()
-            if self.cycle_profiler is not None:
-                self.cycle_profiler.record_invalidation(
-                    state.code, self.cost_model.invalidation
-                )
-            if tracer is not None:
-                tracer.emit(
-                    "deopt",
-                    "discard",
-                    fn=state.code.name,
-                    code_id=state.code.code_id,
-                    reason="shape-retrain",
-                    dropped=1,
-                )
+            if self.deoptless:
+                # Deoptless: keep the binary and its table entry — the
+                # resumed interpreter records the new shape into the
+                # site's IC, and the dispatch table recovers at the
+                # next back edge or call (docs/DEOPTLESS.md).
+                self._deoptless_miss(state, "shape-guard")
+            elif self._retrain_noop(state, bail):
+                # Recording this shape would not change the IC, and
+                # the live IC still matches the fingerprint the binary
+                # was compiled from: a retrain recompile would land on
+                # the same content key.  Keep the binary.
+                self.stats.retrain_noops += 1
+                if self.metrics is not None:
+                    self.metrics.inc("repro_engine_retrain_noops_total")
+                if tracer is not None:
+                    tracer.emit(
+                        "deopt",
+                        "retrain_noop",
+                        fn=state.code.name,
+                        code_id=state.code.code_id,
+                        resume_pc=bail.pc,
+                        shape=bail.actual,
+                    )
+            else:
+                # Retrain rather than re-bail: the resumed interpreter is
+                # about to record the unexpected shape into the site's IC,
+                # which makes the installed binary's baked-in guard set
+                # permanently stale — every future call with this receiver
+                # would bail again.  Drop the binary; the next hot call
+                # recompiles against the enriched cache (a wider poly
+                # guard, or guard-free once the site goes megamorphic).
+                # Injector-forced failures skip this: the speculation they
+                # fail actually holds, so the binary is still right.
+                if state.spec_key is not None:
+                    state.spec_cache.pop(state.spec_key, None)
+                state.native = None
+                state.spec_key = None
+                state.osr_state_key = None
+                if self.metrics is not None:
+                    self.metrics.inc("repro_engine_retrains_total")
+                self.stats.record_invalidation()
+                if self.cycle_profiler is not None:
+                    self.cycle_profiler.record_invalidation(
+                        state.code, self.cost_model.invalidation
+                    )
+                if tracer is not None:
+                    tracer.emit(
+                        "deopt",
+                        "discard",
+                        fn=state.code.name,
+                        code_id=state.code.code_id,
+                        reason="shape-retrain",
+                        dropped=1,
+                    )
         feedback = state.code.feedback
         if feedback is not None:
             if bail.mode == "after":
@@ -1139,7 +1589,12 @@ class Engine(object):
                 feedback.record_args(bail.frame_args, this_value)
         if state.bailout_count > self.bailout_limit and state.native is not None:
             # Too speculative for this function: drop to generic code.
+            # The generalized sibling is stale too — it kept type
+            # speculation, which is exactly what is now suspect — so the
+            # dispatch table must re-generalize under force_generic.
             state.native = None
+            state.generalized = None
+            state.generalized_osr = None
             state.force_generic = True
             self.stats.record_invalidation()
             if self.cycle_profiler is not None:

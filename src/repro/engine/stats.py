@@ -64,6 +64,24 @@ class EngineStats(object):
         #: code_id -> number of times that function was compiled.
         self.compiles_per_function = {}
 
+        # -- deoptless dispatch (docs/DEOPTLESS.md) -----------------------------
+        #: Dispatched re-entries: a guard miss that would have
+        #: discarded the binary was instead routed into a sibling in
+        #: the specialization dispatch table (via OSR or at the next
+        #: call) without bailing out to recompile.
+        self.deoptless_reentries = 0
+        #: Dispatch-table misses: a precondition mismatch for which no
+        #: compatible sibling existed yet (the polymorphism evidence
+        #: that eventually triggers a generalized compile).
+        self.deoptless_misses = 0
+        #: Generalized siblings compiled after repeated table misses
+        #: (guards widened so the table converges).
+        self.deoptless_generalized_compiles = 0
+        #: Shape-retrain discards skipped because the enriched IC
+        #: would have produced a bit-identical binary (same content
+        #: fingerprint); the existing binary was kept instead.
+        self.retrain_noops = 0
+
         # -- specialization policy (§4) ---------------------------------------
         #: code ids ever compiled with parameter specialization.
         self.specialized_functions = set()
@@ -194,6 +212,10 @@ class EngineStats(object):
             "invalidations": self.invalidations,
             "ic_transitions": self.ic_transitions,
             "shape_guard_bailouts": self.shape_guard_bailouts,
+            "deoptless_reentries": self.deoptless_reentries,
+            "deoptless_misses": self.deoptless_misses,
+            "deoptless_generalized_compiles": self.deoptless_generalized_compiles,
+            "retrain_noops": self.retrain_noops,
             "disk_hits": self.disk_hits,
             "disk_misses": self.disk_misses,
             "disk_stores": self.disk_stores,
@@ -223,6 +245,9 @@ class EngineStats(object):
             "bailouts": self.bailouts,
             "ic_transitions": self.ic_transitions,
             "shape_guard_bailouts": self.shape_guard_bailouts,
+            "deoptless_reentries": self.deoptless_reentries,
+            "deoptless_misses": self.deoptless_misses,
+            "retrain_noops": self.retrain_noops,
             "disk_hits": self.disk_hits,
             "disk_misses": self.disk_misses,
             "specialized": len(self.specialized_functions),

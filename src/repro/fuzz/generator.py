@@ -25,7 +25,14 @@ break value-specializing JITs:
   properties in different insertion orders (distinct hidden classes)
   fed to the same property-accessing function, plus property adds and
   deletes mid-run, so shape inline caches transition mono → poly →
-  megamorphic and compiled ``guardshape`` guards genuinely fail.
+  megamorphic and compiled ``guardshape`` guards genuinely fail;
+* **precondition churn** — functions whose small-integer regime
+  argument rotates through phases and *returns* to earlier values, so
+  the spec-cache key space is churned rather than warmed once: under
+  the §4 policy every phase flip is a discard, while the deoptless
+  dispatch table (docs/DEOPTLESS.md) must re-enter the matching
+  retained sibling — and the oracle's deoptless on/off variants must
+  still print identical output.
 
 Each top-level construct is emitted on a *single line*: the shrinker
 (:mod:`repro.fuzz.shrink`) reduces line sets, and one-construct-per-
@@ -312,6 +319,76 @@ def _object_call_lines(rng, name, index):
     return lines
 
 
+def _churn_function_line(rng, index):
+    """One phase-churning guest function, on a single line.
+
+    The body branches on a small integer regime parameter: under value
+    specialization each regime value bakes to a different binary, so
+    the rotating call pattern (:func:`_churn_call_lines`) churns the
+    spec-cache key space instead of warming it once — the workload the
+    deoptless dispatch table (docs/DEOPTLESS.md) converges on.
+    """
+    name = "h%d" % index
+    names = ("s", "i", "k")
+    trips = TRIP_COUNTS[rng.randrange(len(TRIP_COUNTS))]
+    arms = rng.randrange(2, 4)
+    pieces = ["function %s(k) {" % name, "var s = %s;" % _int_literal(rng)]
+    pieces.append("for (var i = 0; i < %d; i = i + 1) {" % trips)
+    for arm in range(arms):
+        if arm == 0:
+            head = "if (k == 0)"
+        elif arm < arms - 1:
+            head = "else if (k == %d)" % arm
+        else:
+            head = "else"
+        pieces.append(
+            "%s s = (%s) & 65535;" % (head, _expression(rng, names, 1))
+        )
+    pieces.append("}")
+    pieces.append("return s;")
+    pieces.append("}")
+    return name, " ".join(pieces)
+
+
+def _churn_call_lines(rng, name, index):
+    """Phase-rotating call sites: the spec-cache key churner.
+
+    An outer phase loop rotates the regime argument modulo a small
+    base (so regimes *recur* — the property that distinguishes a
+    dispatch-table re-entry from a plain recompile), and an inner wave
+    re-calls the function enough times per phase to clear the hot-call
+    threshold within each regime.
+    """
+    phases = rng.randrange(4, 9)
+    wave = rng.randrange(3, 7)
+    base = rng.randrange(2, 4)
+    lines = [
+        "var c%d = 0; for (var p%d = 0; p%d < %d; p%d = p%d + 1) "
+        "{ for (var w%d = 0; w%d < %d; w%d = w%d + 1) "
+        "{ c%d = (c%d + %s(p%d %% %d)) & 65535; } } print(c%d);"
+        % (
+            index,
+            index,
+            index,
+            phases,
+            index,
+            index,
+            index,
+            index,
+            wave,
+            index,
+            index,
+            index,
+            index,
+            name,
+            index,
+            base,
+            index,
+        )
+    ]
+    return lines
+
+
 def generate_program(seed, iteration=0):
     """The program for ``(seed, iteration)``, as source text.
 
@@ -331,8 +408,15 @@ def generate_program(seed, iteration=0):
         name, line = _object_function_line(rng, index)
         object_names.append(name)
         lines.append(line)
+    churn_names = []
+    for index in range(rng.randrange(0, 3)):
+        name, line = _churn_function_line(rng, index)
+        churn_names.append(name)
+        lines.append(line)
     for index, name in enumerate(function_names):
         lines.extend(_call_lines(rng, name, index))
     for index, name in enumerate(object_names):
         lines.extend(_object_call_lines(rng, name, index))
+    for index, name in enumerate(churn_names):
+        lines.extend(_churn_call_lines(rng, name, index))
     return "\n".join(lines) + "\n"

@@ -2,9 +2,11 @@
 
 A program is executed under every *variant* in the requested matrix —
 interpreter, JIT on all three executor backends, specialization forced
-off, background compilation, cold and warm persistent cache, and chaos
-deopt (every guard force-failed) on all three backends — and the
-observations are compared:
+off, background compilation, cold and warm persistent cache, chaos
+deopt (every guard force-failed) on all three backends plus a seeded
+random-schedule chaos run, and the deoptless dispatch table
+(docs/DEOPTLESS.md) on all three backends — and the observations are
+compared:
 
 * **output and guest errors** must agree across *every* variant.  The
   plain interpreter is the reference semantics; a chaos run agreeing
@@ -45,10 +47,16 @@ OSR_BACKEDGES = 10
 #: fall back to generic code mid-sweep.
 CHAOS_BAILOUT_LIMIT = 10 ** 9
 
+#: Seed for the random-schedule chaos variant: each (binary, guard)
+#: fires on its own deterministic Nth execution instead of the first,
+#: so guards that survive a warm-up and then die are exercised too.
+CHAOS_SCHEDULE_SEED = 1234
+
 #: Trace channels whose event streams are compared within an
-#: equivalence class (the deterministic deopt narrative; compile/cache
-#: traffic legitimately differs between cold and warm runs).
-_COMPARED_CHANNELS = ("bailout", "deopt")
+#: equivalence class (the deterministic deopt narrative plus the
+#: deoptless dispatch narrative; compile/cache traffic legitimately
+#: differs between cold and warm runs).
+_COMPARED_CHANNELS = ("bailout", "deopt", "deoptless")
 
 
 class Mismatch(object):
@@ -214,6 +222,37 @@ def _run_chaos_whole(source, _context):
     )
 
 
+def _run_chaos_sched(source, _context):
+    # Seeded random schedule: guards fire on a per-guard deterministic
+    # Nth execution, so recovery from *warmed-up* speculation (the
+    # deoptless regime) is exercised, not just first-execution faults.
+    return _observe_engine(
+        source,
+        config=FULL_SPEC,
+        executor_backend="closure",
+        fault_injector=GuardFaultInjector(schedule_seed=CHAOS_SCHEDULE_SEED),
+        bailout_limit=CHAOS_BAILOUT_LIMIT,
+    )
+
+
+def _run_deoptless(source, _context):
+    return _observe_engine(
+        source, config=FULL_SPEC, executor_backend="closure", deoptless=True
+    )
+
+
+def _run_deoptless_simple(source, _context):
+    return _observe_engine(
+        source, config=FULL_SPEC, executor_backend="simple", deoptless=True
+    )
+
+
+def _run_deoptless_whole(source, _context):
+    return _observe_engine(
+        source, config=FULL_SPEC, executor_backend="whole", deoptless=True
+    )
+
+
 #: Variant name -> runner.  Declaration order is execution order
 #: (cache-cold must precede cache-warm).
 _RUNNERS = (
@@ -228,6 +267,10 @@ _RUNNERS = (
     ("chaos", _run_chaos),
     ("chaos-simple", _run_chaos_simple),
     ("chaos-whole", _run_chaos_whole),
+    ("chaos-sched", _run_chaos_sched),
+    ("deoptless", _run_deoptless),
+    ("deoptless-simple", _run_deoptless_simple),
+    ("deoptless-whole", _run_deoptless_whole),
 )
 
 #: Every variant name, in execution order.
@@ -242,6 +285,11 @@ _IDENTICAL_CLASSES = (
     ("jit", "jit-simple", "whole"),
     ("cache-cold", "cache-warm"),
     ("chaos", "chaos-simple", "chaos-whole"),
+    # The dispatch table must be backend-invariant too: same cycles,
+    # same deoptless dispatch narrative, on all three executors.
+    # (Table on vs off legitimately differ in stats — on/off agreement
+    # is pinned at the output level against the interpreter.)
+    ("deoptless", "deoptless-simple", "deoptless-whole"),
 )
 
 

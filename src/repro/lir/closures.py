@@ -313,8 +313,11 @@ def _emit(out, index, instruction, binder, inject=False, slot_offset=None):
         out.append(
             "if %s.shape.shape_id not in %s:" % (v(srcs[0]), binder.lit(extra))
         )
+        # Observed shape id as the bailout ``actual`` (engine-side
+        # retrain-noop detection; never pushed by "at"-mode resume).
         out.append(
-            "    _bail(_v, %s, 'shape guard', 'guardshape')" % snap_name()
+            "    _bail(_v, %s, 'shape guard', 'guardshape', %s.shape.shape_id)"
+            % (snap_name(), v(srcs[0]))
         )
     elif op == "loadelement":
         out.append("%s = %s.elements[%s]" % (d(), v(srcs[0]), v(srcs[1])))

@@ -342,8 +342,16 @@ class NativeExecutor(object):
                     if index < 0 or index >= length:
                         self._bail(values, instruction.snapshot, "bounds check", op)
                 elif op == "guardshape":
-                    if values[srcs[0]].shape.shape_id not in instruction.extra:
-                        self._bail(values, instruction.snapshot, "shape guard", op)
+                    shape_id = values[srcs[0]].shape.shape_id
+                    if shape_id not in instruction.extra:
+                        # The observed shape id rides along as the
+                        # bailout's ``actual``: "at"-mode resume never
+                        # pushes it on the guest stack, but the engine
+                        # reads it to decide whether a retrain would
+                        # change the binary (docs/DEOPTLESS.md).
+                        self._bail(
+                            values, instruction.snapshot, "shape guard", op, shape_id
+                        )
                 elif op == "loadelement":
                     values[dest] = values[srcs[0]].elements[values[srcs[1]]]
                 elif op == "storeelement":

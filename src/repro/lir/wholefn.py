@@ -568,7 +568,11 @@ class _WholeEmitter(object):
             out.append(
                 "if %s.shape.shape_id not in %s:" % (v(srcs[0]), binder.lit(extra))
             )
-            self._bail(out, instruction, "shape guard")
+            # Observed shape id as the bailout ``actual`` (engine-side
+            # retrain-noop detection; never pushed by "at"-mode resume).
+            self._bail(
+                out, instruction, "shape guard", "%s.shape.shape_id" % v(srcs[0])
+            )
         elif op == "loadelement":
             out.append("%s = %s.elements[%s]" % (d(), v(srcs[0]), v(srcs[1])))
         elif op == "storeelement":

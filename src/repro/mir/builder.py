@@ -119,6 +119,7 @@ class MIRBuilder(object):
         osr_args=None,
         osr_locals=None,
         generic=False,
+        shape_guards=True,
     ):
         if code.has_frees or code.has_cells:
             raise NotCompilable("%s uses closure variables" % code.name)
@@ -130,6 +131,11 @@ class MIRBuilder(object):
         self.osr_args = osr_args
         self.osr_locals = osr_locals
         self.generic = generic
+        #: When False, property ops ignore the shape ICs and compile to
+        #: their generic (guard-free) forms while value/type speculation
+        #: stays on — the "widened" shape of a deoptless generalized
+        #: sibling (docs/DEOPTLESS.md).
+        self.shape_guards = shape_guards
         self.graph = MIRGraph(code)
         self.block_infos = {}
         self.queue = []
@@ -216,7 +222,7 @@ class MIRBuilder(object):
         object allocation), and the site's inline cache is mono- or
         polymorphic — megamorphic and unvisited sites stay generic.
         """
-        if self.generic or self.feedback is None:
+        if self.generic or not self.shape_guards or self.feedback is None:
             return ()
         if receiver.type != MIRType.OBJECT:
             return ()
@@ -634,6 +640,7 @@ def build_mir(
     osr_args=None,
     osr_locals=None,
     generic=False,
+    shape_guards=True,
 ):
     """Build the MIR graph for ``code``.  See :class:`MIRBuilder`."""
     builder = MIRBuilder(
@@ -645,5 +652,6 @@ def build_mir(
         osr_args=osr_args,
         osr_locals=osr_locals,
         generic=generic,
+        shape_guards=shape_guards,
     )
     return builder.build()

@@ -111,6 +111,23 @@ METRIC_SCHEMA = {
         "type": "counter",
         "help": "property-site inline caches learning a new receiver shape",
     },
+    "repro_engine_retrain_noops_total": {
+        "type": "counter",
+        "help": "shape-retrain discards skipped (enriched IC reproduces the binary)",
+    },
+    # -- deoptless dispatch table (docs/DEOPTLESS.md) ---------------------
+    "repro_deoptless_reentries_total": {
+        "type": "counter",
+        "help": "guard misses recovered by dispatching into a sibling binary",
+    },
+    "repro_deoptless_misses_total": {
+        "type": "counter",
+        "help": "dispatch-table misses (no compatible sibling compiled yet)",
+    },
+    "repro_deoptless_generalized_compiles_total": {
+        "type": "counter",
+        "help": "generalized siblings compiled after repeated table misses",
+    },
     # -- specialization cache ---------------------------------------------
     "repro_spec_cache_hits_total": {
         "type": "counter",

@@ -15,9 +15,10 @@ Design rules:
   ``is not None`` check; nothing in this module ever touches the cycle
   cost model, so enabling tracing cannot change any measured number.
 * **Named channels.**  Events belong to one of the channels in
-  :data:`CHANNELS` (``compile``, ``specialize``, ``deopt``, ``bailout``,
-  ``cache``, ``osr``, ``pass``, ``interp``, ``ic``, ``shape``,
-  ``profile``, ``fuzz``); a tracer can subscribe to any subset.
+  :data:`CHANNELS` (``compile``, ``specialize``, ``deopt``,
+  ``deoptless``, ``bailout``, ``cache``, ``osr``, ``pass``,
+  ``interp``, ``ic``, ``shape``, ``profile``, ``fuzz``); a tracer can
+  subscribe to any subset.
 * **Typed events.**  Every ``channel.event`` pair and its field names
   are declared in :data:`EVENT_SCHEMA`; :meth:`Tracer.emit` rejects
   undeclared events and undeclared fields, and the documentation test
@@ -69,6 +70,12 @@ EVENT_SCHEMA = {
     "deopt": {
         "discard": ("fn", "code_id", "reason", "dropped"),
         "force_generic": ("fn", "code_id", "bailouts"),
+        "retrain_noop": ("fn", "code_id", "resume_pc", "shape"),
+    },
+    "deoptless": {
+        "dispatch": ("fn", "code_id", "kind", "osr_pc", "misses"),
+        "miss": ("fn", "code_id", "reason", "misses"),
+        "generalize": ("fn", "code_id", "osr", "osr_pc", "misses"),
     },
     "bailout": {
         "guard": (

@@ -868,7 +868,8 @@ def build_parser():
     bench.add_argument(
         "--sections",
         default=None,
-        help="--compare: comma-separated subset of backends,background,warm-cache",
+        help="--compare: comma-separated subset of "
+        "backends,background,warm-cache,deoptless",
     )
     bench.add_argument(
         "--json-out",
@@ -942,7 +943,8 @@ def build_parser():
     fuzz.add_argument(
         "--matrix",
         help="comma-separated variant subset (default: all): interp,jit,jit-simple,"
-        "whole,nospec,bg,cache-cold,cache-warm,chaos,chaos-simple,chaos-whole",
+        "whole,nospec,bg,cache-cold,cache-warm,chaos,chaos-simple,chaos-whole,"
+        "chaos-sched,deoptless,deoptless-simple,deoptless-whole",
     )
     fuzz.add_argument(
         "--shrink",

@@ -2,8 +2,10 @@
 
 Three suites of guest programs stand in for SunSpider 1.0, V8 v6 and
 Kraken 1.1 (see DESIGN.md's substitution ledger), plus the synthetic
-web corpus that stands in for the Alexa top-100 study and an
-object-heavy suite exercising the shape/IC machinery (docs/SHAPES.md).
+web corpus that stands in for the Alexa top-100 study, an
+object-heavy suite exercising the shape/IC machinery (docs/SHAPES.md)
+and a precondition-churn suite exercising deoptless recovery
+(docs/DEOPTLESS.md).
 """
 
 from repro.workloads.benchmark import Benchmark
@@ -11,6 +13,7 @@ from repro.workloads.sunspider import SUNSPIDER
 from repro.workloads.v8 import V8
 from repro.workloads.kraken import KRAKEN
 from repro.workloads.objects import OBJECTS
+from repro.workloads.churn import CHURN
 from repro.workloads.web import (
     WebCorpusConfig,
     generate_web_trace,
@@ -18,11 +21,17 @@ from repro.workloads.web import (
     WEBSITES,
 )
 
-ALL_SUITES = {"sunspider": SUNSPIDER, "v8": V8, "kraken": KRAKEN, "objects": OBJECTS}
+ALL_SUITES = {
+    "sunspider": SUNSPIDER,
+    "v8": V8,
+    "kraken": KRAKEN,
+    "objects": OBJECTS,
+    "churn": CHURN,
+}
 
 
 def suite(name):
-    """Look up a suite by name: 'sunspider', 'v8', 'kraken' or 'objects'."""
+    """Look up a suite by name: 'sunspider', 'v8', 'kraken', 'objects' or 'churn'."""
     return ALL_SUITES[name]
 
 
@@ -34,6 +43,7 @@ __all__ = [
     "V8",
     "KRAKEN",
     "OBJECTS",
+    "CHURN",
     "WebCorpusConfig",
     "generate_web_trace",
     "generate_website_program",

@@ -1,0 +1,198 @@
+"""Churn benchmark suite: the deoptless-recovery evaluation substrate.
+
+The paper's §4 policy answers every failed speculation the same way:
+discard the binary, mark the function, recompile from scratch.  That
+is the right call when preconditions fail *once* — but real programs
+flip between a small set of precondition regimes (argument values
+alternating between phases, receiver shapes rotating past the IC
+capacity), and under the §4 policy every flip pays a full
+bail-discard-recompile round trip.  This suite concentrates exactly
+that behaviour so the deoptless dispatch table (docs/DEOPTLESS.md) has
+something to win on — each kernel is transition-heavy by design: many
+small hot functions, short steady-state phases, and a deliberate
+precondition flip at every phase boundary:
+
+* ``spec-churn`` — **value churn**: parameter-specialized workers
+  whose baked argument values rotate between a small set of phase
+  regimes, so the §4 policy discards on the first flip and runs
+  unspecialized forever after, while the dispatch table re-enters the
+  matching specialized sibling whenever a regime returns;
+* ``polymorphic-dispatch`` — **receiver-mix churn**: accessors fed a
+  rotating mix of record layouts, two layouts live per phase and new
+  layouts introduced each phase until the sites blow past the
+  four-entry IC;
+* ``shape-flip`` — **shape churn**: accessor kernels over an object
+  population whose hidden class is rebuilt each phase (six distinct
+  shapes against a four-entry IC), the pure shape-guard retrain storm.
+"""
+
+from repro.workloads.benchmark import Benchmark
+
+SPEC_CHURN = Benchmark(
+    "spec-churn",
+    """
+    function quant(op) {
+        var acc = 0;
+        for (var x = 0; x < 96; x++) {
+            if (op == 0) acc = (acc + x * 3) & 0xffff;
+            else if (op == 1) acc = (acc + ((x << 1) - x)) & 0xffff;
+            else acc = (acc + (x >> 1) + 9) & 0xffff;
+            if (op == 0) acc = (acc ^ 21) & 0xffff;
+            else if (op == 1) acc = (acc + 13) & 0xffff;
+            else acc = (acc - 7) & 0xffff;
+        }
+        return acc;
+    }
+    function wave(op) {
+        var acc = 1;
+        for (var x = 0; x < 96; x++) {
+            if (op == 0) acc = (acc * 2 + 1) & 0xffff;
+            else if (op == 1) acc = (acc + (x << 2)) & 0xffff;
+            else acc = (acc ^ (x + 5)) & 0xffff;
+            if (op == 0) acc = (acc + x) & 0xffff;
+            else if (op == 1) acc = (acc ^ 9) & 0xffff;
+            else acc = (acc + (x >> 2)) & 0xffff;
+        }
+        return acc;
+    }
+    function fold(k) {
+        var acc = 0;
+        for (var i = 0; i < 96; i++) {
+            if (k == 5) acc = (acc + i * 5) & 0xffff;
+            else if (k == 6) acc = (acc + (i << 2) + i) & 0xffff;
+            else acc = (acc + i * k + (k << 1)) & 0xffff;
+            if (k == 5) acc = (acc ^ 17) & 0xffff;
+            else if (k == 6) acc = (acc - 11) & 0xffff;
+            else acc = (acc + k) & 0xffff;
+        }
+        return acc;
+    }
+    function warp(k) {
+        var acc = 7;
+        for (var i = 0; i < 96; i++) {
+            if (k == 5) acc = (acc + ((i + 5) << 1) - 5) & 0xffff;
+            else if (k == 6) acc = (acc + ((i + 6) << 1) - 6) & 0xffff;
+            else acc = (acc + ((i + k) << 1) - k) & 0xffff;
+            if (k == 5) acc = (acc ^ i) & 0xffff;
+            else if (k == 6) acc = (acc + 3) & 0xffff;
+            else acc = (acc - k) & 0xffff;
+        }
+        return acc;
+    }
+    function driver() {
+        var total = 0;
+        for (var phase = 0; phase < 12; phase++) {
+            var op = phase % 3;
+            for (var call = 0; call < 12; call++) {
+                total = (total + quant(op) + wave(op)) & 0xffff;
+                total = (total + fold(op + 5) + warp(op + 5)) & 0xffff;
+            }
+        }
+        return total;
+    }
+    print(driver());
+    """,
+)
+
+POLYMORPHIC_DISPATCH = Benchmark(
+    "polymorphic-dispatch",
+    """
+    function area(s) {
+        return s.w * s.h;
+    }
+    function perimeter(s) {
+        return (s.w + s.h) * 2;
+    }
+    function aspect(s) {
+        return (s.w << 4) - s.h;
+    }
+    function skew(s) {
+        return s.h * 3 - s.w;
+    }
+    function makeShape(kind, i) {
+        if (kind == 0) return {w: i + 1, h: 2};
+        if (kind == 1) return {h: 3, w: i + 2};
+        if (kind == 2) return {w: i + 1, h: 2, tag: 1};
+        if (kind == 3) return {tag: 2, w: i + 3, h: 4};
+        if (kind == 4) return {h: 5, tag: 3, w: i + 1};
+        return {tag: 4, h: i + 1, w: 6};
+    }
+    function driver() {
+        var total = 0;
+        for (var phase = 0; phase < 6; phase++) {
+            var shapes = [];
+            for (var i = 0; i < 10; i++)
+                shapes[i] = makeShape((phase + (i % 2)) % 6, i);
+            for (var round = 0; round < 1; round++) {
+                for (var i = 0; i < 10; i++) {
+                    var s = shapes[i];
+                    total = (total + area(s) + perimeter(s)) & 0xffff;
+                    total = (total + aspect(s) + skew(s)) & 0xffff;
+                }
+            }
+        }
+        return total;
+    }
+    print(driver());
+    """,
+)
+
+SHAPE_FLIP = Benchmark(
+    "shape-flip",
+    """
+    function weigh(list, i) {
+        var o = list[i];
+        return o.a + o.b;
+    }
+    function scan(list, i) {
+        var o = list[i];
+        return o.a * 2 - o.b;
+    }
+    function gauge(list, i) {
+        var o = list[i];
+        return (o.a << 1) + o.b;
+    }
+    function tally(list, i) {
+        var o = list[i];
+        return o.b - o.a;
+    }
+    function probe(list, i) {
+        var o = list[i];
+        return o.a ^ o.b;
+    }
+    function blend(list, i) {
+        var o = list[i];
+        return (o.a + o.b) >> 1;
+    }
+    function rebuild(phase) {
+        var list = [];
+        for (var i = 0; i < 8; i++) {
+            if (phase == 0) list[i] = {a: i, b: i * 2};
+            else if (phase == 1) list[i] = {b: i, a: i * 3};
+            else if (phase == 2) list[i] = {a: i, b: i, c: 1};
+            else if (phase == 3) list[i] = {c: 2, a: i, b: i * 5};
+            else if (phase == 4) list[i] = {a: i, c: 3, b: i * 7};
+            else list[i] = {b: i * 9, c: 4, a: i};
+        }
+        return list;
+    }
+    function driver() {
+        var total = 0;
+        for (var phase = 0; phase < 6; phase++) {
+            var list = rebuild(phase);
+            for (var round = 0; round < 1; round++) {
+                for (var i = 0; i < 8; i++) {
+                    total = (total + weigh(list, i) + scan(list, i)) & 0xffff;
+                    total = (total + gauge(list, i) + tally(list, i)) & 0xffff;
+                    total = (total + probe(list, i) + blend(list, i)) & 0xffff;
+                }
+            }
+        }
+        return total;
+    }
+    print(driver());
+    """,
+)
+
+#: The suite, in canonical order.
+CHURN = [SPEC_CHURN, POLYMORPHIC_DISPATCH, SHAPE_FLIP]

@@ -231,12 +231,12 @@ SIMPLE_BACKEND_SUBSET = [
 
 
 class TestSuiteDifferential:
-    """All 35 benchmarks, default thresholds: same answers, fewer cycles."""
+    """All 38 benchmarks, default thresholds: same answers, fewer cycles."""
 
     def test_closure_backend_full_sweep(self):
         sync = _suite_cycles("closure", background=False)
         lane = _suite_cycles("closure", background=True)
-        assert set(sync) == set(lane) and len(sync) == 35
+        assert set(sync) == set(lane) and len(sync) == 38
         ratios = []
         for key in sync:
             sync_printed, sync_cycles = sync[key]

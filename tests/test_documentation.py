@@ -63,6 +63,7 @@ def test_design_and_experiments_exist():
         os.path.join("docs", "FUZZING.md"),
         os.path.join("docs", "SHAPES.md"),
         os.path.join("docs", "METRICS.md"),
+        os.path.join("docs", "DEOPTLESS.md"),
     ):
         path = os.path.join(root, filename)
         assert os.path.exists(path), "%s missing" % filename
@@ -323,6 +324,94 @@ def test_metrics_doc_names_the_contract_vocabulary():
         assert "`%s`" % kind in text, "sentinel kind %r undocumented" % kind
     assert "--from-compare" in text
     assert "bench-delta.json" in text
+
+
+def _deoptless_doc():
+    import os
+
+    path = os.path.join(
+        os.path.dirname(repro.__file__), "..", "..", "docs", "DEOPTLESS.md"
+    )
+    with open(path) as handle:
+        return handle.read()
+
+
+def test_deoptless_doc_trace_event_table_matches_schema():
+    """docs/DEOPTLESS.md's event table covers exactly the `deoptless`
+    channel events, with the code's field tuples."""
+    import re
+
+    from repro.telemetry.tracing import EVENT_SCHEMA
+
+    text = _deoptless_doc()
+    section = text.split("## Telemetry", 1)[1].split("\n## ", 1)[0]
+    rows = re.findall(
+        r"^\| ``deoptless\.(\w+)`` \| (.+?) \|", section, re.MULTILINE
+    )
+    documented = {
+        event: tuple(re.findall(r"``(\w+)``", fields)) for event, fields in rows
+    }
+    actual = {
+        event: tuple(fields)
+        for event, fields in EVENT_SCHEMA["deoptless"].items()
+    }
+    assert documented == actual, (
+        "documented deoptless events %s != code events %s"
+        % (documented, actual)
+    )
+
+
+def test_deoptless_doc_matches_engine_defaults():
+    """The documented knob defaults match the code's signatures."""
+    import inspect
+
+    from repro.engine.config import CostModel
+    from repro.engine.runtime_engine import Engine
+
+    text = _deoptless_doc()
+    signature = inspect.signature(Engine.__init__)
+    assert signature.parameters["deoptless"].default is False
+    assert "``Engine(deoptless=True)``" in text
+    for knob in ("deoptless_miss_threshold", "deoptless_table_capacity"):
+        default = signature.parameters[knob].default
+        assert "``%s``" % knob in text, "knob %r undocumented" % knob
+        assert "| %d |" % default in text, (
+            "documented default for %r must match the code's %d" % (knob, default)
+        )
+    assert "| %d |" % CostModel().deoptless_dispatch in text
+
+
+def test_deoptless_doc_names_the_contract_vocabulary():
+    """Counters, floors, kernels and the fuzz/chaos hooks are spelled
+    exactly as the code spells them."""
+    from repro.bench.wallclock import (
+        DEOPTLESS_CYCLE_CEILING,
+        DEOPTLESS_DISCARD_CEILING,
+    )
+    from repro.engine.config import CostModel
+    from repro.engine.stats import EngineStats
+    from repro.workloads import ALL_SUITES
+
+    text = _deoptless_doc()
+    for benchmark in ALL_SUITES["churn"]:
+        assert "``%s``" % benchmark.name in text, (
+            "churn kernel %r undocumented" % benchmark.name
+        )
+    ledger = EngineStats(CostModel()).as_dict()
+    for counter in (
+        "deoptless_reentries",
+        "deoptless_misses",
+        "deoptless_generalized_compiles",
+        "retrain_noops",
+    ):
+        assert counter in ledger
+        assert "``%s``" % counter in text, "counter %r undocumented" % counter
+    assert "%.1f" % DEOPTLESS_CYCLE_CEILING in text
+    assert "%.1f" % DEOPTLESS_DISCARD_CEILING in text
+    assert "measure_deoptless_cycles" in text
+    assert "shape-retrain" in text  # the discard reason the no-op skips
+    assert "exercise_entry_guards" in text
+    assert "schedule_seed" in text
 
 
 def test_profiling_doc_exists_and_mentions_the_invariant():

@@ -27,9 +27,10 @@ class TestSuiteStructure:
 
     def test_suites_nonempty(self):
         # The three paper suites are substantial; the object/shape
-        # suite (docs/SHAPES.md) is a focused three-kernel set.
+        # suite (docs/SHAPES.md) and the precondition-churn suite
+        # (docs/DEOPTLESS.md) are focused three-kernel sets.
         for name, benchmarks in ALL_SUITES.items():
-            assert len(benchmarks) >= (3 if name == "objects" else 6)
+            assert len(benchmarks) >= (3 if name in ("objects", "churn") else 6)
 
     def test_unique_names(self):
         for benchmarks in ALL_SUITES.values():
