@@ -17,8 +17,8 @@ Metric kinds and their default thresholds:
     geomeans, warm-cache speedup).  Machine-comparable; 10% tolerance.
     Higher is better.
 ``cycles``
-    Deterministic model cycles (the background-lane and deoptless
-    sections).  Bit
+    Deterministic model cycles (the background-lane, deoptless and
+    serving sections).  Bit
     reproducible, so the tolerance is exactly zero: any rise is a
     regression, and two runs of the same tree compare clean.  Lower
     is better.
@@ -205,6 +205,50 @@ def compare_results(current, baseline, thresholds=None, sections=None):
                 deltas.append({
                     "section": "warm-cache",
                     "suite": "web",
+                    "metric": "cycles_identical",
+                    "kind": "exact",
+                    "baseline": True,
+                    "current": False,
+                    "delta_pct": None,
+                    "threshold_pct": None,
+                    "status": "regressed",
+                })
+
+    if "serving" in sections and current.get("serving"):
+        base_sv = baseline.get("serving", {})
+        cur_sv = current.get("serving", {})
+        if base_sv:
+            # Latencies are deterministic model cycles on the admission
+            # clock: zero tolerance, like the background lane.
+            for metric in ("p50_latency_cycles", "p99_latency_cycles",
+                           "total_latency_cycles"):
+                if metric in base_sv:
+                    diff("serving", "fleet", metric, "cycles",
+                         base_sv[metric], cur_sv.get(metric))
+            for metric in ("warm_hit_rate", "cold_hit_rate"):
+                if metric in base_sv:
+                    diff("serving", "fleet", metric, "ratio",
+                         base_sv[metric], cur_sv.get(metric))
+            for metric in ("requests", "rejected", "batches", "tenants"):
+                if metric in base_sv:
+                    diff("serving", "fleet", metric, "exact",
+                         base_sv[metric], cur_sv.get(metric))
+            if cur_sv.get("isolation_violations", 0):
+                deltas.append({
+                    "section": "serving",
+                    "suite": "fleet",
+                    "metric": "isolation_violations",
+                    "kind": "exact",
+                    "baseline": base_sv.get("isolation_violations", 0),
+                    "current": cur_sv["isolation_violations"],
+                    "delta_pct": None,
+                    "threshold_pct": None,
+                    "status": "regressed",
+                })
+            if not cur_sv.get("cycles_identical", True):
+                deltas.append({
+                    "section": "serving",
+                    "suite": "fleet",
                     "metric": "cycles_identical",
                     "kind": "exact",
                     "baseline": True,

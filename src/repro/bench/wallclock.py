@@ -268,8 +268,88 @@ def measure_warm_cache(repeats=3, config=FULL_SPEC, backend="closure", cache_roo
             shutil.rmtree(root, ignore_errors=True)
 
 
+#: The fleet profile measured by the serving section: repeat-heavy by
+#: construction (power-law tenants and programs), big enough for the
+#: percentiles to be meaningful, small enough for CI.
+SERVING_PROFILE = {
+    "tenants": 6,
+    "requests": 160,
+    "programs": 5,
+    "seed": 20130223,
+    "functions_per_program": 8,
+}
+
+#: Per-tenant admission capacity for the SLO profile.  The schedule is
+#: deliberately bursty (arrival gaps far below service time), so the
+#: hot tenant's lane legitimately queues deep; the gate then asserts
+#: *zero* rejections at this depth rather than tuning the burst away.
+SERVING_QUEUE_CAPACITY = 256
+
+
+def measure_serving(profile_kwargs=None, shards=4, cache_root=None):
+    """The serving-tier SLO section: latency percentiles + warm shards.
+
+    Runs the same power-law fleet schedule twice against one shared
+    sharded artifact store: a *cold* pass that populates it, then a
+    *warm* pass with fresh isolates that should serve almost entirely
+    from it.  All latencies are model cycles on the per-tenant
+    admission lanes — deterministic and machine-independent, so the
+    p50/p99 gate exactly, like the background and deoptless sections.
+    The warm pass's shard hit rate carries the acceptance floor
+    (``SERVING_WARM_HIT_FLOOR``); cold and warm passes must agree on
+    every latency (the artifact store is a host-time optimization
+    only) and must record zero isolation violations.
+    """
+    from repro.serving.fleet import FleetProfile, run_fleet
+
+    kwargs = dict(SERVING_PROFILE)
+    kwargs.update(profile_kwargs or {})
+    profile = FleetProfile(**kwargs)
+    root = cache_root
+    cleanup = False
+    if root is None:
+        root = tempfile.mkdtemp(prefix="repro-serving-")
+        cleanup = True
+    try:
+        shutil.rmtree(root, ignore_errors=True)
+        cold = run_fleet(
+            profile,
+            cache_mode="shared",
+            cache_root=root,
+            shards=shards,
+            queue_capacity=SERVING_QUEUE_CAPACITY,
+        )
+        warm = run_fleet(
+            profile,
+            cache_mode="shared",
+            cache_root=root,
+            shards=shards,
+            queue_capacity=SERVING_QUEUE_CAPACITY,
+        )
+    finally:
+        if cleanup:
+            shutil.rmtree(root, ignore_errors=True)
+    return {
+        "profile": profile.as_dict(),
+        "shards": shards,
+        "requests": warm["requests"],
+        "rejected": warm["rejected"],
+        "batches": warm["batches"],
+        "tenants": warm["tenants"],
+        "p50_latency_cycles": warm["p50_latency_cycles"],
+        "p99_latency_cycles": warm["p99_latency_cycles"],
+        "total_latency_cycles": warm["total_latency_cycles"],
+        "cold_hit_rate": round(cold["warm_hit_rate"], 5),
+        "warm_hit_rate": round(warm["warm_hit_rate"], 5),
+        "isolation_violations": cold["isolation_violations"]
+        + warm["isolation_violations"],
+        "cycles_identical": cold["total_latency_cycles"]
+        == warm["total_latency_cycles"],
+    }
+
+
 #: The independently runnable parts of the wall-clock protocol.
-ALL_SECTIONS = ("backends", "background", "warm-cache", "deoptless")
+ALL_SECTIONS = ("backends", "background", "warm-cache", "deoptless", "serving")
 
 #: Minimum acceptable warm-over-cold speedup of the persistent code
 #: cache on the web workload (docs/PERF.md); the gate's hard floor.
@@ -280,6 +360,12 @@ WARM_CACHE_FLOOR = 1.3
 #: must be <= 80% of the §4 policy's, and binary discards <= 50%.
 DEOPTLESS_CYCLE_CEILING = 0.8
 DEOPTLESS_DISCARD_CEILING = 0.5
+
+#: Minimum acceptable warm-pass shard hit rate on the serving
+#: section's repeat-heavy fleet profile (docs/SERVING.md): after a
+#: cold pass populated the shared store, at least 90% of the warm
+#: pass's cacheable compiles must be served from it.
+SERVING_WARM_HIT_FLOOR = 0.9
 
 
 def run_wallclock(
@@ -303,15 +389,17 @@ def run_wallclock(
          "geomean_speedup": g,
          "background_compile": {...},   # model cycles, sync vs lane
          "warm_cache": {...},           # cold vs warm disk cache
-         "deoptless": {...}}            # model cycles, §4 vs table
+         "deoptless": {...},            # model cycles, §4 vs table
+         "serving": {...}}              # fleet latency SLO + warm shards
 
     ``sections`` selects which parts run (``tools/perf_gate.py
     --sections``): ``backends`` is the executor comparison,
     ``background`` the lane cycle ratios, ``warm-cache`` the disk
     cache cold/warm timing, ``deoptless`` the churn-suite cycle
     comparison of the §4 discard policy against the specialization
-    dispatch table.  Skipped sections are absent from the result and
-    skipped by :func:`check_gate`.
+    dispatch table, ``serving`` the multi-tenant fleet latency and
+    warm-shard hit-rate SLO (docs/SERVING.md).  Skipped sections are
+    absent from the result and skipped by :func:`check_gate`.
     """
     if suites is None:
         suites = ALL_SUITES
@@ -365,6 +453,8 @@ def run_wallclock(
         results["deoptless"] = measure_deoptless_cycles(
             config=config, backends=backends
         )
+    if "serving" in sections:
+        results["serving"] = measure_serving()
     return results
 
 
@@ -478,6 +568,29 @@ def format_wallclock(results):
                 deoptless["deoptless_generalized_compiles"],
                 deoptless["outputs_identical"],
                 deoptless["backends_identical"],
+            )
+        )
+    serving = results.get("serving")
+    if serving:
+        profile = serving["profile"]
+        lines.append("")
+        lines.append(
+            "-- serving tier (fleet of %d tenants, %d requests, model cycles) --"
+            % (profile["tenants"], profile["requests"])
+        )
+        lines.append(
+            "latency p50 %s / p99 %s cycles; warm shard hit rate %.3f "
+            "(cold %.3f); %d batches, %d rejected, %d isolation violations; "
+            "cycles identical cold/warm: %s"
+            % (
+                "{:,}".format(serving["p50_latency_cycles"]),
+                "{:,}".format(serving["p99_latency_cycles"]),
+                serving["warm_hit_rate"],
+                serving["cold_hit_rate"],
+                serving["batches"],
+                serving["rejected"],
+                serving["isolation_violations"],
+                serving["cycles_identical"],
             )
         )
     return "\n".join(lines)
@@ -636,4 +749,40 @@ def check_gate(current, baseline, tolerance=0.15):
                 "deoptless: churn cycle ratio %.5f rose above %.5f (baseline %.5f)"
                 % (deoptless["cycle_ratio"], base_ratio + 0.002, base_ratio)
             )
+    # The serving section is model cycles throughout: the latency
+    # percentiles gate exactly against the baseline, and the warm-shard
+    # hit rate and isolation invariants carry hard acceptance floors.
+    serving = current.get("serving")
+    if serving is not None:
+        if serving["warm_hit_rate"] < SERVING_WARM_HIT_FLOOR:
+            failures.append(
+                "serving: warm shard hit rate %.3f below the %.2f acceptance floor"
+                % (serving["warm_hit_rate"], SERVING_WARM_HIT_FLOOR)
+            )
+        if serving.get("isolation_violations", 0):
+            failures.append(
+                "serving: %d tenant-isolation violations detected"
+                % serving["isolation_violations"]
+            )
+        if not serving.get("cycles_identical", True):
+            failures.append(
+                "serving: request cycles differ between cold and warm passes"
+            )
+        if serving.get("rejected", 0):
+            failures.append(
+                "serving: %d requests rejected on the SLO profile"
+                % serving["rejected"]
+            )
+        base_serving = baseline.get("serving", {})
+        for metric in ("p50_latency_cycles", "p99_latency_cycles"):
+            base_value = base_serving.get(metric)
+            if base_value is not None and serving[metric] > base_value:
+                failures.append(
+                    "serving: %s %s rose above the baseline's %s"
+                    % (
+                        metric,
+                        "{:,}".format(serving[metric]),
+                        "{:,}".format(base_value),
+                    )
+                )
     return failures

@@ -168,6 +168,47 @@ def _feedback_fingerprint(feedback):
     )
 
 
+def content_key(
+    code,
+    config,
+    feedback=None,
+    param_values=None,
+    this_value=None,
+    osr_pc=None,
+    osr_args=None,
+    osr_locals=None,
+    generic=False,
+    shape_guards=True,
+):
+    """The content key for one compile; raises :class:`Uncacheable`.
+
+    Pure keying logic shared by :meth:`DiskCodeCache.key_for` and the
+    per-tenant cache views in ``repro.serving.shards`` (which keep
+    their own ``uncacheable`` counters).  See ``key_for`` for the key
+    anatomy.
+    """
+    if not config.param_spec:
+        param_values = None
+        this_value = None
+    structure = (
+        "repro-code-cache",
+        FORMAT_VERSION,
+        tuple(sys.version_info[:2]),
+        marshal.version,
+        _code_fingerprint(code),
+        tuple((slot, getattr(config, slot)) for slot in config.__slots__),
+        bool(generic),
+        bool(shape_guards),
+        osr_pc,
+        None if param_values is None else _value_keys(param_values),
+        None if this_value is None else _value_keys([this_value]),
+        None if osr_args is None else _value_keys(osr_args),
+        None if osr_locals is None else _value_keys(osr_locals),
+        _feedback_fingerprint(feedback),
+    )
+    return hashlib.sha256(repr(structure).encode("utf-8")).hexdigest()
+
+
 class DiskCodeCache(object):
     """Content-addressed store of compiled artifacts across runs.
 
@@ -224,30 +265,22 @@ class DiskCodeCache(object):
         object-reference argument, a constant with no content name —
         makes the whole compile uncacheable.
         """
-        if not config.param_spec:
-            param_values = None
-            this_value = None
         try:
-            structure = (
-                "repro-code-cache",
-                FORMAT_VERSION,
-                tuple(sys.version_info[:2]),
-                marshal.version,
-                _code_fingerprint(code),
-                tuple((slot, getattr(config, slot)) for slot in config.__slots__),
-                bool(generic),
-                bool(shape_guards),
-                osr_pc,
-                None if param_values is None else _value_keys(param_values),
-                None if this_value is None else _value_keys([this_value]),
-                None if osr_args is None else _value_keys(osr_args),
-                None if osr_locals is None else _value_keys(osr_locals),
-                _feedback_fingerprint(feedback),
+            return content_key(
+                code,
+                config,
+                feedback=feedback,
+                param_values=param_values,
+                this_value=this_value,
+                osr_pc=osr_pc,
+                osr_args=osr_args,
+                osr_locals=osr_locals,
+                generic=generic,
+                shape_guards=shape_guards,
             )
         except Uncacheable:
             self.uncacheable += 1
             return None
-        return hashlib.sha256(repr(structure).encode("utf-8")).hexdigest()
 
     # -- storage -------------------------------------------------------------
 
@@ -402,6 +435,18 @@ class DiskCodeCache(object):
         getting re-stored stays young).  Either bound may be None
         (unbounded); with both None this is a no-op.  Returns the
         number of entries removed and adds it to ``evictions``.
+
+        Safe against a concurrent writer racing the prune: the victim
+        is first renamed aside to a ``.evict`` tombstone (atomic, and
+        excluded from ``_entries``/``stats`` by the ``.bin`` filter),
+        then unlinked.  A writer re-publishing the same key via
+        ``store``'s ``os.replace`` either lands before the rename — its
+        complete frame becomes the victim, which is correct LRU
+        behaviour and never tears the file — or after it, in which case
+        the fresh artifact survives untouched under the final name.  An
+        entry that vanished between the directory walk and the rename
+        (another evictor, a ``clear``) is skipped without being
+        counted.
         """
         if max_bytes is None and max_entries is None:
             return 0
@@ -414,15 +459,45 @@ class DiskCodeCache(object):
             over_entries = max_entries is not None and total_entries > max_entries
             if not over_bytes and not over_entries:
                 break
+            tombstone = path + ".evict"
             try:
-                os.unlink(path)
+                os.replace(path, tombstone)
+            except FileNotFoundError:
+                # Gone already (concurrent evictor or clear): it no
+                # longer occupies the store, so drop it from the
+                # running totals, but it is not our eviction.
+                total_bytes -= size
+                total_entries -= 1
+                continue
             except OSError:
                 continue
+            try:
+                os.unlink(tombstone)
+            except OSError:
+                # A crash here merely leaks a tombstone; the next
+                # evict pass sweeps it (below) and readers never look
+                # at non-``.bin`` names.
+                pass
             removed += 1
             total_bytes -= size
             total_entries -= 1
         self.evictions += removed
+        self._sweep_tombstones()
         return removed
+
+    def _sweep_tombstones(self):
+        """Remove ``.evict`` tombstones left by an interrupted prune."""
+        code_root = os.path.join(self.root, "code")
+        if not os.path.isdir(code_root):
+            return
+        for dirpath, _dirnames, filenames in os.walk(code_root):
+            for filename in filenames:
+                if not filename.endswith(".evict"):
+                    continue
+                try:
+                    os.unlink(os.path.join(dirpath, filename))
+                except OSError:
+                    pass
 
     def clear(self):
         """Delete every stored artifact; returns the number removed."""

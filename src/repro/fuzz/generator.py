@@ -32,7 +32,18 @@ break value-specializing JITs:
   the §4 policy every phase flip is a discard, while the deoptless
   dispatch table (docs/DEOPTLESS.md) must re-enter the matching
   retained sibling — and the oracle's deoptless on/off variants must
-  still print identical output.
+  still print identical output;
+* **spec-cache key-space churn** — two-parameter functions driven with
+  more distinct literal argument pairs than any configured spec-cache
+  capacity, in repeated rounds, so collision-eviction and interleaved
+  re-hits of previously evicted keys are exercised directly;
+* **array element traffic** — hot ``a[i % a.length]`` reads, in-bounds
+  stores, mixed-type array literals and mid-run appends through
+  ``arr[arr.length] = v``, staling any cached length/bounds guards;
+* **closure cells** — makers returning function expressions that
+  mutate a captured local, with two instances of the same code driven
+  interleaved, so specialized binaries must read cells rather than
+  baked constants and must not leak state across instances.
 
 Each top-level construct is emitted on a *single line*: the shrinker
 (:mod:`repro.fuzz.shrink`) reduces line sets, and one-construct-per-
@@ -389,6 +400,192 @@ def _churn_call_lines(rng, name, index):
     return lines
 
 
+def _speckey_function_line(rng, index):
+    """One two-parameter function for the spec-cache key-space arm.
+
+    Both parameters feed the loop body, so under value specialization
+    every distinct literal argument pair is a distinct spec-cache key
+    — the raw material :func:`_speckey_call_lines` uses to overflow
+    the per-function cache capacity.
+    """
+    name = "k%d" % index
+    names = ("v", "w", "s", "i")
+    trips = TRIP_COUNTS[rng.randrange(len(TRIP_COUNTS))]
+    pieces = ["function %s(v, w) {" % name, "var s = %s;" % _int_literal(rng)]
+    pieces.append("for (var i = 0; i < %d; i = i + 1) {" % trips)
+    pieces.append("s = (%s) & 65535;" % _expression(rng, names, 2))
+    pieces.append("}")
+    pieces.append("return s;")
+    pieces.append("}")
+    return name, " ".join(pieces)
+
+
+def _speckey_call_lines(rng, name, index):
+    """Collision/eviction call sequences over the spec-cache key space.
+
+    More distinct literal argument pairs than any configured spec-cache
+    capacity (3–7 keys vs the paper's capacity of 1 and the deoptless
+    table's 4), each hammered past the hot-call threshold, and the
+    whole key set revisited for 2–3 rounds — so previously-evicted keys
+    *re-hit* the cache interleaved with fresh insertions.  Exercises
+    insert, collision-evict and re-specialize paths; every variant
+    must still print identical output.
+    """
+    distinct = rng.randrange(3, 8)
+    rounds = rng.randrange(2, 4)
+    wave = rng.randrange(3, 7)
+    start = rng.randrange(len(BOUNDARY_INTS))
+    keys = []
+    for offset in range(distinct):
+        first = BOUNDARY_INTS[(start + offset) % len(BOUNDARY_INTS)]
+        first_text = "(%d)" % first if first < 0 else "%d" % first
+        # The second component enumerates offsets, guaranteeing the
+        # pairs are pairwise distinct whatever the boundary draw did.
+        keys.append((first_text, "%d" % offset))
+    lines = []
+    for round_index in range(rounds):
+        for key_index, (first, second) in enumerate(keys):
+            label = "z%d_%d_%d" % (index, round_index, key_index)
+            loop = "e%d_%d_%d" % (index, round_index, key_index)
+            lines.append(
+                "var %s = 0; for (var %s = 0; %s < %d; %s = %s + 1) "
+                "{ %s = (%s + %s(%s, %s)) & 65535; } print(%s);"
+                % (
+                    label,
+                    loop,
+                    loop,
+                    wave,
+                    loop,
+                    loop,
+                    label,
+                    label,
+                    name,
+                    first,
+                    second,
+                    label,
+                )
+            )
+    return lines
+
+
+def _array_function_line(rng, index):
+    """One array-walking guest function, on a single line.
+
+    Reads ``a[i % a.length]`` in a hot loop (guarded element loads plus
+    ``.length``), optionally storing back in-bounds (SETELEM on a live
+    array the loop immediately re-reads).
+    """
+    name = "b%d" % index
+    trips = TRIP_COUNTS[rng.randrange(len(TRIP_COUNTS))]
+    pieces = ["function %s(a, n) {" % name, "var s = 0;"]
+    pieces.append("for (var i = 0; i < %d; i = i + 1) {" % trips)
+    pieces.append("s = (s + a[i % a.length] + n) & 65535;")
+    if rng.randrange(3) == 0:
+        pieces.append("a[i % a.length] = s;")
+    pieces.append("}")
+    pieces.append("return s;")
+    pieces.append("}")
+    return name, " ".join(pieces)
+
+
+def _array_call_lines(rng, name, index):
+    """Array receivers and call sites for one array-walking function.
+
+    Two array literals of different lengths (and sometimes mixed
+    element types), an optional append through ``arr[arr.length]``
+    (growing the array mid-run, so cached length/bounds guards go
+    stale), then a hot driver loop.
+    """
+    lines = []
+    first = "ar%d_0" % index
+    second = "ar%d_1" % index
+    length = rng.randrange(2, 6)
+    elements = [_int_literal(rng) for _ in range(length)]
+    if rng.randrange(3) == 0:
+        elements[rng.randrange(length)] = OTHER_LITERALS[
+            rng.randrange(len(OTHER_LITERALS))
+        ]
+    lines.append("var %s = [%s];" % (first, ", ".join(elements)))
+    lines.append("print(%s(%s, %s));" % (name, first, _int_literal(rng)))
+    arrays = [first]
+    if rng.randrange(2) == 0:
+        other = [_int_literal(rng) for _ in range(rng.randrange(1, 4))]
+        lines.append("var %s = [%s];" % (second, ", ".join(other)))
+        lines.append("print(%s(%s, %s));" % (name, second, _int_literal(rng)))
+        arrays.append(second)
+    if rng.randrange(2) == 0:
+        victim = arrays[rng.randrange(len(arrays))]
+        lines.append("%s[%s.length] = %s;" % (victim, victim, _int_literal(rng)))
+        lines.append("print(%s(%s, %s));" % (name, victim, _int_literal(rng)))
+    driver = arrays[rng.randrange(len(arrays))]
+    trips = TRIP_COUNTS[rng.randrange(len(TRIP_COUNTS))]
+    lines.append(
+        "var v%d = 0; for (var d%d = 0; d%d < %d; d%d = d%d + 1) "
+        "{ v%d = %s(%s, d%d); } print(v%d);"
+        % (index, index, index, trips, index, index, index, name, driver, index, index)
+    )
+    return lines
+
+
+def _closure_function_line(rng, index):
+    """One closure-maker guest function, on a single line.
+
+    Returns a function expression capturing (and mutating) the maker's
+    local — a cell variable, so the inner function's compiled code
+    reads and writes through the environment rather than a baked
+    constant.  Two instances from the same maker share code but not
+    cells; specializing one must never leak state into the other.
+    """
+    maker = "m%d" % index
+    pieces = ["function %s(n) {" % maker, "var t = n;"]
+    if rng.randrange(2) == 0:
+        pieces.append("var u = %s;" % _int_literal(rng))
+        body = "t = (t + d + u) & 65535; u = (u ^ d) & 255; return t;"
+    else:
+        body = "t = (t + d * %d) & 65535; return t;" % rng.randrange(1, 5)
+    pieces.append("return function (d) { %s };" % body)
+    pieces.append("}")
+    return maker, " ".join(pieces)
+
+
+def _closure_call_lines(rng, name, index):
+    """Instances and call sites for one closure maker.
+
+    Two closures from the same maker, seeded differently; each is
+    called a couple of times then driven hot in a loop — interleaved,
+    so a binary specialized on one instance's cell values meets the
+    sibling's cells immediately.
+    """
+    lines = []
+    first = "cl%d_0" % index
+    second = "cl%d_1" % index
+    lines.append("var %s = %s(%s);" % (first, name, _int_literal(rng)))
+    lines.append("var %s = %s(%s);" % (second, name, _int_literal(rng)))
+    lines.append("print(%s(%s));" % (first, _int_literal(rng)))
+    lines.append("print(%s(%s));" % (second, _int_literal(rng)))
+    trips = TRIP_COUNTS[rng.randrange(len(TRIP_COUNTS))]
+    lines.append(
+        "var y%d = 0; for (var x%d = 0; x%d < %d; x%d = x%d + 1) "
+        "{ y%d = (y%d + %s(x%d) + %s(x%d)) & 65535; } print(y%d);"
+        % (
+            index,
+            index,
+            index,
+            trips,
+            index,
+            index,
+            index,
+            index,
+            first,
+            index,
+            second,
+            index,
+            index,
+        )
+    )
+    return lines
+
+
 def generate_program(seed, iteration=0):
     """The program for ``(seed, iteration)``, as source text.
 
@@ -413,10 +610,31 @@ def generate_program(seed, iteration=0):
         name, line = _churn_function_line(rng, index)
         churn_names.append(name)
         lines.append(line)
+    speckey_names = []
+    for index in range(rng.randrange(0, 2)):
+        name, line = _speckey_function_line(rng, index)
+        speckey_names.append(name)
+        lines.append(line)
+    array_names = []
+    for index in range(rng.randrange(0, 2)):
+        name, line = _array_function_line(rng, index)
+        array_names.append(name)
+        lines.append(line)
+    closure_names = []
+    for index in range(rng.randrange(0, 2)):
+        name, line = _closure_function_line(rng, index)
+        closure_names.append(name)
+        lines.append(line)
     for index, name in enumerate(function_names):
         lines.extend(_call_lines(rng, name, index))
     for index, name in enumerate(object_names):
         lines.extend(_object_call_lines(rng, name, index))
     for index, name in enumerate(churn_names):
         lines.extend(_churn_call_lines(rng, name, index))
+    for index, name in enumerate(speckey_names):
+        lines.extend(_speckey_call_lines(rng, name, index))
+    for index, name in enumerate(array_names):
+        lines.extend(_array_call_lines(rng, name, index))
+    for index, name in enumerate(closure_names):
+        lines.extend(_closure_call_lines(rng, name, index))
     return "\n".join(lines) + "\n"

@@ -122,6 +122,23 @@ def reset_shapes():
     return SHAPE_TREE
 
 
+def install_shape_tree(tree):
+    """Swap ``tree`` in as the live SHAPE_TREE and return the previous one.
+
+    This is the tenant-isolation boundary used by ``repro.serving``:
+    every tenant isolate owns a private ShapeTree, installs it for the
+    duration of a request, and restores the previous tree afterwards.
+    Because SHAPE_TREE is only ever referenced through this module's
+    globals, the swap fully redirects shape allocation, transitions and
+    ``common_slot_offset`` lookups to the tenant's tree — shape ids are
+    then deterministic per tenant regardless of what other tenants do.
+    """
+    global SHAPE_TREE
+    previous = SHAPE_TREE
+    SHAPE_TREE = tree
+    return previous
+
+
 def common_slot_offset(shape_ids, name):
     """Slot offset of ``name`` shared by every shape in ``shape_ids``.
 

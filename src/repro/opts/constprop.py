@@ -262,7 +262,9 @@ class ConstantPropagation(object):
                     return _TOP  # reads the mutable heap
                 if folded:
                     return self._bounded(
-                        operations.binary_op(instruction.op, constants[0], constants[1])
+                        operations.binary_op(
+                            instruction.op, constants[0], constants[1]
+                        )
                     )
                 by_type = self._type_based_equality(instruction)
                 if by_type != _TOP:
@@ -386,7 +388,7 @@ class ConstantPropagation(object):
         for block in list(self.graph.blocks):
             for phi in list(block.phis):
                 state = self.constant_of(phi)
-                if state is None:
+                if state is None or self._breaks_int32_contract(phi, state):
                     continue
                 replacement = MConstant(state[0])
                 block.instructions.insert(0, replacement)
@@ -399,7 +401,7 @@ class ConstantPropagation(object):
                 if isinstance(instruction, MConstant) or instruction.is_control:
                     continue
                 state = self.constant_of(instruction)
-                if state is None:
+                if state is None or self._breaks_int32_contract(instruction, state):
                     continue
                 if instruction.effect != 0 and not self._is_foldable_call(instruction):
                     continue
@@ -409,6 +411,21 @@ class ConstantPropagation(object):
                 block.remove_instruction(instruction)
                 folded += 1
         return folded
+
+    @staticmethod
+    def _breaks_int32_contract(definition, state):
+        """True when materializing ``state`` would break INT32 typing.
+
+        Specialized int32 arithmetic can *fold* out of int32 (overflow,
+        negative zero, uint32 ``>>>``) — the lattice keeps the true JS
+        value so double-typed consumers still fold through it — but the
+        definition itself promises an INT32 result and bails at runtime
+        instead.  Replacing it with a double constant would delete that
+        bailout and feed a raw float into INT32-typed uses (the whole
+        backend inlines ``bitop_i`` as a host ``&``), so the definition
+        must survive for the guard to fire.
+        """
+        return definition.type == MIRType.INT32 and type(state[0]) is not int
 
     def _is_foldable_call(self, instruction):
         if not isinstance(instruction, MCall):

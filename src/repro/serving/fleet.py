@@ -1,0 +1,282 @@
+"""Synthetic fleet traffic: power-law tenants over a program catalog.
+
+The paper's Fig. 1–4 measurements rest on production call streams
+being heavily repetitive — a few hot pages invoked over and over with
+recurring argument patterns.  This driver scales the web-corpus
+generator (:mod:`repro.workloads.web`) to a *fleet*: ``tenants``
+tenants whose activity follows a power law (rank weight ∝ 1/rank),
+each request picking a catalog program by a steeper power law
+(∝ 1/rank²), so a handful of tenant×program pairs dominate — exactly
+the repeat-heavy profile where warm specialization and the shared
+artifact store pay off.
+
+Everything is driven by one seeded RNG over *integer* weight tables
+(no float accumulation), so a schedule is a pure function of the
+profile: same seed → byte-identical JSONL schedule, and — because
+request latency is measured in deterministic model cycles on
+per-tenant admission lanes — identical merged metrics payloads
+whatever the worker-process count (``--jobs``).  Batch ids are
+precomputed on the global schedule (a batch is a run of consecutive
+same-tenant requests, capped at ``batch_limit``), so batch boundaries
+cannot depend on how tenants are partitioned across workers.
+"""
+
+import json
+import multiprocessing
+import os
+import random
+import shutil
+import tempfile
+
+from repro.serving.isolate import TenantHost
+from repro.telemetry.metrics import merge_payloads
+from repro.workloads.web import generate_website_program
+
+#: Seed stride separating the schedule RNG from the catalog RNGs.
+FLEET_SEED_STRIDE = 7000081
+
+
+class FleetProfile(object):
+    """Parameters of one synthetic fleet-traffic run."""
+
+    def __init__(
+        self,
+        tenants=8,
+        requests=200,
+        programs=6,
+        seed=0,
+        functions_per_program=10,
+        mean_gap=2048,
+        batch_limit=8,
+    ):
+        self.tenants = tenants
+        self.requests = requests
+        self.programs = programs
+        self.seed = seed
+        self.functions_per_program = functions_per_program
+        self.mean_gap = mean_gap
+        self.batch_limit = batch_limit
+
+    def as_dict(self):
+        return {
+            "tenants": self.tenants,
+            "requests": self.requests,
+            "programs": self.programs,
+            "seed": self.seed,
+            "functions_per_program": self.functions_per_program,
+            "mean_gap": self.mean_gap,
+            "batch_limit": self.batch_limit,
+        }
+
+
+def _power_law_weights(count, quadratic=False):
+    """Integer rank weights ∝ 1/rank (or 1/rank²), scaled to avoid
+    float arithmetic entirely."""
+    scale = 1_000_000
+    if quadratic:
+        return [scale // ((rank + 1) * (rank + 1)) for rank in range(count)]
+    return [scale // (rank + 1) for rank in range(count)]
+
+
+def _weighted_pick(rng, cumulative, total):
+    """Draw a rank from an integer cumulative-weight table."""
+    point = rng.randrange(total)
+    for rank, bound in enumerate(cumulative):
+        if point < bound:
+            return rank
+    return len(cumulative) - 1
+
+
+def _cumulative(weights):
+    bounds = []
+    running = 0
+    for weight in weights:
+        running += weight
+        bounds.append(running)
+    return bounds, running
+
+
+def build_catalog(profile):
+    """Program name -> guest source for this profile (seed-derived)."""
+    catalog = {}
+    for index in range(profile.programs):
+        name = "app-%02d" % index
+        catalog[name] = generate_website_program(
+            "fleet_%02d" % index,
+            num_functions=profile.functions_per_program,
+            # Every third program is heavily polymorphic, like the
+            # corpus's worst pages; the rest are repeat-friendly.
+            polymorphic_fraction=0.3 if index % 3 == 2 else 0.1,
+            seed=profile.seed * 1000 + index,
+        )
+    return catalog
+
+
+def generate_schedule(profile):
+    """The fleet's request schedule as a list of plain dicts.
+
+    Each record: ``seq`` (global order), ``tenant`` (``t<NN>``),
+    ``program`` (catalog name), ``arrival`` (cycles on the tenant's
+    admission clock), ``batch`` (global batch id).  Pure function of
+    the profile.
+    """
+    rng = random.Random(profile.seed * FLEET_SEED_STRIDE + 1)
+    tenant_bounds, tenant_total = _cumulative(_power_law_weights(profile.tenants))
+    program_bounds, program_total = _cumulative(
+        _power_law_weights(profile.programs, quadratic=True)
+    )
+    records = []
+    arrival = 0
+    batch_id = -1
+    last_tenant = None
+    run_length = 0
+    for seq in range(profile.requests):
+        arrival += rng.randrange(1, 2 * profile.mean_gap)
+        tenant = _weighted_pick(rng, tenant_bounds, tenant_total)
+        program = _weighted_pick(rng, program_bounds, program_total)
+        if tenant == last_tenant and run_length < profile.batch_limit:
+            run_length += 1
+        else:
+            batch_id += 1
+            run_length = 1
+            last_tenant = tenant
+        records.append(
+            {
+                "seq": seq,
+                "tenant": "t%02d" % tenant,
+                "program": "app-%02d" % program,
+                "arrival": arrival,
+                "batch": batch_id,
+            }
+        )
+    return records
+
+
+def schedule_jsonl(records):
+    """The schedule as canonical JSONL (sorted keys, one per line)."""
+    return "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
+
+
+def percentile(values, fraction):
+    """Exact order-statistic percentile (nearest-rank, no interpolation)."""
+    if not values:
+        return 0
+    ordered = sorted(values)
+    rank = int(len(ordered) * fraction)
+    if rank >= len(ordered):
+        rank = len(ordered) - 1
+    return ordered[rank]
+
+
+def _run_partition(records, catalog, host_kwargs):
+    """Serve one tenant partition's records in schedule order."""
+    host = TenantHost(catalog=catalog, **host_kwargs)
+    responses = [host.execute_request(record) for record in records]
+    return {
+        "responses": responses,
+        "payloads": host.metrics_payloads(),
+        "isolation_violations": host.isolation_violations,
+        "store_stats": host.store_stats(),
+    }
+
+
+def _run_partition_job(job):
+    """Picklable pool worker (module-level, bench-harness idiom)."""
+    records, catalog, host_kwargs = job
+    return _run_partition(records, catalog, host_kwargs)
+
+
+def run_fleet(
+    profile,
+    jobs=1,
+    cache_mode="tenant",
+    cache_root=None,
+    shards=4,
+    engine_kwargs=None,
+    dispatch_delay=None,
+    queue_capacity=None,
+):
+    """Generate and serve one fleet schedule; returns the result dict.
+
+    Tenants are partitioned across ``jobs`` worker processes by tenant
+    index modulo ``jobs`` (whole tenants, schedule order preserved
+    within a partition), so per-tenant lanes and caches see the exact
+    same request stream at any job count; metrics are per-tenant and
+    latency is virtual-clock cycles, so the merged payload is
+    identical across job counts and across runs with the same seed.
+
+    ``cache_root=None`` with a caching mode uses a private temporary
+    root, deleted afterwards — every run starts cold.  Pass an
+    existing root to measure warm-start behaviour (the wallclock
+    harness's ``serving`` section does exactly that).
+    """
+    catalog = build_catalog(profile)
+    schedule = generate_schedule(profile)
+    temp_root = None
+    if cache_mode != "off" and cache_root is None:
+        temp_root = tempfile.mkdtemp(prefix="repro-fleet-cache-")
+        cache_root = temp_root
+    host_kwargs = {
+        "cache_mode": cache_mode,
+        "cache_root": cache_root,
+        "shards": shards,
+        "engine_kwargs": dict(engine_kwargs or {}),
+        "dispatch_delay": dispatch_delay,
+        "queue_capacity": queue_capacity,
+    }
+    try:
+        jobs = max(1, min(jobs, profile.tenants))
+        if jobs == 1:
+            partition_results = [_run_partition(schedule, catalog, host_kwargs)]
+        else:
+            partitions = [[] for _ in range(jobs)]
+            for record in schedule:
+                tenant_index = int(record["tenant"][1:])
+                partitions[tenant_index % jobs].append(record)
+            work = [(part, catalog, host_kwargs) for part in partitions if part]
+            with multiprocessing.Pool(processes=len(work)) as pool:
+                partition_results = pool.map(_run_partition_job, work)
+    finally:
+        if temp_root is not None:
+            shutil.rmtree(temp_root, ignore_errors=True)
+
+    responses = sorted(
+        (r for part in partition_results for r in part["responses"]),
+        key=lambda r: r["seq"],
+    )
+    payloads = [p for part in partition_results for p in part["payloads"]]
+    merged = merge_payloads(payloads)
+    latencies = [
+        r["latency_cycles"] for r in responses if r["status"] == "ok"
+    ]
+    counters = merged["counters"]
+    disk_probes = (
+        counters["repro_cache_disk_hits_total"]
+        + counters["repro_cache_disk_misses_total"]
+    )
+    store_stats = [
+        part["store_stats"] for part in partition_results if part["store_stats"]
+    ]
+    return {
+        "profile": profile.as_dict(),
+        "responses": responses,
+        "metrics": merged,
+        "requests": counters["repro_serving_requests_total"],
+        "rejected": counters["repro_serving_rejected_total"],
+        "batches": counters["repro_serving_batches_total"],
+        "tenants": merged["gauges"]["repro_serving_tenants"],
+        "isolation_violations": sum(
+            part["isolation_violations"] for part in partition_results
+        ),
+        "p50_latency_cycles": percentile(latencies, 0.50),
+        "p99_latency_cycles": percentile(latencies, 0.99),
+        "total_latency_cycles": sum(latencies),
+        "warm_hit_rate": (
+            counters["repro_cache_disk_hits_total"] / disk_probes
+            if disk_probes
+            else 0.0
+        ),
+        "disk_hits": counters["repro_cache_disk_hits_total"],
+        "disk_misses": counters["repro_cache_disk_misses_total"],
+        "store_stats": store_stats,
+    }

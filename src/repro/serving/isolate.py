@@ -1,0 +1,295 @@
+"""Tenant isolates: one engine, shape tree and metrics per tenant.
+
+The isolation contract (docs/SERVING.md): every piece of *speculation
+state* — the shape transition tree, inline caches, type feedback, spec
+caches, deoptless tables, compile queue — belongs to exactly one
+tenant.  Only immutable compiled artifacts (content-addressed disk
+frames) may be shared across tenants.  The one piece of speculation
+state the VM keeps in a module global is the shape tree
+(``repro.jsvm.objects.SHAPE_TREE``), so the isolate swaps its private
+tree in around every request via
+:func:`repro.jsvm.objects.install_shape_tree` and verifies on the way
+out that nothing replaced it mid-request; a foreign tree observed
+there is counted as an isolation violation (it means another tenant's
+shapes could have leaked into this tenant's ICs).
+
+Because each tenant's tree starts from a fresh root, shape ids are
+deterministic *per tenant* — bit-identical to running that tenant's
+request stream alone in a dedicated engine, which is exactly what the
+cross-tenant bleed test asserts.
+
+The isolate keeps its engine (and the compiled toplevel CodeObjects of
+every program it has served) alive across requests, so feedback, ICs
+and spec caches warm up over a tenant's traffic — the serving-tier
+payoff of the paper's premise that production traffic re-invokes the
+same functions with recurring argument patterns.
+"""
+
+import os
+
+from repro.engine.config import FULL_SPEC
+from repro.engine.runtime_engine import Engine
+from repro.jsvm import objects
+from repro.jsvm.bytecompiler import compile_source
+from repro.jsvm.objects import ShapeTree, install_shape_tree
+from repro.serving.admission import AdmissionLane
+from repro.telemetry.metrics import MetricsRegistry
+
+from repro.serving.shards import ShardedDiskCache, TenantCacheView
+
+
+class TenantIsolate(object):
+    """One tenant's engine, shape tree, programs, lane and metrics."""
+
+    def __init__(
+        self,
+        tenant,
+        cache=None,
+        engine_kwargs=None,
+        dispatch_delay=None,
+        queue_capacity=None,
+    ):
+        self.tenant = tenant
+        self.shape_tree = ShapeTree()
+        self.cache = cache
+        self.metrics = MetricsRegistry()
+        kwargs = dict(engine_kwargs or {})
+        kwargs.setdefault("config", FULL_SPEC)
+        self.engine = Engine(metrics=self.metrics, code_cache=cache, **kwargs)
+        lane_kwargs = {}
+        if dispatch_delay is not None:
+            lane_kwargs["dispatch_delay"] = dispatch_delay
+        if queue_capacity is not None:
+            lane_kwargs["capacity"] = queue_capacity
+        self.lane = AdmissionLane(**lane_kwargs)
+        #: program name -> compiled toplevel CodeObject; reused across
+        #: requests so this tenant's feedback and spec caches warm up.
+        self.programs = {}
+        self.requests = 0
+        self.isolation_violations = 0
+        self.metrics.set_gauge("repro_serving_tenants", 1)
+
+    def execute(self, program, source):
+        """Run one request; returns ``(output_lines, service_cycles)``.
+
+        Swaps this tenant's shape tree in for the duration, measures
+        service time as the engine's deterministic cycle-clock delta,
+        and returns only the lines printed by *this* request (the
+        runtime's ``printed`` list is truncated back so long-lived
+        isolates stay bounded).
+        """
+        previous = install_shape_tree(self.shape_tree)
+        try:
+            code = self.programs.get(program)
+            if code is None:
+                code = compile_source(source)
+                self.programs[program] = code
+            runtime = self.engine.interpreter.runtime
+            printed_before = len(runtime.printed)
+            cycles_before = self.engine.trace_clock()
+            self.engine.run_code(code)
+            service_cycles = self.engine.trace_clock() - cycles_before
+            output = list(runtime.printed[printed_before:])
+            del runtime.printed[printed_before:]
+        finally:
+            if objects.SHAPE_TREE is not self.shape_tree:
+                # Someone swapped a foreign tree in mid-request: this
+                # tenant's ICs may now hold another tenant's shape ids.
+                self.isolation_violations += 1
+                self.metrics.inc("repro_serving_isolation_violations_total")
+            install_shape_tree(previous)
+        self.requests += 1
+        return output, service_cycles
+
+    def serve(self, program, source, arrival=None, batch=None):
+        """Admit and execute one request; returns a response dict.
+
+        ``arrival`` is a cycle on this tenant's admission clock; None
+        (serve mode) means "now", i.e. the current lane cycle.  The
+        response carries status, output, and the deterministic
+        latency/wait/service cycle counts; a rejected request executes
+        nothing.
+        """
+        if arrival is None:
+            arrival = self.lane.lane_cycle
+        if batch is None:
+            # Serve mode ships no batch ids: every request is its own
+            # batch (pays the dispatch delay), deterministically keyed
+            # off the lane's admission count.
+            batch = ("auto", self.lane.admitted)
+        new_batch = batch != self.lane.last_batch
+        start = self.lane.admit(arrival, batch=batch)
+        registry = self.metrics
+        if start is None:
+            registry.inc("repro_serving_rejected_total")
+            self._sample_lane()
+            return {
+                "tenant": self.tenant,
+                "program": program,
+                "status": "rejected",
+                "output": [],
+                "arrival": arrival,
+            }
+        if new_batch:
+            registry.inc("repro_serving_batches_total")
+        output, service_cycles = self.execute(program, source)
+        done = self.lane.complete(start, service_cycles)
+        registry.inc("repro_serving_requests_total")
+        registry.observe("repro_serving_request_latency_cycles", done - arrival)
+        registry.observe("repro_serving_queue_wait_cycles", start - arrival)
+        self._sample_lane()
+        return {
+            "tenant": self.tenant,
+            "program": program,
+            "status": "ok",
+            "output": output,
+            "arrival": arrival,
+            "dispatch": start,
+            "done": done,
+            "latency_cycles": done - arrival,
+            "wait_cycles": start - arrival,
+            "service_cycles": service_cycles,
+            # Cumulative per-tenant violation count, so a live server
+            # can report isolation health without waiting for the
+            # shutdown summary.
+            "violations": self.isolation_violations,
+        }
+
+    def _sample_lane(self):
+        self.metrics.set_gauge(
+            "repro_serving_queue_depth_high_water", self.lane.depth_high_water
+        )
+
+    def metrics_payload(self):
+        """This tenant's finalized metrics payload (full schema keys)."""
+        return self.metrics.as_dict()
+
+
+class TenantHost(object):
+    """A set of tenant isolates over one (optional) shared artifact store.
+
+    ``cache_mode``:
+
+    - ``"off"``: no disk cache.
+    - ``"tenant"``: each isolate gets a private
+      :class:`ShardedDiskCache` under ``<root>/tenant-<id>``; fully
+      partition-invariant (used by deterministic fleet runs).
+    - ``"shared"``: one :class:`ShardedDiskCache` at ``root``, fronted
+      by a per-tenant :class:`TenantCacheView` so counters stay
+      per-tenant while artifacts are shared fleet-wide.
+    """
+
+    def __init__(
+        self,
+        cache_mode="off",
+        cache_root=None,
+        shards=4,
+        engine_kwargs=None,
+        dispatch_delay=None,
+        queue_capacity=None,
+        catalog=None,
+    ):
+        if cache_mode not in ("off", "tenant", "shared"):
+            raise ValueError("unknown cache_mode %r" % (cache_mode,))
+        if cache_mode != "off" and cache_root is None:
+            raise ValueError("cache_mode %r needs a cache_root" % (cache_mode,))
+        self.cache_mode = cache_mode
+        self.cache_root = cache_root
+        self.num_shards = shards
+        self.engine_kwargs = dict(engine_kwargs or {})
+        self.dispatch_delay = dispatch_delay
+        self.queue_capacity = queue_capacity
+        #: program name -> guest source; requests may name a catalog
+        #: program instead of shipping source.
+        self.catalog = dict(catalog or {})
+        self.store = None
+        if cache_mode == "shared":
+            self.store = ShardedDiskCache(root=cache_root, shards=shards)
+        self.isolates = {}
+
+    def isolate(self, tenant):
+        isolate = self.isolates.get(tenant)
+        if isolate is None:
+            if self.cache_mode == "shared":
+                cache = TenantCacheView(self.store)
+            elif self.cache_mode == "tenant":
+                cache = ShardedDiskCache(
+                    root=os.path.join(self.cache_root, "tenant-%s" % tenant),
+                    shards=self.num_shards,
+                )
+            else:
+                cache = None
+            isolate = TenantIsolate(
+                tenant,
+                cache=cache,
+                engine_kwargs=self.engine_kwargs,
+                dispatch_delay=self.dispatch_delay,
+                queue_capacity=self.queue_capacity,
+            )
+            self.isolates[tenant] = isolate
+        return isolate
+
+    def execute_request(self, request):
+        """Serve one request dict; returns the response dict.
+
+        Request fields: ``tenant`` (required), ``program`` (catalog
+        name) or ``source`` (inline guest code; cached under
+        ``program``'s name if both are given), optional ``arrival``
+        and ``batch`` (virtual-clock mode), optional ``seq`` (echoed).
+        """
+        tenant = request["tenant"]
+        program = request.get("program", "<inline>")
+        source = request.get("source")
+        if source is None:
+            source = self.catalog.get(program)
+        if source is None:
+            return {
+                "tenant": tenant,
+                "program": program,
+                "status": "error",
+                "error": "unknown program %r" % (program,),
+                "output": [],
+            }
+        isolate = self.isolate(tenant)
+        response = isolate.serve(
+            program,
+            source,
+            arrival=request.get("arrival"),
+            batch=request.get("batch"),
+        )
+        if "seq" in request:
+            response["seq"] = request["seq"]
+        return response
+
+    # -- aggregation ---------------------------------------------------------
+
+    @property
+    def isolation_violations(self):
+        return sum(i.isolation_violations for i in self.isolates.values())
+
+    def metrics_payloads(self):
+        """Per-tenant finalized payloads, in sorted tenant order."""
+        payloads = []
+        for tenant in sorted(self.isolates):
+            isolate = self.isolates[tenant]
+            isolate._sample_lane()
+            payloads.append(isolate.metrics_payload())
+        return payloads
+
+    def store_stats(self):
+        if self.store is not None:
+            return self.store.stats()
+        if self.cache_mode == "tenant":
+            stats = [
+                i.cache.stats() for t, i in sorted(self.isolates.items())
+            ]
+            return {
+                "shards": self.num_shards,
+                "entries": sum(s["entries"] for s in stats),
+                "bytes": sum(s["bytes"] for s in stats),
+                "hits": sum(s["hits"] for s in stats),
+                "misses": sum(s["misses"] for s in stats),
+                "stores": sum(s["stores"] for s in stats),
+                "evictions": sum(s["evictions"] for s in stats),
+            }
+        return None

@@ -54,6 +54,16 @@ INSTALL_LATENCY_BUCKETS = (256, 1024, 4096, 16384, 65536, 262144)
 #: histogram (the ``cycles`` field of ``compile.finish`` events).
 COMPILE_COST_BUCKETS = (1024, 2048, 4096, 8192, 16384, 32768, 65536)
 
+#: Fixed bucket upper bounds (model cycles) for the serving tier's
+#: request-latency histogram: arrival-to-completion on the admission
+#: lane's deterministic clock (docs/SERVING.md).  Powers of four from
+#: "tiny cached request" through "cold compile storm".
+REQUEST_LATENCY_BUCKETS = (4096, 16384, 65536, 262144, 1048576, 4194304)
+
+#: Fixed bucket upper bounds (model cycles) for the serving tier's
+#: queueing-delay histogram (arrival to dispatch).
+QUEUE_WAIT_BUCKETS = (64, 256, 1024, 4096, 16384, 65536)
+
 #: Every metric the engine may record: name -> declaration.  Each
 #: declaration carries ``type`` (``counter`` | ``gauge`` |
 #: ``histogram``), ``help`` (the Prometheus HELP string), ``merge``
@@ -266,6 +276,43 @@ METRIC_SCHEMA = {
         "type": "histogram",
         "help": "cycle cost of each compilation",
         "buckets": COMPILE_COST_BUCKETS,
+    },
+    # -- serving tier (repro.serving, docs/SERVING.md) --------------------
+    "repro_serving_requests_total": {
+        "type": "counter",
+        "help": "requests admitted and executed to completion",
+    },
+    "repro_serving_rejected_total": {
+        "type": "counter",
+        "help": "requests rejected by admission (tenant queue at capacity)",
+    },
+    "repro_serving_batches_total": {
+        "type": "counter",
+        "help": "request batches dispatched to tenant isolates",
+    },
+    "repro_serving_isolation_violations_total": {
+        "type": "counter",
+        "help": "tenant-isolation breaches detected (foreign shape tree observed)",
+    },
+    "repro_serving_tenants": {
+        "type": "gauge",
+        "merge": "sum",
+        "help": "tenant isolates hosted",
+    },
+    "repro_serving_queue_depth_high_water": {
+        "type": "gauge",
+        "merge": "max",
+        "help": "deepest any tenant's admission queue has ever been",
+    },
+    "repro_serving_request_latency_cycles": {
+        "type": "histogram",
+        "help": "arrival-to-completion request latency on the admission clock",
+        "buckets": REQUEST_LATENCY_BUCKETS,
+    },
+    "repro_serving_queue_wait_cycles": {
+        "type": "histogram",
+        "help": "arrival-to-dispatch queueing delay on the admission clock",
+        "buckets": QUEUE_WAIT_BUCKETS,
     },
 }
 

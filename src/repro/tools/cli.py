@@ -570,6 +570,114 @@ def cmd_bench(args, out):
     return 0
 
 
+def cmd_fleet(args, out):
+    """``repro fleet``: reproducible multi-tenant fleet traffic run."""
+    import json
+
+    from repro.serving.fleet import (
+        FleetProfile,
+        generate_schedule,
+        run_fleet,
+        schedule_jsonl,
+    )
+    from repro.telemetry.metrics import write_metrics_jsonl
+
+    profile = FleetProfile(
+        tenants=args.tenants,
+        requests=args.requests,
+        programs=args.programs,
+        seed=args.seed,
+        functions_per_program=args.functions,
+    )
+    if args.schedule_out:
+        with open(args.schedule_out, "w") as handle:
+            handle.write(schedule_jsonl(generate_schedule(profile)))
+        out.write("schedule written: %s\n" % args.schedule_out)
+    result = run_fleet(
+        profile,
+        jobs=args.jobs,
+        cache_mode=args.cache,
+        cache_root=args.cache_dir,
+        shards=args.shards,
+    )
+    out.write(
+        "fleet: %d requests over %d tenants (seed %d, jobs %d, cache %s)\n"
+        % (result["requests"], result["tenants"], args.seed, args.jobs, args.cache)
+    )
+    out.write(
+        "latency p50 %s / p99 %s cycles; %d batches, %d rejected\n"
+        % (
+            "{:,}".format(result["p50_latency_cycles"]),
+            "{:,}".format(result["p99_latency_cycles"]),
+            result["batches"],
+            result["rejected"],
+        )
+    )
+    out.write(
+        "disk: %d hits / %d misses (hit rate %.3f); isolation violations: %d\n"
+        % (
+            result["disk_hits"],
+            result["disk_misses"],
+            result["warm_hit_rate"],
+            result["isolation_violations"],
+        )
+    )
+    if args.metrics_jsonl:
+        write_metrics_jsonl(result["metrics"], args.metrics_jsonl)
+        out.write("merged metrics written: %s\n" % args.metrics_jsonl)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        out.write("full result written: %s\n" % args.json)
+    return 1 if result["isolation_violations"] else 0
+
+
+def cmd_serve(args, out):
+    """``repro serve``: the asyncio JSON-line serving front end."""
+    import asyncio
+
+    from repro.serving.fleet import FleetProfile, build_catalog
+    from repro.serving.server import ServingServer
+
+    if args.cache != "off" and not args.cache_dir:
+        raise SystemExit("serve: --cache %s needs --cache-dir" % args.cache)
+    catalog = None
+    if args.catalog_programs:
+        catalog = build_catalog(
+            FleetProfile(
+                programs=args.catalog_programs,
+                seed=args.catalog_seed,
+                functions_per_program=args.catalog_functions,
+            )
+        )
+    server = ServingServer(
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_mode=args.cache,
+        cache_root=args.cache_dir,
+        shards=args.shards,
+        catalog=catalog,
+        metrics_out=args.metrics_out,
+    )
+
+    async def _serve():
+        address = await server.start()
+        out.write("serving on %s\n" % (address,))
+        out.flush()
+        await server.wait_closed()
+
+    asyncio.run(_serve())
+    summary = server.summary or {}
+    out.write(
+        "server stopped; %d tenants, %d isolation violations\n"
+        % (len(summary.get("tenants", [])), summary.get("isolation_violations", 0))
+    )
+    return 1 if summary.get("isolation_violations") else 0
+
+
 def _fuzz_replay(args, out, matrix):
     """``repro fuzz --replay DIR``: corpus triage instead of generation."""
     import os
@@ -869,7 +977,7 @@ def build_parser():
         "--sections",
         default=None,
         help="--compare: comma-separated subset of "
-        "backends,background,warm-cache,deoptless",
+        "backends,background,warm-cache,deoptless,serving",
     )
     bench.add_argument(
         "--json-out",
@@ -995,6 +1103,115 @@ def build_parser():
         help="evict: prune oldest artifacts until this many remain",
     )
     cache.set_defaults(handler=cmd_cache)
+
+    def _add_serving_cache_flags(subparser, default_cache):
+        subparser.add_argument(
+            "--cache",
+            choices=["off", "tenant", "shared"],
+            default=default_cache,
+            help="artifact store mode: off, per-tenant, or shared shards "
+            "(default %s)" % default_cache,
+        )
+        subparser.add_argument(
+            "--cache-dir",
+            metavar="DIR",
+            default=None,
+            help="store root (fleet default: private temp dir, deleted after)",
+        )
+        subparser.add_argument(
+            "--shards",
+            type=int,
+            default=4,
+            help="disk-cache shard count (default 4)",
+        )
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run reproducible multi-tenant fleet traffic (docs/SERVING.md)",
+    )
+    fleet.add_argument("--tenants", type=int, default=8, help="tenant count")
+    fleet.add_argument("--requests", type=int, default=200, help="request count")
+    fleet.add_argument(
+        "--programs", type=int, default=6, help="catalog size (distinct programs)"
+    )
+    fleet.add_argument("--seed", type=int, default=0, help="schedule/catalog seed")
+    fleet.add_argument(
+        "--functions",
+        type=int,
+        default=10,
+        help="guest functions per catalog program (default 10)",
+    )
+    fleet.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (tenants partitioned by index; results are "
+        "identical at any job count)",
+    )
+    fleet.add_argument(
+        "--schedule-out",
+        metavar="PATH",
+        default=None,
+        help="write the request schedule as canonical JSONL",
+    )
+    fleet.add_argument(
+        "--metrics-jsonl",
+        metavar="PATH",
+        default=None,
+        help="write the merged fleet metrics payload as JSONL",
+    )
+    fleet.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the full result (responses included) as JSON",
+    )
+    _add_serving_cache_flags(fleet, "tenant")
+    fleet.set_defaults(handler=cmd_fleet)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve JSON-line requests over a local socket (docs/SERVING.md)",
+    )
+    serve.add_argument(
+        "--socket", metavar="PATH", default=None, help="bind a unix socket here"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind host (when no --socket)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=0, help="TCP bind port (0: ephemeral)"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="engine worker processes (0: in-process)",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="flush the merged metrics payload here (JSONL) on shutdown",
+    )
+    serve.add_argument(
+        "--catalog-programs",
+        type=int,
+        default=0,
+        help="preload a fleet catalog of N programs (0: none; requests "
+        "must then ship source)",
+    )
+    serve.add_argument(
+        "--catalog-seed", type=int, default=0, help="catalog generator seed"
+    )
+    serve.add_argument(
+        "--catalog-functions",
+        type=int,
+        default=10,
+        help="guest functions per catalog program",
+    )
+    _add_serving_cache_flags(serve, "off")
+    serve.set_defaults(handler=cmd_serve)
 
     configs = sub.add_parser("configs", help="list optimization configurations")
     configs.set_defaults(handler=cmd_configs)

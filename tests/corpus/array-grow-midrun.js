@@ -1,0 +1,18 @@
+// Array element traffic under mid-run growth: a hot a[i % a.length]
+// walker compiled against a length-4 array, then the array grows via
+// arr[arr.length] = v and the same binary runs again -- any cached
+// length or bounds guard must notice, and in-bounds SETELEM stores
+// must be visible to the immediately following reads.
+function walk(a, n) { var s = 0; for (var i = 0; i < 60; i = i + 1) { s = (s + a[i % a.length] + n) & 65535; a[i % a.length] = s; } return s; }
+var arr = [3, 65535, (-1), 256];
+print(walk(arr, 5));
+print(walk(arr, 5));
+arr[arr.length] = 1023;
+print(walk(arr, 5));
+arr[arr.length] = (-2147483648);
+print(walk(arr, 7));
+var small = [2];
+print(walk(small, 1));
+var mixed = [1, 2.5, 7];
+print(walk(mixed, 0));
+var t = 0; for (var d = 0; d < 12; d = d + 1) { t = walk(arr, d); } print(t);

@@ -1,0 +1,18 @@
+// Closure cells: two instances of the same maker share compiled code
+// but not cells.  Driving them interleaved means a binary specialized
+// on one instance's captured values immediately executes against the
+// sibling's cells -- state must flow through the environment, never a
+// baked constant, and must not leak across instances.
+function mk(n) { var t = n; var u = 3; return function (d) { t = (t + d + u) & 65535; u = (u ^ d) & 255; return t; }; }
+var one = mk(100);
+var two = mk(65000);
+print(one(1));
+print(two(1));
+print(one(2));
+print(two(2));
+var y = 0; for (var x = 0; x < 80; x = x + 1) { y = (y + one(x) + two(x)) & 65535; } print(y);
+print(one(0));
+print(two(0));
+var three = mk(100);
+print(three(1));
+print(one(1));

@@ -1,0 +1,11 @@
+// Constant folding of a guarded int32 subtraction: with parameter
+// specialization baking a = -2147483647, b = 65535, the fold of
+// (a - b) lands outside int32 and must NOT replace the sub_i -- the
+// overflow bailout has to fire at runtime instead.  Pre-fix, the
+// whole-function backend baked the overflowed double straight into
+// an int32-typed bitand and crashed the host.
+function f0(a, b) { var s = 256; for (var i = 0; i < 75; i = i + 1) { s = ((a - b) & i); } return "" + s; }
+print(f0((-2147483647), 65535));
+print(f0(2147483646, 255));
+print(f0(1023, (-2147483648)));
+var t0 = 0; for (var r0 = 0; r0 < 75; r0 = r0 + 1) { t0 = f0(1, r0); } print(t0);

@@ -1,0 +1,19 @@
+// Spec-cache key-space churn: six distinct (v, w) literal pairs --
+// more than any configured spec-cache capacity -- each driven hot,
+// then the whole key set revisited twice more, so keys evicted by the
+// collision policy are re-hit interleaved with fresh insertions.  The
+// re-specialized binaries must print the same values every round.
+function k0(v, w) { var s = 7; for (var i = 0; i < 40; i = i + 1) { s = ((s + v * i - w) ^ (v >> 2)) & 65535; } return s; }
+var z0 = 0; for (var e0 = 0; e0 < 5; e0 = e0 + 1) { z0 = (z0 + k0(0, 0)) & 65535; } print(z0);
+var z1 = 0; for (var e1 = 0; e1 < 5; e1 = e1 + 1) { z1 = (z1 + k0(255, 1)) & 65535; } print(z1);
+var z2 = 0; for (var e2 = 0; e2 < 5; e2 = e2 + 1) { z2 = (z2 + k0(65535, 2)) & 65535; } print(z2);
+var z3 = 0; for (var e3 = 0; e3 < 5; e3 = e3 + 1) { z3 = (z3 + k0((-1), 3)) & 65535; } print(z3);
+var z4 = 0; for (var e4 = 0; e4 < 5; e4 = e4 + 1) { z4 = (z4 + k0(2147483646, 4)) & 65535; } print(z4);
+var z5 = 0; for (var e5 = 0; e5 < 5; e5 = e5 + 1) { z5 = (z5 + k0((-2147483648), 5)) & 65535; } print(z5);
+var y0 = 0; for (var x0 = 0; x0 < 5; x0 = x0 + 1) { y0 = (y0 + k0(0, 0)) & 65535; } print(y0);
+var y1 = 0; for (var x1 = 0; x1 < 5; x1 = x1 + 1) { y1 = (y1 + k0(255, 1)) & 65535; } print(y1);
+var y2 = 0; for (var x2 = 0; x2 < 5; x2 = x2 + 1) { y2 = (y2 + k0(65535, 2)) & 65535; } print(y2);
+var y3 = 0; for (var x3 = 0; x3 < 5; x3 = x3 + 1) { y3 = (y3 + k0((-1), 3)) & 65535; } print(y3);
+var y4 = 0; for (var x4 = 0; x4 < 5; x4 = x4 + 1) { y4 = (y4 + k0(2147483646, 4)) & 65535; } print(y4);
+var y5 = 0; for (var x5 = 0; x5 < 5; x5 = x5 + 1) { y5 = (y5 + k0((-2147483648), 5)) & 65535; } print(y5);
+var w0 = 0; for (var v0 = 0; v0 < 5; v0 = v0 + 1) { w0 = (w0 + k0(0, 0) + k0(255, 1) + k0(65535, 2)) & 65535; } print(w0);

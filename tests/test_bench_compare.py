@@ -59,6 +59,19 @@ def make_results():
             "disk_hits": 12,
             "cycles_identical": True,
         },
+        "serving": {
+            "requests": 160,
+            "rejected": 0,
+            "batches": 40,
+            "tenants": 6,
+            "p50_latency_cycles": 650000,
+            "p99_latency_cycles": 2600000,
+            "total_latency_cycles": 120000000,
+            "cold_hit_rate": 0.58,
+            "warm_hit_rate": 1.0,
+            "isolation_violations": 0,
+            "cycles_identical": True,
+        },
     }
 
 
@@ -91,6 +104,7 @@ class TestClassification:
             "backends",
             "background",
             "warm-cache",
+            "serving",
         }
 
     def test_sips_metrics_are_not_diffed(self):
@@ -181,6 +195,59 @@ class TestClassification:
         assert relaxed["status"] == "pass"
         assert relaxed["thresholds"]["time"] == 0.50
         assert relaxed["thresholds"]["cycles"] == THRESHOLDS["cycles"]
+
+    def test_planted_serving_latency_regression_is_flagged(self):
+        current = make_results()
+        current["serving"]["p99_latency_cycles"] = int(
+            current["serving"]["p99_latency_cycles"] * 1.05
+        )
+        report = compare_results(current, make_results())
+        assert report["status"] == "fail"
+        regressed = [d for d in report["deltas"] if d["status"] == "regressed"]
+        assert [(d["section"], d["metric"]) for d in regressed] == [
+            ("serving", "p99_latency_cycles")
+        ]
+        assert regressed[0]["kind"] == "cycles"
+        assert regressed[0]["threshold_pct"] == 0.0
+
+    def test_serving_latencies_have_zero_tolerance(self):
+        current = make_results()
+        current["serving"]["p50_latency_cycles"] += 1
+        assert compare_results(current, make_results())["status"] == "fail"
+
+    def test_serving_hit_rate_drop_is_a_ratio_regression(self):
+        current = make_results()
+        current["serving"]["warm_hit_rate"] = 0.85  # -15% < the 10% band
+        report = compare_results(current, make_results())
+        assert report["status"] == "fail"
+        (delta,) = [d for d in report["deltas"] if d["status"] == "regressed"]
+        assert (delta["metric"], delta["kind"]) == ("warm_hit_rate", "ratio")
+
+    def test_serving_isolation_violations_always_regress(self):
+        current = make_results()
+        current["serving"]["isolation_violations"] = 1
+        report = compare_results(current, make_results())
+        assert report["status"] == "fail"
+        (delta,) = by_metric(report, "isolation_violations")
+        assert delta["status"] == "regressed" and delta["current"] == 1
+
+    def test_serving_cold_warm_divergence_is_a_regression(self):
+        current = make_results()
+        current["serving"]["cycles_identical"] = False
+        report = compare_results(current, make_results())
+        assert report["status"] == "fail"
+        regressed = [d for d in report["deltas"] if d["status"] == "regressed"]
+        assert [(d["section"], d["metric"]) for d in regressed] == [
+            ("serving", "cycles_identical")
+        ]
+
+    def test_serving_request_counts_are_report_only(self):
+        current = make_results()
+        current["serving"]["batches"] += 3
+        report = compare_results(current, make_results())
+        assert report["status"] == "pass"
+        (delta,) = by_metric(report, "batches")
+        assert delta["status"] == "changed"
 
     def test_sections_narrow_the_comparison(self):
         report = compare_results(

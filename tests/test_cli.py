@@ -239,3 +239,51 @@ class TestBench:
     def test_unknown_suite(self):
         with pytest.raises(SystemExit):
             run_cli(["bench", "--suite", "octane"])
+
+
+class TestFleet:
+    FLAGS = [
+        "fleet",
+        "--tenants", "3",
+        "--requests", "12",
+        "--programs", "2",
+        "--functions", "3",
+        "--seed", "9",
+    ]
+
+    def test_fleet_runs_and_reports(self, tmp_path):
+        schedule = str(tmp_path / "schedule.jsonl")
+        metrics = str(tmp_path / "metrics.jsonl")
+        code, output = run_cli(
+            self.FLAGS + ["--schedule-out", schedule, "--metrics-jsonl", metrics]
+        )
+        assert code == 0
+        assert "12 requests over 3 tenants" in output
+        assert "isolation violations: 0" in output
+        with open(schedule) as handle:
+            lines = handle.read().splitlines()
+        assert len(lines) == 12
+        import json
+
+        first = json.loads(lines[0])
+        assert first["seq"] == 0 and first["tenant"].startswith("t")
+        with open(metrics) as handle:
+            merged = json.loads(handle.readline())
+        assert merged["counters"]["repro_serving_requests_total"] == 12
+
+    def test_fleet_is_reproducible_across_invocations(self, tmp_path):
+        first = str(tmp_path / "a.jsonl")
+        second = str(tmp_path / "b.jsonl")
+        run_cli(self.FLAGS + ["--metrics-jsonl", first])
+        run_cli(self.FLAGS + ["--metrics-jsonl", second])
+        with open(first) as handle:
+            one = handle.read()
+        with open(second) as handle:
+            two = handle.read()
+        assert one == two
+
+
+class TestServe:
+    def test_serve_cache_requires_cache_dir(self):
+        with pytest.raises(SystemExit):
+            run_cli(["serve", "--cache", "shared"])

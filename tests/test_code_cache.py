@@ -401,6 +401,98 @@ class TestEviction:
         assert healed_cache.hits == cold_cache.stores
 
 
+class TestEvictionConcurrency:
+    """``evict`` racing writers and other evictors (docs/CACHE.md).
+
+    The prune renames each victim aside to a ``.evict`` tombstone
+    before unlinking, so a concurrent ``store`` republishing the same
+    key either becomes the (complete) victim or survives under the
+    final name — never a torn read — and an entry another evictor
+    already removed is skipped without being counted.
+    """
+
+    def test_vanished_victim_is_skipped_uncounted(self, tmp_path, monkeypatch):
+        import os
+
+        run_cached(TWO_FUNCS, tmp_path)
+        cache = DiskCodeCache(root=str(tmp_path))
+        entries = cache.stats()["entries"]
+        assert entries >= 2
+        real_replace = os.replace
+        stolen = []
+
+        def racing_replace(src, dst):
+            # A concurrent evictor wins the race for the first victim.
+            if not stolen and dst.endswith(".evict"):
+                stolen.append(src)
+                os.unlink(src)
+            return real_replace(src, dst)
+
+        monkeypatch.setattr("repro.cache.disk.os.replace", racing_replace)
+        removed = cache.evict(max_entries=0)
+        assert len(stolen) == 1
+        assert removed == entries - 1  # the stolen entry is not ours
+        assert cache.evictions == removed
+        assert cache.stats()["entries"] == 0
+
+    def test_concurrent_writer_never_tears_an_entry(self, tmp_path):
+        import threading
+
+        printed, _, cache, _ = run_cached(TWO_FUNCS, tmp_path)
+        stop = threading.Event()
+        failures = []
+
+        def rewriter():
+            # Re-run the workload against the same root over and over:
+            # every pass republishes the same keys via store's atomic
+            # rename while the main thread is pruning them.
+            while not stop.is_set():
+                try:
+                    again, _, _, _ = run_cached(TWO_FUNCS, tmp_path)
+                except Exception as exc:  # pragma: no cover - failure path
+                    failures.append(repr(exc))
+                    return
+                if again != printed:  # pragma: no cover - failure path
+                    failures.append("output diverged: %r" % (again,))
+                    return
+
+        writer = threading.Thread(target=rewriter)
+        writer.start()
+        try:
+            for _ in range(40):
+                cache.evict(max_entries=0)
+        finally:
+            stop.set()
+            writer.join(timeout=30)
+        assert not failures
+        # Whatever survived the crossfire reads back whole: a full
+        # warm pass sees only hits or misses, never a torn frame.
+        _, _, verify_cache, _ = run_cached(TWO_FUNCS, tmp_path)
+        assert verify_cache.corrupt == 0
+        import glob
+        import os
+
+        leftovers = glob.glob(
+            os.path.join(str(tmp_path), "code", "**", "*.evict"), recursive=True
+        )
+        assert leftovers == []
+
+    def test_interrupted_prune_tombstones_are_swept_and_invisible(self, tmp_path):
+        import os
+
+        run_cached(TWO_FUNCS, tmp_path)
+        cache = DiskCodeCache(root=str(tmp_path))
+        entries = cache.stats()["entries"]
+        stored = sorted((tmp_path / "code").rglob("*.bin"))
+        # Simulate a prune that died between rename and unlink.
+        os.replace(str(stored[0]), str(stored[0]) + ".evict")
+        assert cache.stats()["entries"] == entries - 1  # not an entry
+        cache.evict(max_entries=10_000)  # bound satisfied: no victims
+        assert cache.evictions == 0
+        leftovers = list((tmp_path / "code").rglob("*.evict"))
+        assert leftovers == []  # ...but the sweep still ran
+
+
 class TestEngineStatsSurface:
     def test_disk_counters_fold_into_engine_stats(self, tmp_path):
         run_cached(HOT_LOOP, tmp_path)

@@ -64,6 +64,7 @@ def test_design_and_experiments_exist():
         os.path.join("docs", "SHAPES.md"),
         os.path.join("docs", "METRICS.md"),
         os.path.join("docs", "DEOPTLESS.md"),
+        os.path.join("docs", "SERVING.md"),
     ):
         path = os.path.join(root, filename)
         assert os.path.exists(path), "%s missing" % filename
@@ -427,3 +428,89 @@ def test_profiling_doc_exists_and_mentions_the_invariant():
     assert len(text) > 500, "docs/PROFILING.md suspiciously short"
     assert "total_cycles" in text
     assert "attributed_cycles" in text
+
+
+def _serving_doc():
+    import os
+
+    path = os.path.join(
+        os.path.dirname(repro.__file__), "..", "..", "docs", "SERVING.md"
+    )
+    with open(path) as handle:
+        return handle.read()
+
+
+def test_serving_doc_metric_table_matches_schema():
+    """docs/SERVING.md's metric table lists exactly the serving rows of
+    METRIC_SCHEMA, with the code's types and merge policies."""
+    import re
+
+    from repro.telemetry.metrics import METRIC_SCHEMA
+
+    text = _serving_doc()
+    rows = re.findall(
+        r"^\| `(\w+)` \| (counter|gauge|histogram) \| (sum|max) \|",
+        text,
+        re.MULTILINE,
+    )
+    documented = {name: (kind, merge) for name, kind, merge in rows}
+    assert len(rows) == len(documented), "duplicate rows in the metric table"
+    serving = {
+        name: spec
+        for name, spec in METRIC_SCHEMA.items()
+        if name.startswith("repro_serving_")
+    }
+    assert set(documented) == set(serving), (
+        "metrics documented but not in code: %s; in code but undocumented: %s"
+        % (
+            sorted(set(documented) - set(serving)),
+            sorted(set(serving) - set(documented)),
+        )
+    )
+    for name, spec in serving.items():
+        kind, merge = documented[name]
+        assert kind == spec["type"]
+        assert merge == spec.get("merge", "sum")
+
+
+def test_serving_doc_matches_admission_defaults():
+    """The documented admission constants match the code."""
+    from repro.serving.admission import DISPATCH_DELAY, QUEUE_CAPACITY
+    from repro.bench.wallclock import SERVING_QUEUE_CAPACITY, SERVING_WARM_HIT_FLOOR
+
+    text = _serving_doc()
+    assert "`DISPATCH_DELAY` (%d cycles)" % DISPATCH_DELAY in text
+    assert "`QUEUE_CAPACITY`, default %d" % QUEUE_CAPACITY in text
+    assert "SLO profile runs at %d" % SERVING_QUEUE_CAPACITY in text
+    assert "`SERVING_WARM_HIT_FLOOR` (%.1f)" % SERVING_WARM_HIT_FLOOR in text
+
+
+def test_serving_doc_names_the_contract_vocabulary():
+    """Classes, modes, gate fields and the smoke tool are spelled
+    exactly as the code spells them."""
+    text = _serving_doc()
+    for name in (
+        "TenantIsolate",
+        "TenantHost",
+        "AdmissionLane",
+        "ShardedDiskCache",
+        "TenantCacheView",
+        "WorkerPool",
+        "ServingServer",
+        "install_shape_tree",
+        "merge_payloads",
+        "measure_serving",
+        "tools/serving_smoke.py",
+        "tools/bench_compare.py",
+    ):
+        assert name in text, "%r undocumented" % name
+    for mode in ("`off`", "`tenant`", "`shared`"):
+        assert mode in text, "cache mode %s undocumented" % mode
+    for field in (
+        "p50_latency_cycles",
+        "p99_latency_cycles",
+        "warm_hit_rate",
+        "isolation_violations",
+        "cycles_identical",
+    ):
+        assert "`%s`" % field in text, "gate field %r undocumented" % field

@@ -125,6 +125,52 @@ class TestGenerator:
                     ";"
                 ), line
 
+    def _sweep(self, pattern, seeds=6, iterations=40):
+        """Programs from a seed sweep whose text contains ``pattern``."""
+        return [
+            generate_program(seed, iteration)
+            for seed in range(seeds)
+            for iteration in range(iterations)
+            if pattern in generate_program(seed, iteration)
+        ]
+
+    def test_speckey_arm_overflows_and_revisits_the_key_space(self):
+        # The spec-key arm exists in the sweep, drives more distinct
+        # literal pairs than the spec-cache capacity, and re-hits each
+        # pair in later rounds (the z.../y-prefix round labels).
+        hits = self._sweep("function k0(v, w)")
+        assert hits
+        for program in hits[:5]:
+            calls = [line for line in program.splitlines() if "k0(" in line and "var z" in line]
+            pairs = set()
+            for line in calls:
+                inner = line[line.index("k0(") + 3 :]
+                pairs.add(inner[: inner.index(")")])
+            # More distinct keys than the paper's spec-cache capacity
+            # (1) and the deoptless table (4) in at least one program.
+            assert len(pairs) >= 3
+            # Rounds revisit the same pairs: total call lines exceed
+            # the distinct pair count.
+            assert len(calls) >= 2 * len(pairs)
+
+    def test_array_arm_reads_modulo_length_and_may_grow(self):
+        hits = self._sweep("function b0(a, n)")
+        assert hits
+        assert any(".length] =" in program for program in hits)
+        for program in hits[:5]:
+            assert "a[i % a.length]" in program
+            assert "var ar0_0 = [" in program
+
+    def test_closure_arm_builds_sibling_instances(self):
+        hits = self._sweep("function m0(n)")
+        assert hits
+        for program in hits[:5]:
+            assert "return function (d)" in program
+            assert "var cl0_0 = m0(" in program
+            assert "var cl0_1 = m0(" in program
+            # The hot driver interleaves both instances.
+            assert "cl0_0(x0) + cl0_1(x0)" in program
+
 
 # ---------------------------------------------------------------------------
 # Guard fault injector ("chaos deopt")

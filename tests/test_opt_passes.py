@@ -46,6 +46,34 @@ class TestConstProp:
         assert isinstance(returns[0].operands[0], mi.MConstant)
         assert returns[0].operands[0].value == 21
 
+    def test_int32_overflow_fold_never_materializes_a_double(self):
+        # A specialized `a - b` can fold out of int32; the lattice keeps
+        # the true JS value, but the INT32-typed definition must not be
+        # replaced with a double constant — that would delete its
+        # overflow bailout and feed a raw float into INT32-typed uses.
+        source = (
+            "function f(a, b) { var s = 0;"
+            " for (var i = 0; i < 3; i++) { s = (a - b) & i; }"
+            " return s; } f(-2147483647, 65535);"
+        )
+        graph = typed(source, param_values=[-2147483647, 65535])
+        run_constant_propagation(graph)
+        verify_graph(graph)
+        assert count(graph, mi.MBinaryArithI) >= 1
+        assert not [
+            c for c in instrs(graph, mi.MConstant) if type(c.value) is float
+        ]
+        # Propagation through the overflowed value is kept: a fully
+        # constant consumer still folds, to the JS-correct int32.
+        folded = typed(
+            "function f(a, b) { return (a - b) & 255; } f(-2147483647, 65535);",
+            param_values=[-2147483647, 65535],
+        )
+        run_constant_propagation(folded)
+        returns = instrs(folded, mi.MReturn)
+        assert isinstance(returns[0].operands[0], mi.MConstant)
+        assert returns[0].operands[0].value == 2  # ToInt32(-2147549182) & 255
+
     def test_folds_through_phis(self):
         source = "function f(c) { var x; if (c) x = 5; else x = 5; return x + 1; } f(true);"
         graph = typed(source)

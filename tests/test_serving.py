@@ -1,0 +1,469 @@
+"""The multi-tenant serving tier: isolation, admission, shards, fleet.
+
+The tier's contract (docs/SERVING.md) in test form:
+
+* **isolation** — a tenant served from a multi-tenant host is
+  bit-identical (outputs, latencies, metrics payload, shape
+  numbering) to the same request stream served by a dedicated
+  single-tenant engine, and a foreign shape tree observed mid-request
+  is counted as an isolation violation;
+* **admission** — per-tenant lanes are deterministic virtual
+  timelines: batching amortizes the dispatch delay, capacity bounds
+  in-flight depth, rejections execute nothing;
+* **sharding** — the shared artifact store routes by content key,
+  keeps per-tenant counters exact, and prunes per shard;
+* **fleet determinism** — same seed, same schedule bytes; merged
+  metrics identical across ``--jobs`` counts and across repeat runs;
+* **serving front end** — the asyncio server round-trips JSON lines,
+  reports live stats, and drains gracefully into a metrics JSONL.
+"""
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro.jsvm import objects
+from repro.jsvm.objects import ShapeTree, install_shape_tree
+from repro.serving.admission import DISPATCH_DELAY, AdmissionLane
+from repro.serving.fleet import (
+    FleetProfile,
+    build_catalog,
+    generate_schedule,
+    percentile,
+    run_fleet,
+    schedule_jsonl,
+)
+from repro.serving.isolate import TenantHost, TenantIsolate
+from repro.serving.pool import WorkerPool, tenant_worker
+from repro.serving.server import ServingServer
+from repro.serving.shards import ShardedDiskCache, TenantCacheView
+
+from tests.conftest import FAST
+
+# Two programs with *conflicting* shape histories: same property
+# names, opposite insertion orders, so a shared shape tree would hand
+# the second tenant different shape ids than a private one.
+PROGRAM_XY = """
+function get(o) { return o.x + o.y; }
+var s = 0;
+for (var i = 0; i < 20; i = i + 1) { s = (s + get({x: i, y: 2 * i})) & 65535; }
+print(s);
+"""
+
+PROGRAM_YX = """
+function get(o) { return o.x - o.y; }
+var s = 0;
+for (var i = 0; i < 20; i = i + 1) { s = (s + get({y: i, x: 3 * i})) & 65535; }
+print(s);
+"""
+
+#: Small but JIT-exercising fleet profile (seconds, not minutes).
+SMALL_FLEET = {
+    "tenants": 3,
+    "requests": 18,
+    "programs": 2,
+    "seed": 11,
+    "functions_per_program": 3,
+}
+
+
+def _strip_responses(responses):
+    """Responses without the partition-dependent ``seq`` echo."""
+    cleaned = []
+    for response in responses:
+        response = dict(response)
+        response.pop("seq", None)
+        cleaned.append(response)
+    return cleaned
+
+
+class TestAdmissionLane:
+    def test_first_request_pays_dispatch_delay(self):
+        lane = AdmissionLane()
+        start = lane.admit(100, batch=0)
+        assert start == 100 + DISPATCH_DELAY
+        assert lane.complete(start, 500) == start + 500
+        assert lane.lane_cycle == start + 500
+
+    def test_batch_followers_skip_the_delay_but_queue_behind_the_lane(self):
+        lane = AdmissionLane(dispatch_delay=30)
+        first = lane.admit(0, batch=7)
+        lane.complete(first, 1000)
+        # Same batch, arrives while the lane is busy: no delay, but
+        # dispatch waits for the lane clock.
+        follower = lane.admit(10, batch=7)
+        assert follower == 1030
+        lane.complete(follower, 50)
+        # New batch id: the delay is charged again.
+        fresh = lane.admit(2000, batch=8)
+        assert fresh == 2030
+
+    def test_capacity_rejections_and_high_water(self):
+        lane = AdmissionLane(dispatch_delay=0, capacity=2)
+        for _ in range(2):
+            start = lane.admit(0, batch=0)
+            lane.complete(start, 10_000)  # both still in flight at t=1
+        assert lane.admit(1, batch=0) is None
+        assert lane.rejected == 1
+        assert lane.depth_high_water == 2
+        # Once the in-flight work completes, admission resumes.
+        assert lane.admit(50_000, batch=1) is not None
+
+    def test_lane_timeline_is_deterministic(self):
+        def drive():
+            lane = AdmissionLane()
+            marks = []
+            for arrival, batch in ((0, 0), (5, 0), (5, 1), (900, 1)):
+                start = lane.admit(arrival, batch=batch)
+                marks.append(lane.complete(start, 100))
+            return marks
+
+        assert drive() == drive()
+
+
+class TestTenantIsolation:
+    def _serve_stream(self, target, program, source, count):
+        return [target.serve(program, source) for _ in range(count)]
+
+    def test_hosted_tenant_is_bit_identical_to_a_dedicated_engine(self):
+        host = TenantHost(engine_kwargs=FAST)
+        hosted = []
+        # Interleave two tenants with conflicting shape histories.
+        for _ in range(4):
+            hosted.append(
+                host.execute_request(
+                    {"tenant": "a", "program": "xy", "source": PROGRAM_XY}
+                )
+            )
+            host.execute_request(
+                {"tenant": "b", "program": "yx", "source": PROGRAM_YX}
+            )
+        solo = TenantIsolate("a", engine_kwargs=FAST)
+        expected = self._serve_stream(solo, "xy", PROGRAM_XY, 4)
+        assert _strip_responses(hosted) == _strip_responses(expected)
+        # The full speculation state lines up, not just the outputs:
+        # identical shape numbering and identical metrics payloads.
+        assert host.isolates["a"].shape_tree.next_id == solo.shape_tree.next_id
+        assert host.isolates["a"].metrics_payload() == solo.metrics_payload()
+        assert host.isolation_violations == 0
+
+    def test_conflicting_shape_orders_number_independently(self):
+        host = TenantHost(engine_kwargs=FAST)
+        host.execute_request({"tenant": "a", "source": PROGRAM_XY})
+        host.execute_request({"tenant": "b", "source": PROGRAM_YX})
+        # Each tenant's tree numbered its own shapes from a fresh
+        # root; with a shared tree tenant b's ids would start after
+        # tenant a's.
+        assert host.isolates["a"].shape_tree.next_id == 3  # x, xy
+        assert host.isolates["b"].shape_tree.next_id == 3  # y, yx
+
+    def test_request_restores_the_previously_installed_tree(self):
+        outer = ShapeTree()
+        previous = install_shape_tree(outer)
+        try:
+            isolate = TenantIsolate("a", engine_kwargs=FAST)
+            isolate.serve("xy", PROGRAM_XY)
+            assert objects.SHAPE_TREE is outer
+            assert isolate.isolation_violations == 0
+        finally:
+            install_shape_tree(previous)
+
+    def test_foreign_tree_mid_request_counts_a_violation(self):
+        isolate = TenantIsolate("a", engine_kwargs=FAST)
+        intruder = ShapeTree()
+
+        def hijack(code):
+            install_shape_tree(intruder)
+
+        isolate.engine.run_code = hijack
+        isolate.execute("evil", "print(1);")
+        assert isolate.isolation_violations == 1
+        payload = isolate.metrics_payload()
+        assert payload["counters"]["repro_serving_isolation_violations_total"] == 1
+
+    def test_rejected_requests_execute_nothing(self):
+        isolate = TenantIsolate("a", engine_kwargs=FAST, queue_capacity=1)
+        # Pin an in-flight completion far in the future, then arrive
+        # before it: capacity 1 means rejection.
+        start = isolate.lane.admit(0, batch=0)
+        isolate.lane.complete(start, 10_000_000)
+        response = isolate.serve("xy", PROGRAM_XY, arrival=5)
+        assert response["status"] == "rejected"
+        assert response["output"] == []
+        assert isolate.requests == 0
+        payload = isolate.metrics_payload()
+        assert payload["counters"]["repro_serving_rejected_total"] == 1
+        assert payload["counters"]["repro_serving_requests_total"] == 0
+
+    def test_unknown_catalog_program_is_an_error_response(self):
+        host = TenantHost()
+        response = host.execute_request({"tenant": "a", "program": "nope"})
+        assert response["status"] == "error"
+        assert "unknown program" in response["error"]
+
+
+class TestShardedCache:
+    def test_routing_is_pure_key_arithmetic(self, tmp_path):
+        store = ShardedDiskCache(root=str(tmp_path), shards=4)
+        import hashlib
+
+        keys = [
+            hashlib.sha256(b"key-%d" % value).hexdigest() for value in range(30)
+        ]
+        for key in keys:
+            index = int(key[:8], 16) % 4
+            assert store.shard_index(key) == index
+            assert store.shard_for(key) is store.shards[index]
+        assert len({store.shard_index(key) for key in keys}) > 1
+
+    def test_rejects_zero_shards(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShardedDiskCache(root=str(tmp_path), shards=0)
+
+    def _warm_store(self, root, tenant="a"):
+        host = TenantHost(
+            cache_mode="tenant", cache_root=root, engine_kwargs=FAST
+        )
+        for _ in range(3):
+            host.execute_request(
+                {"tenant": tenant, "program": "xy", "source": PROGRAM_XY}
+            )
+        return host
+
+    def test_artifacts_roundtrip_through_the_shards(self, tmp_path):
+        cold = self._warm_store(str(tmp_path))
+        stats = cold.store_stats()
+        assert stats["stores"] > 0 and stats["entries"] > 0
+        warm = self._warm_store(str(tmp_path))
+        cache = warm.isolates["a"].cache
+        assert cache.hits > 0
+        assert cache.stores == 0
+
+    def test_per_shard_eviction_and_stats(self, tmp_path):
+        self._warm_store(str(tmp_path))
+        store = ShardedDiskCache(
+            root=os.path.join(str(tmp_path), "tenant-a"), shards=4
+        )
+        before = store.stats()
+        assert before["entries"] > 0
+        removed = store.evict(max_entries=0)
+        assert removed == before["entries"]
+        assert store.evictions == removed
+        after = store.stats()
+        assert after["entries"] == 0
+        assert len(after["per_shard"]) == 4
+
+    def test_shared_mode_tenant_counters_sum_to_store_counters(self, tmp_path):
+        host = TenantHost(
+            cache_mode="shared", cache_root=str(tmp_path), engine_kwargs=FAST
+        )
+        for _ in range(3):
+            host.execute_request({"tenant": "a", "source": PROGRAM_XY})
+            host.execute_request({"tenant": "b", "source": PROGRAM_XY})
+        views = [host.isolates[t].cache for t in ("a", "b")]
+        assert all(isinstance(view, TenantCacheView) for view in views)
+        store = host.store
+        assert sum(v.hits for v in views) == store.hits
+        assert sum(v.misses for v in views) == store.misses
+        assert sum(v.stores for v in views) == store.stores
+        # Tenant b arrived second: the shared store serves it tenant
+        # a's artifacts, so its very first compile probes can hit.
+        assert store.hits > 0
+
+
+class TestFleetDeterminism:
+    def test_same_seed_means_byte_identical_schedules(self):
+        profile = FleetProfile(**SMALL_FLEET)
+        again = FleetProfile(**SMALL_FLEET)
+        first = schedule_jsonl(generate_schedule(profile))
+        assert first == schedule_jsonl(generate_schedule(again))
+        assert first.count("\n") == SMALL_FLEET["requests"]
+
+    def test_different_seeds_diverge(self):
+        base = generate_schedule(FleetProfile(**SMALL_FLEET))
+        moved = dict(SMALL_FLEET, seed=SMALL_FLEET["seed"] + 1)
+        assert schedule_jsonl(base) != schedule_jsonl(
+            generate_schedule(FleetProfile(**moved))
+        )
+
+    def test_batches_cap_at_the_limit_and_follow_tenant_runs(self):
+        profile = FleetProfile(**dict(SMALL_FLEET, requests=60, batch_limit=3))
+        schedule = generate_schedule(profile)
+        by_batch = {}
+        for record in schedule:
+            by_batch.setdefault(record["batch"], []).append(record["tenant"])
+        for tenants in by_batch.values():
+            assert len(set(tenants)) == 1  # a batch never mixes tenants
+            assert len(tenants) <= 3
+
+    def test_repeat_runs_merge_to_identical_metrics(self):
+        profile = FleetProfile(**SMALL_FLEET)
+        first = run_fleet(profile, cache_mode="off", engine_kwargs=FAST)
+        second = run_fleet(profile, cache_mode="off", engine_kwargs=FAST)
+        assert first["metrics"] == second["metrics"]
+        assert first["responses"] == second["responses"]
+        assert first["requests"] == len(first["responses"]) > 0
+
+    def test_jobs_partitioning_does_not_move_the_merged_metrics(self):
+        profile = FleetProfile(**SMALL_FLEET)
+        serial = run_fleet(profile, jobs=1, cache_mode="tenant", engine_kwargs=FAST)
+        fanned = run_fleet(profile, jobs=3, cache_mode="tenant", engine_kwargs=FAST)
+        assert serial["metrics"] == fanned["metrics"]
+        assert serial["responses"] == fanned["responses"]
+        assert serial["p99_latency_cycles"] == fanned["p99_latency_cycles"]
+        assert serial["isolation_violations"] == 0
+        assert fanned["isolation_violations"] == 0
+
+    def test_warm_shared_root_hits_and_keeps_cycles_identical(self, tmp_path):
+        profile = FleetProfile(**SMALL_FLEET)
+        kwargs = dict(
+            cache_mode="shared", cache_root=str(tmp_path), engine_kwargs=FAST
+        )
+        cold = run_fleet(profile, **kwargs)
+        warm = run_fleet(profile, **kwargs)
+        assert warm["warm_hit_rate"] == 1.0
+        assert warm["disk_misses"] == 0
+        # The cache is a host-time optimization: the simulated
+        # timeline must not move between cold and warm runs.
+        assert warm["total_latency_cycles"] == cold["total_latency_cycles"]
+        assert [r["output"] for r in warm["responses"]] == [
+            r["output"] for r in cold["responses"]
+        ]
+
+    def test_percentile_is_nearest_rank(self):
+        assert percentile([], 0.5) == 0
+        assert percentile([7], 0.99) == 7
+        values = list(range(1, 101))
+        assert percentile(values, 0.50) == 51
+        assert percentile(values, 0.99) == 100
+
+    def test_catalog_is_a_pure_function_of_the_profile(self):
+        profile = FleetProfile(**SMALL_FLEET)
+        assert build_catalog(profile) == build_catalog(profile)
+        assert len(build_catalog(profile)) == SMALL_FLEET["programs"]
+
+
+class TestWorkerPool:
+    def test_tenant_routing_is_stable_and_in_range(self):
+        for workers in (1, 2, 5):
+            for tenant in ("t00", "t01", "alpha", "beta"):
+                index = tenant_worker(tenant, workers)
+                assert 0 <= index < max(workers, 1)
+                assert index == tenant_worker(tenant, workers)
+
+    def test_inline_pool_round_trip_and_summary(self):
+        pool = WorkerPool(workers=0, host_kwargs={"engine_kwargs": FAST})
+        pool.start()
+        pool.submit({"tenant": "a", "source": PROGRAM_XY, "seq": 0})
+        kind, _index, response = pool.next_response(timeout=5)
+        assert kind == "response"
+        assert response["status"] == "ok"
+        assert response["seq"] == 0
+        summary = pool.shutdown()
+        assert summary["tenants"] == ["a"]
+        assert summary["isolation_violations"] == 0
+        counters = summary["metrics"]["counters"]
+        assert counters["repro_serving_requests_total"] == 1
+
+    def test_process_pool_isolates_tenants_and_merges_metrics(self):
+        pool = WorkerPool(workers=2, host_kwargs={"engine_kwargs": FAST})
+        pool.start()
+        expect = {}
+        for seq, tenant in enumerate(["a", "b", "a", "b", "c", "a"]):
+            pool.submit({"tenant": tenant, "source": PROGRAM_XY, "seq": seq})
+            expect[seq] = tenant
+        seen = {}
+        for _ in range(len(expect)):
+            kind, _index, response = pool.next_response(timeout=30)
+            assert kind == "response"
+            assert response["status"] == "ok"
+            seen[response["seq"]] = response["tenant"]
+        assert seen == expect
+        summary = pool.shutdown()
+        assert summary["tenants"] == ["a", "b", "c"]
+        assert summary["isolation_violations"] == 0
+        counters = summary["metrics"]["counters"]
+        assert counters["repro_serving_requests_total"] == len(expect)
+        assert summary["metrics"]["gauges"]["repro_serving_tenants"] == 3
+
+    def test_bad_request_keeps_the_worker_alive(self):
+        pool = WorkerPool(workers=0)
+        pool.start()
+        pool.submit({"tenant": "a", "seq": 0})  # no source, no catalog
+        _kind, _index, response = pool.next_response(timeout=5)
+        assert response["status"] == "error"
+        pool.submit({"tenant": "a", "source": "print(2);", "seq": 1})
+        _kind, _index, response = pool.next_response(timeout=5)
+        assert response["status"] == "ok"
+        assert response["output"] == ["2"]
+        pool.shutdown()
+
+
+class TestServingServer:
+    def _run(self, coroutine):
+        return asyncio.run(coroutine)
+
+    async def _call(self, reader, writer, request):
+        writer.write((json.dumps(request) + "\n").encode())
+        await writer.drain()
+        line = await asyncio.wait_for(reader.readline(), timeout=30)
+        return json.loads(line.decode())
+
+    async def _drive(self, tmp_path):
+        socket_path = os.path.join(str(tmp_path), "serve.sock")
+        metrics_out = os.path.join(str(tmp_path), "metrics.jsonl")
+        server = ServingServer(
+            socket_path=socket_path,
+            workers=0,
+            engine_kwargs=FAST,
+            catalog={"xy": PROGRAM_XY},
+            metrics_out=metrics_out,
+        )
+        await server.start()
+        reader, writer = await asyncio.open_unix_connection(socket_path)
+        assert (await self._call(reader, writer, {"op": "ping"}))["status"] == "ok"
+        ran = await self._call(
+            reader, writer, {"tenant": "a", "program": "xy", "id": "req-1"}
+        )
+        assert ran["status"] == "ok"
+        assert ran["id"] == "req-1"
+        assert len(ran["output"]) == 1
+        assert ran["latency_cycles"] > 0
+        inline = await self._call(
+            reader, writer, {"tenant": "b", "source": "print(41 + 1);"}
+        )
+        assert inline["output"] == ["42"]
+        stats = await self._call(reader, writer, {"op": "stats"})
+        assert stats["requests"] == 2
+        assert stats["tenants"] == 2
+        assert stats["isolation_violations"] == 0
+        bye = await self._call(reader, writer, {"op": "shutdown"})
+        assert bye["status"] == "ok"
+        writer.close()
+        await asyncio.wait_for(server.wait_closed(), timeout=30)
+        return server, metrics_out
+
+    def test_end_to_end_over_a_unix_socket(self, tmp_path):
+        server, metrics_out = self._run(self._drive(tmp_path))
+        assert server.summary["isolation_violations"] == 0
+        counters = server.summary["metrics"]["counters"]
+        assert counters["repro_serving_requests_total"] == 2
+        with open(metrics_out) as handle:
+            lines = [json.loads(line) for line in handle if line.strip()]
+        assert lines, "graceful shutdown must flush a metrics JSONL"
+        assert lines[0]["counters"]["repro_serving_requests_total"] == 2
+
+    async def _reject_after_drain(self, tmp_path):
+        socket_path = os.path.join(str(tmp_path), "serve.sock")
+        server = ServingServer(socket_path=socket_path, workers=0)
+        await server.start()
+        reader, writer = await asyncio.open_unix_connection(socket_path)
+        await self._call(reader, writer, {"op": "shutdown"})
+        writer.close()
+        await asyncio.wait_for(server.wait_closed(), timeout=30)
+        assert server.summary is not None
+
+    def test_shutdown_without_traffic_still_reports_a_summary(self, tmp_path):
+        self._run(self._reject_after_drain(tmp_path))

@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""CI smoke check: the serving tier survives real multi-tenant traffic.
+
+Starts ``python -m repro serve`` as a subprocess (unix socket, two
+engine worker processes, shared sharded cache, preloaded catalog),
+drives a fixed request mix over the JSON-line protocol — 200 ``run``
+requests spread across 8 tenants by default — then asserts the
+contract the serving tier documents (docs/SERVING.md):
+
+- every request gets a reply with a sane status (``ok``/``rejected``),
+  and every ``ok`` reply echoes its client ``id``;
+- the ``stats`` op reports **zero isolation violations**;
+- ``shutdown`` drains gracefully: the server exits 0 and writes the
+  merged metrics payload as JSONL (uploaded as a CI artifact), whose
+  request counter matches what we actually sent.
+
+Deterministic on purpose: tenants and programs are picked round-robin
+(no randomness), so two runs issue byte-identical traffic.
+
+Usage::
+
+    PYTHONPATH=src python tools/serving_smoke.py \
+        [--requests 200] [--tenants 8] [--metrics-out PATH]
+
+Exit status 1 on any contract violation, 0 otherwise.
+"""
+
+import argparse
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+CATALOG_PROGRAMS = 4
+CATALOG_FUNCTIONS = 3
+START_TIMEOUT = 30.0
+SHUTDOWN_TIMEOUT = 60.0
+
+
+class LineClient(object):
+    """Blocking JSON-line client over a unix socket."""
+
+    def __init__(self, path):
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.connect(path)
+        self.reader = self.sock.makefile("r", encoding="utf-8")
+
+    def request(self, payload):
+        self.sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+        line = self.reader.readline()
+        if not line:
+            raise SystemExit("server closed the connection mid-request")
+        return json.loads(line)
+
+    def close(self):
+        try:
+            self.reader.close()
+        finally:
+            self.sock.close()
+
+
+def wait_for_socket(path, proc, timeout=START_TIMEOUT):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if proc.poll() is not None:
+            raise SystemExit(
+                "server exited before binding (exit %d)" % proc.returncode
+            )
+        if os.path.exists(path):
+            return
+        time.sleep(0.05)
+    raise SystemExit("server did not bind %s within %ds" % (path, timeout))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--tenants", type=int, default=8)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="merged metrics JSONL path (default: <tempdir>/metrics.jsonl)",
+    )
+    args = parser.parse_args(argv)
+
+    workdir = tempfile.mkdtemp(prefix="repro-serving-smoke-")
+    socket_path = os.path.join(workdir, "serve.sock")
+    metrics_path = args.metrics_out or os.path.join(workdir, "metrics.jsonl")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--socket",
+            socket_path,
+            "--workers",
+            str(args.workers),
+            "--cache",
+            "shared",
+            "--cache-dir",
+            os.path.join(workdir, "cache"),
+            "--catalog-programs",
+            str(CATALOG_PROGRAMS),
+            "--catalog-functions",
+            str(CATALOG_FUNCTIONS),
+            "--metrics-out",
+            metrics_path,
+        ],
+        env=env,
+        cwd=REPO_ROOT,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+    failures = []
+    served = 0
+    rejected = 0
+    try:
+        wait_for_socket(socket_path, proc)
+        client = LineClient(socket_path)
+        ping = client.request({"op": "ping"})
+        if ping.get("status") != "ok":
+            failures.append("ping failed: %r" % (ping,))
+
+        for index in range(args.requests):
+            tenant = "t%02d" % (index % args.tenants)
+            program = "app-%02d" % (index % CATALOG_PROGRAMS)
+            reply = client.request(
+                {
+                    "op": "run",
+                    "tenant": tenant,
+                    "program": program,
+                    "id": "req-%04d" % index,
+                }
+            )
+            status = reply.get("status")
+            if status == "ok":
+                served += 1
+                if reply.get("id") != "req-%04d" % index:
+                    failures.append("request %d: id not echoed: %r" % (index, reply))
+            elif status == "rejected":
+                rejected += 1
+            else:
+                failures.append("request %d: bad reply %r" % (index, reply))
+
+        stats = client.request({"op": "stats"})
+        if stats.get("status") != "ok":
+            failures.append("stats op failed: %r" % (stats,))
+        if stats.get("isolation_violations") != 0:
+            failures.append(
+                "isolation violations: %r" % (stats.get("isolation_violations"),)
+            )
+        if stats.get("requests") != served:
+            failures.append(
+                "stats served %r != client-observed %d" % (stats.get("requests"), served)
+            )
+        if stats.get("tenants") != min(args.tenants, served or args.tenants):
+            failures.append(
+                "stats tenants %r != expected %d" % (stats.get("tenants"), args.tenants)
+            )
+        if served == 0:
+            failures.append("no request was served")
+
+        down = client.request({"op": "shutdown"})
+        if down.get("status") != "ok":
+            failures.append("shutdown op failed: %r" % (down,))
+        client.close()
+        try:
+            proc.wait(timeout=SHUTDOWN_TIMEOUT)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            failures.append("server did not exit within %ds" % SHUTDOWN_TIMEOUT)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    output = proc.stdout.read() if proc.stdout else ""
+    if proc.returncode != 0:
+        failures.append(
+            "server exit code %r; output:\n%s" % (proc.returncode, output)
+        )
+
+    if not os.path.exists(metrics_path):
+        failures.append("metrics JSONL missing: %s" % metrics_path)
+    else:
+        with open(metrics_path, "r", encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle if line.strip()]
+        if not lines:
+            failures.append("metrics JSONL is empty")
+        else:
+            total = lines[0].get("counters", {}).get("repro_serving_requests_total")
+            if total != served:
+                failures.append(
+                    "metrics requests_total %r != served %d" % (total, served)
+                )
+            violations = (
+                lines[0].get("counters", {}).get("repro_serving_isolation_violations_total", 0)
+            )
+            if violations != 0:
+                failures.append("metrics isolation violations: %r" % (violations,))
+
+    if failures:
+        print("SERVING SMOKE FAILED:")
+        for failure in failures:
+            print("  " + failure)
+        print("server output:\n" + output)
+        return 1
+    print(
+        "serving smoke OK: %d served, %d rejected over %d tenants; "
+        "0 isolation violations; clean exit; metrics at %s"
+        % (served, rejected, args.tenants, metrics_path)
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
